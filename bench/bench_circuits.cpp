@@ -1,0 +1,150 @@
+/**
+ * @file
+ * E12 — zk-harness-style multi-circuit benchmark. The paper builds on
+ * zk-Bench [19] and zk-harness [60], which compare proving systems
+ * across circuit families; this bench runs the full Groth16 pipeline
+ * over every circuit in this library's catalogue (exponentiation,
+ * MiMC preimage, range proof, Merkle membership) on both curves.
+ */
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "r1cs/circuits.h"
+#include "snark/groth16.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+struct PipelineTimes
+{
+    std::size_t constraints = 0;
+    double compile = 0, setup = 0, witness = 0, prove = 0, verify = 0;
+    bool ok = false;
+};
+
+/** Run the full pipeline for an already-described circuit. */
+template <typename Curve, typename Builder>
+PipelineTimes<Curve>
+runPipeline(Builder& builder, const std::vector<typename Curve::Fr>& pub,
+            const std::vector<typename Curve::Fr>& priv)
+{
+    using Scheme = snark::Groth16<Curve>;
+    PipelineTimes<Curve> out;
+    Rng rng(7);
+
+    Timer t;
+    auto cs = builder.compile();
+    out.compile = t.seconds();
+    out.constraints = cs.numConstraints();
+
+    r1cs::WitnessCalculator<typename Curve::Fr> calc(
+        builder.witnessProgram());
+
+    t.reset();
+    auto keys = Scheme::setup(cs, rng);
+    out.setup = t.seconds();
+
+    t.reset();
+    auto z = calc.compute(pub, priv);
+    out.witness = t.seconds();
+
+    t.reset();
+    auto proof = Scheme::prove(keys.pk, cs, z, rng);
+    out.prove = t.seconds();
+
+    t.reset();
+    out.ok = Scheme::verify(keys.vk, pub, proof);
+    out.verify = t.seconds();
+    return out;
+}
+
+template <typename Curve>
+void
+runCurve()
+{
+    using Fr = typename Curve::Fr;
+    Rng rng(99);
+
+    TextTable table;
+    table.setHeader({"circuit", "constraints", "compile", "setup",
+                     "witness", "prove", "verify", "ok"});
+    auto add_row = [&](const char* name,
+                       const PipelineTimes<Curve>& p) {
+        table.addRow({name, std::to_string(p.constraints),
+                      fmtSeconds(p.compile), fmtSeconds(p.setup),
+                      fmtSeconds(p.witness), fmtSeconds(p.prove),
+                      fmtSeconds(p.verify), p.ok ? "yes" : "NO"});
+    };
+
+    {
+        r1cs::ExponentiationCircuit<Fr> circ(1 << 10);
+        Fr x = Fr::random(rng);
+        add_row("exponentiation (2^10)",
+                runPipeline<Curve>(circ.builder, {circ.evaluate(x)},
+                                   {x}));
+    }
+    {
+        // MiMC preimage knowledge: h = MiMC(x, 0).
+        r1cs::CircuitBuilder<Fr> b;
+        auto pub = b.publicInput();
+        auto x = b.privateInput();
+        auto h = r1cs::Mimc<Fr>::hash2Gadget(b, x,
+                                             b.constant(Fr::zero()));
+        b.assertEqual(h, pub);
+        Fr secret = Fr::random(rng);
+        struct Wrap
+        {
+            r1cs::CircuitBuilder<Fr>& b;
+            auto compile() { return b.compile(); }
+            auto witnessProgram() { return b.witnessProgram(); }
+        } wrap{b};
+        add_row("mimc preimage",
+                runPipeline<Curve>(
+                    wrap, {r1cs::Mimc<Fr>::hash2(secret, Fr::zero())},
+                    {secret}));
+    }
+    {
+        r1cs::gadgets::RangeCircuit<Fr> circ(64);
+        Fr v = Fr::fromU64(123456789);
+        add_row("range 64-bit",
+                runPipeline<Curve>(
+                    circ.builder,
+                    {r1cs::gadgets::RangeCircuit<Fr>::commitment(v)},
+                    {v}));
+    }
+    {
+        const std::size_t depth = 8;
+        r1cs::gadgets::MerkleCircuit<Fr> circ(depth);
+        Fr leaf = Fr::random(rng);
+        std::vector<Fr> sib;
+        std::vector<bool> dirs;
+        for (std::size_t i = 0; i < depth; ++i) {
+            sib.push_back(Fr::random(rng));
+            dirs.push_back(rng.next() & 1);
+        }
+        Fr root = r1cs::gadgets::MerkleCircuit<Fr>::computeRoot(
+            leaf, sib, dirs);
+        add_row("merkle depth-8",
+                runPipeline<Curve>(
+                    circ.builder, {root},
+                    r1cs::gadgets::MerkleCircuit<Fr>::privateInputs(
+                        leaf, sib, dirs)));
+    }
+    printTable(std::string("circuit catalogue pipeline times, ") +
+                   Curve::kName,
+               table);
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    std::printf("bench_circuits: zk-harness-style sweep over the "
+                "circuit catalogue\n");
+    zkp::bench::runCurve<zkp::snark::Bn254>();
+    zkp::bench::runCurve<zkp::snark::Bls381>();
+    return 0;
+}

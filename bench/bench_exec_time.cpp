@@ -1,0 +1,83 @@
+/**
+ * @file
+ * E0 — execution-time breakdown (paper §IV-B, "Execution time
+ * analysis"): elapsed time of each stage, per constraint count and
+ * curve, plus the share of total pipeline time per stage.
+ *
+ * Paper reference points: setup is the most time-consuming stage
+ * (76.1% of the pipeline) followed by proving (13.4%), consistent
+ * across constraint sizes.
+ */
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+void
+runCurve()
+{
+    using core::Stage;
+    const auto sizes = sweepSizes();
+    const unsigned reps = repeats();
+
+    TextTable table;
+    table.setHeader({"constraints", "compile", "setup", "witness",
+                     "proving", "verifying", "total"});
+
+    std::array<double, core::kNumStages> stage_totals{};
+    for (std::size_t n : sizes) {
+        core::StageRunner<Curve> runner(n);
+        std::array<double, core::kNumStages> secs{};
+        for (core::Stage s : core::kAllStages) {
+            double sum = 0;
+            for (unsigned r = 0; r < reps; ++r)
+                sum += runner.run(s).seconds;
+            secs[(std::size_t)s] = sum / reps;
+            stage_totals[(std::size_t)s] += secs[(std::size_t)s];
+        }
+        double total = 0;
+        for (double v : secs)
+            total += v;
+        table.addRow({"2^" + std::to_string(log2Of(n)),
+                      fmtSeconds(secs[0]), fmtSeconds(secs[1]),
+                      fmtSeconds(secs[2]), fmtSeconds(secs[3]),
+                      fmtSeconds(secs[4]), fmtSeconds(total)});
+    }
+    printTable(std::string("E0 execution time per stage, ") +
+                   Curve::kName,
+               table);
+
+    double grand = 0;
+    for (double v : stage_totals)
+        grand += v;
+    TextTable share;
+    share.setHeader({"stage", "share of pipeline",
+                     "paper (all sizes)"});
+    const char* paper[] = {"-", "76.1%", "-", "13.4%", "-"};
+    for (core::Stage s : core::kAllStages) {
+        share.addRow({core::stageName(s),
+                      fmtPct(stage_totals[(std::size_t)s] / grand, 1),
+                      paper[(std::size_t)s]});
+    }
+    printTable(std::string("E0 stage share of total time, ") +
+                   Curve::kName,
+               share);
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    std::printf("bench_exec_time: stage elapsed times "
+                "(ZKP_MAX_LOG_N=%ld, repeats=%u)\n",
+                zkp::bench::envLong("ZKP_MAX_LOG_N", 12),
+                zkp::bench::repeats());
+    zkp::bench::runCurve<zkp::snark::Bn254>();
+    zkp::bench::runCurve<zkp::snark::Bls381>();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * E1 — Fig. 4: top-down microarchitecture analysis. For every stage,
+ * constraint size, curve and modelled CPU, the percentage of pipeline
+ * slots that are front-end bound / bad speculation / back-end bound /
+ * retiring, plus the dominant bucket.
+ *
+ * Paper reference points: the same stage lands in different buckets on
+ * different CPUs (e.g. compile is back-end bound on i5/i9 but
+ * front-end bound on the i7; witness is front-end bound everywhere).
+ */
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+void
+runCurve()
+{
+    core::SweepConfig cfg;
+    cfg.sizes = sweepSizes();
+    cfg.sampleMask = sampleMask();
+
+    auto cells = core::runTopDownAnalysis<Curve>(cfg);
+
+    TextTable table;
+    table.setHeader({"stage", "n", "cpu", "front-end", "bad-spec",
+                     "back-end", "retiring", "bound"});
+    for (const auto& c : cells) {
+        table.addRow({core::stageName(c.stage),
+                      "2^" + std::to_string(log2Of(c.constraints)),
+                      c.cpu, fmtPct(c.result.frontend, 1),
+                      fmtPct(c.result.badSpeculation, 1),
+                      fmtPct(c.result.backend, 1),
+                      fmtPct(c.result.retiring, 1),
+                      c.result.boundCategory()});
+    }
+    printTable(std::string("Fig.4 top-down slot classification, ") +
+                   Curve::kName,
+               table);
+
+    // Dominant bucket summary across sizes (the Fig. 4 story).
+    TextTable summary;
+    summary.setHeader({"stage", "i7-8650U", "i5-11400", "i9-13900K"});
+    for (core::Stage s : core::kAllStages) {
+        std::array<std::string, 3> dominant;
+        for (const auto& c : cells) {
+            if (c.stage != s)
+                continue;
+            std::size_t idx = c.cpu == "i7-8650U"  ? 0
+                              : c.cpu == "i5-11400" ? 1
+                                                    : 2;
+            dominant[idx] = c.result.boundCategory(); // last size wins
+        }
+        summary.addRow({core::stageName(s), dominant[0], dominant[1],
+                        dominant[2]});
+    }
+    printTable(std::string("Fig.4 dominant bucket per CPU (largest n), ") +
+                   Curve::kName,
+               summary);
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    std::printf("bench_fig4_topdown: top-down analysis across the three "
+                "modelled CPUs\n");
+    zkp::bench::runCurve<zkp::snark::Bn254>();
+    zkp::bench::runCurve<zkp::snark::Bls381>();
+    return 0;
+}

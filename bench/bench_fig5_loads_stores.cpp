@@ -1,0 +1,105 @@
+/**
+ * @file
+ * E2 — Fig. 5: loads and stores per stage as the constraint count
+ * grows, with the min/avg/max band over the two curves.
+ *
+ * Paper reference points: setup needs ~1000x the loads of witness and
+ * verifying; proving ~100x; setup has ~10x more loads than stores;
+ * witness and verifying stay flat in n.
+ */
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+struct Series
+{
+    // [stage][size index] -> counts per curve.
+    std::vector<double> loads[core::kNumStages];
+    std::vector<double> stores[core::kNumStages];
+};
+
+template <typename Curve>
+void
+collect(Series& series, const std::vector<std::size_t>& sizes)
+{
+    core::SweepConfig cfg;
+    cfg.sizes = sizes;
+    cfg.sampleMask = sampleMask();
+    auto cells = core::runMemoryAnalysis<Curve>(cfg);
+    for (const auto& c : cells) {
+        series.loads[(std::size_t)c.stage].push_back(c.loads);
+        series.stores[(std::size_t)c.stage].push_back(c.stores);
+    }
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    using namespace zkp;
+    using namespace zkp::bench;
+    std::printf("bench_fig5_loads_stores: memory reference volume per "
+                "stage\n");
+
+    const auto sizes = sweepSizes();
+    Series bn, bls;
+    collect<snark::Bn254>(bn, sizes);
+    collect<snark::Bls381>(bls, sizes);
+
+    for (const char* what : {"loads", "stores"}) {
+        const bool is_loads = std::string(what) == "loads";
+        TextTable table;
+        table.setHeader({"stage", "n", "BN128", "BLS12-381", "avg"});
+        for (core::Stage s : core::kAllStages) {
+            const auto& a = is_loads ? bn.loads[(std::size_t)s]
+                                     : bn.stores[(std::size_t)s];
+            const auto& b = is_loads ? bls.loads[(std::size_t)s]
+                                     : bls.stores[(std::size_t)s];
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                table.addRow(
+                    {core::stageName(s),
+                     "2^" + std::to_string(log2Of(sizes[i])),
+                     fmtCount((unsigned long long)a[i]),
+                     fmtCount((unsigned long long)b[i]),
+                     fmtCount((unsigned long long)((a[i] + b[i]) / 2))});
+            }
+        }
+        printTable(std::string("Fig.5 ") + what + " per stage", table);
+    }
+
+    // Ratio summary at the largest size (the paper's headline shape).
+    const std::size_t last = sizes.size() - 1;
+    auto avg_loads = [&](core::Stage s) {
+        return (bn.loads[(std::size_t)s][last] +
+                bls.loads[(std::size_t)s][last]) /
+               2.0;
+    };
+    auto avg_stores = [&](core::Stage s) {
+        return (bn.stores[(std::size_t)s][last] +
+                bls.stores[(std::size_t)s][last]) /
+               2.0;
+    };
+    TextTable ratios;
+    ratios.setHeader({"ratio", "measured", "paper"});
+    ratios.addRow({"setup loads / witness loads",
+                   fmtF(avg_loads(core::Stage::Setup) /
+                            avg_loads(core::Stage::Witness),
+                        0),
+                   "~1000x"});
+    ratios.addRow({"proving loads / witness loads",
+                   fmtF(avg_loads(core::Stage::Proving) /
+                            avg_loads(core::Stage::Witness),
+                        0),
+                   "~100x"});
+    ratios.addRow({"setup loads / setup stores",
+                   fmtF(avg_loads(core::Stage::Setup) /
+                            avg_stores(core::Stage::Setup),
+                        1),
+                   "~10x"});
+    printTable("Fig.5 headline ratios at largest n", ratios);
+    return 0;
+}

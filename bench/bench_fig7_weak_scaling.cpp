@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E8 — Fig. 7: weak scaling on the modelled i9. Threads double from
+ * 1 to 32 while the constraint count doubles with them, starting from
+ * ZKP_WS_BASE_LOG_N (default 2^10; the paper starts at 2^13).
+ *
+ * Paper reference points: proving keeps scaling as the problem grows;
+ * witness and verifying show near-linear WS speedup because their
+ * absolute time is (nearly) independent of the constraint count.
+ */
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+const std::vector<unsigned> kThreads{1, 2, 4, 8, 16, 32};
+
+template <typename Curve>
+void
+runCurve(std::size_t base)
+{
+    auto curves = core::runWeakScaling<Curve>(base, kThreads,
+                                              sim::cpuI9_13900K());
+
+    TextTable table;
+    std::vector<std::string> header{"stage"};
+    for (unsigned t : kThreads) {
+        header.push_back("x" + std::to_string(t) + " (n=2^" +
+                         std::to_string(log2Of(base * t)) + ")");
+    }
+    header.push_back("Gustafson serial%");
+    table.setHeader(header);
+    for (const auto& c : curves) {
+        std::vector<std::string> row{core::stageName(c.stage)};
+        for (const auto& [t, sp] : c.speedups)
+            row.push_back(fmtF(sp, 2));
+        row.push_back(fmtF(100 * c.fittedSerial, 1));
+        table.addRow(row);
+    }
+    printTable(std::string("Fig.7 weak-scaling speedup on the i9 "
+                           "model, ") +
+                   Curve::kName,
+               table);
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    const std::size_t base =
+        std::size_t(1) << zkp::bench::envLong("ZKP_WS_BASE_LOG_N", 10);
+    std::printf("bench_fig7_weak_scaling: threads and constraints "
+                "double together (base n=%zu)\n", base);
+    zkp::bench::runCurve<zkp::snark::Bn254>(base);
+    zkp::bench::runCurve<zkp::snark::Bls381>(base);
+    std::printf("\npaper reference: witness/verifying near-linear WS "
+                "speedup; proving the most scalable compute stage\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * E11 — proving-scheme comparison (paper §IV-A): snarkjs supports
+ * Groth16 and PlonK, and the paper justifies choosing Groth16 partly
+ * because "the proving time of PlonK is twice as slow compared to
+ * Groth16". This bench measures both provers of this library on the
+ * same exponentiation workload.
+ */
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "snark/plonk.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+void
+runCurve()
+{
+    using Fr = typename Curve::Fr;
+    using G = snark::Groth16<Curve>;
+    using P = snark::Plonk<Curve>;
+
+    TextTable table;
+    table.setHeader({"constraints", "groth16 prove", "plonk prove",
+                     "ratio", "groth16 verify", "plonk verify"});
+
+    for (std::size_t n : sweepSizes()) {
+        Rng rng(2024);
+        Fr x = Fr::random(rng);
+
+        // Groth16 pipeline.
+        r1cs::ExponentiationCircuit<Fr> gcirc(n);
+        auto cs = gcirc.builder.compile();
+        r1cs::WitnessCalculator<Fr> calc(
+            gcirc.builder.witnessProgram());
+        auto gkeys = G::setup(cs, rng);
+        Fr y = gcirc.evaluate(x);
+        auto z = calc.compute({y}, {x});
+
+        Timer tg;
+        auto gproof = G::prove(gkeys.pk, cs, z, rng);
+        const double groth_prove = tg.seconds();
+        tg.reset();
+        bool gok = G::verify(gkeys.vk, {y}, gproof);
+        const double groth_verify = tg.seconds();
+
+        // PlonK pipeline on the same statement.
+        snark::PlonkExponentiation<Fr> pcirc(n);
+        auto pkeys = P::setup(pcirc.builder, rng);
+        auto values = pcirc.assign(x);
+
+        Timer tp;
+        auto pproof = P::prove(pkeys.pk, values, {y}, rng);
+        const double plonk_prove = tp.seconds();
+        tp.reset();
+        bool pok = P::verify(pkeys.vk, {y}, pproof);
+        const double plonk_verify = tp.seconds();
+
+        if (!gok || !pok)
+            std::printf("!! verification failed at n=%zu\n", n);
+
+        table.addRow({"2^" + std::to_string(log2Of(n)),
+                      fmtSeconds(groth_prove),
+                      fmtSeconds(plonk_prove),
+                      fmtF(plonk_prove / groth_prove, 2) + "x",
+                      fmtSeconds(groth_verify),
+                      fmtSeconds(plonk_verify)});
+    }
+    printTable(std::string("PlonK vs Groth16 proving time, ") +
+                   Curve::kName,
+               table);
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    std::printf("bench_plonk_vs_groth16: the paper's scheme-selection "
+                "datum (PlonK proving ~2x Groth16)\n");
+    zkp::bench::runCurve<zkp::snark::Bn254>();
+    zkp::bench::runCurve<zkp::snark::Bls381>();
+    return 0;
+}

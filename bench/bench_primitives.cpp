@@ -1,0 +1,237 @@
+/**
+ * @file
+ * E10 — kernel-level microbenchmarks (google-benchmark) of the
+ * primitives every stage decomposes into: field ops on both base
+ * fields, extension-tower ops, curve ops, fixed-base and Pippenger
+ * multiplication, NTT, pairing components, and the witness
+ * interpreter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ec/fixed_base.h"
+#include "ec/msm.h"
+#include "pairing/pairing.h"
+#include "poly/domain.h"
+#include "r1cs/circuits.h"
+
+namespace {
+
+using namespace zkp;
+
+template <typename F>
+void
+BM_FieldMul(benchmark::State& state)
+{
+    Rng rng(1);
+    F a = F::random(rng);
+    F b = F::random(rng);
+    for (auto _ : state) {
+        a = a * b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK_TEMPLATE(BM_FieldMul, ff::bn254::Fq);
+BENCHMARK_TEMPLATE(BM_FieldMul, ff::bls381::Fq);
+
+template <typename F>
+void
+BM_FieldAdd(benchmark::State& state)
+{
+    Rng rng(2);
+    F a = F::random(rng);
+    F b = F::random(rng);
+    for (auto _ : state) {
+        a = a + b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK_TEMPLATE(BM_FieldAdd, ff::bn254::Fq);
+BENCHMARK_TEMPLATE(BM_FieldAdd, ff::bls381::Fq);
+
+template <typename F>
+void
+BM_FieldInverse(benchmark::State& state)
+{
+    Rng rng(3);
+    F a = F::random(rng);
+    for (auto _ : state) {
+        a = a.inverse() + F::one();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK_TEMPLATE(BM_FieldInverse, ff::bn254::Fq);
+BENCHMARK_TEMPLATE(BM_FieldInverse, ff::bls381::Fq);
+
+template <typename Tower>
+void
+BM_Fp12Mul(benchmark::State& state)
+{
+    Rng rng(4);
+    auto a = ff::Fp12<Tower>::random(rng);
+    auto b = ff::Fp12<Tower>::random(rng);
+    for (auto _ : state) {
+        a = a * b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK_TEMPLATE(BM_Fp12Mul, ff::Bn254Tower);
+BENCHMARK_TEMPLATE(BM_Fp12Mul, ff::Bls381Tower);
+
+template <typename Group>
+void
+BM_PointAddMixed(benchmark::State& state)
+{
+    typename Group::Jacobian g{Group::generator()};
+    auto p = g.mulScalar((u64)12345);
+    auto q = g.mulScalar((u64)67890).toAffine();
+    for (auto _ : state) {
+        p = p.addMixed(q);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK_TEMPLATE(BM_PointAddMixed, ec::Bn254G1);
+BENCHMARK_TEMPLATE(BM_PointAddMixed, ec::Bls381G1);
+BENCHMARK_TEMPLATE(BM_PointAddMixed, ec::Bn254G2);
+
+template <typename Group>
+void
+BM_ScalarMul(benchmark::State& state)
+{
+    using Fr = typename Group::Scalar;
+    Rng rng(5);
+    typename Group::Jacobian g{Group::generator()};
+    auto k = Fr::random(rng).toBigInt();
+    for (auto _ : state) {
+        auto p = g.mulScalar(k);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK_TEMPLATE(BM_ScalarMul, ec::Bn254G1);
+BENCHMARK_TEMPLATE(BM_ScalarMul, ec::Bls381G1);
+
+template <typename Group>
+void
+BM_FixedBaseMul(benchmark::State& state)
+{
+    using Fr = typename Group::Scalar;
+    using Repr = typename Fr::Repr;
+    static const ec::FixedBaseTable<typename Group::Jacobian, Repr>
+        table{typename Group::Jacobian{Group::generator()}};
+    Rng rng(6);
+    auto k = Fr::random(rng).toBigInt();
+    for (auto _ : state) {
+        auto p = table.mul(k);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK_TEMPLATE(BM_FixedBaseMul, ec::Bn254G1);
+BENCHMARK_TEMPLATE(BM_FixedBaseMul, ec::Bls381G1);
+
+template <typename Group>
+void
+BM_Msm(benchmark::State& state)
+{
+    using Fr = typename Group::Scalar;
+    using Repr = typename Fr::Repr;
+    const std::size_t n = (std::size_t)state.range(0);
+    Rng rng(7);
+    typename Group::Jacobian g{Group::generator()};
+    std::vector<typename Group::Affine> pts;
+    std::vector<Repr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(1 << 20) + 1)
+                          .toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    for (auto _ : state) {
+        auto p = ec::msm<typename Group::Jacobian>(pts.data(),
+                                                   scalars.data(), n);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed((long)(state.iterations() * n));
+}
+BENCHMARK_TEMPLATE(BM_Msm, ec::Bn254G1)->Arg(1 << 10)->Arg(1 << 12);
+BENCHMARK_TEMPLATE(BM_Msm, ec::Bls381G1)->Arg(1 << 10);
+
+template <typename Fr>
+void
+BM_Ntt(benchmark::State& state)
+{
+    const std::size_t n = (std::size_t)state.range(0);
+    poly::Domain<Fr> dom(n);
+    Rng rng(8);
+    std::vector<Fr> v(n);
+    for (auto& x : v)
+        x = Fr::random(rng);
+    for (auto _ : state) {
+        dom.ntt(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed((long)(state.iterations() * n));
+}
+BENCHMARK_TEMPLATE(BM_Ntt, ff::bn254::Fr)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK_TEMPLATE(BM_Ntt, ff::bls381::Fr)->Arg(1 << 12);
+
+template <typename Engine>
+void
+BM_MillerLoop(benchmark::State& state)
+{
+    auto p = Engine::G1::generator();
+    auto q = Engine::G2::generator();
+    for (auto _ : state) {
+        auto f = Engine::millerLoop(p, q);
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK_TEMPLATE(BM_MillerLoop, pairing::Bn254Engine);
+BENCHMARK_TEMPLATE(BM_MillerLoop, pairing::Bls381Engine);
+
+template <typename Engine>
+void
+BM_FullPairing(benchmark::State& state)
+{
+    auto p = Engine::G1::generator();
+    auto q = Engine::G2::generator();
+    for (auto _ : state) {
+        auto f = Engine::pairing(p, q);
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK_TEMPLATE(BM_FullPairing, pairing::Bn254Engine);
+BENCHMARK_TEMPLATE(BM_FullPairing, pairing::Bls381Engine);
+
+void
+BM_WitnessInterpreter(benchmark::State& state)
+{
+    using Fr = ff::bn254::Fr;
+    const std::size_t n = (std::size_t)state.range(0);
+    r1cs::ExponentiationCircuit<Fr> circ(n);
+    r1cs::WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+    Rng rng(9);
+    Fr x = Fr::random(rng);
+    Fr y = circ.evaluate(x);
+    for (auto _ : state) {
+        auto z = calc.compute({y}, {x});
+        benchmark::DoNotOptimize(z.data());
+    }
+    state.SetItemsProcessed((long)(state.iterations() * n));
+}
+BENCHMARK(BM_WitnessInterpreter)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_MimcHash(benchmark::State& state)
+{
+    using Fr = ff::bn254::Fr;
+    Fr a = Fr::fromU64(1), b = Fr::fromU64(2);
+    for (auto _ : state) {
+        a = r1cs::Mimc<Fr>::hash2(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MimcHash);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E4 — Table III: maximum DRAM bandwidth per stage, averaged over the
+ * three modelled CPUs, per curve.
+ *
+ * Paper reference points: proving (25.0 GB/s) and setup (23.4 GB/s)
+ * demand the highest bandwidth, about 2x compile; witness (~2.7 GB/s)
+ * and verifying (~5 GB/s) barely touch DRAM.
+ */
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+std::array<double, core::kNumStages>
+avgMaxBandwidth()
+{
+    core::SweepConfig cfg;
+    cfg.sizes = sweepSizes();
+    cfg.sampleMask = sampleMask();
+    auto cells = core::runMemoryAnalysis<Curve>(cfg);
+
+    // Per stage: max over sizes of the per-CPU max bandwidth, then
+    // average over the CPUs (the paper's Table III convention).
+    std::map<std::string, std::array<double, core::kNumStages>> per_cpu;
+    for (const auto& c : cells)
+        for (const auto& pc : c.perCpu) {
+            auto& arr = per_cpu[pc.cpu];
+            arr[(std::size_t)c.stage] = std::max(
+                arr[(std::size_t)c.stage], pc.maxBandwidthGBps);
+        }
+
+    std::array<double, core::kNumStages> avg{};
+    for (const auto& [cpu, arr] : per_cpu)
+        for (std::size_t s = 0; s < core::kNumStages; ++s)
+            avg[s] += arr[s] / per_cpu.size();
+    return avg;
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    using namespace zkp;
+    using namespace zkp::bench;
+    std::printf("bench_table3_bandwidth: max DRAM bandwidth per stage "
+                "(avg of the 3 modelled CPUs)\n");
+
+    auto bn = avgMaxBandwidth<snark::Bn254>();
+    auto bls = avgMaxBandwidth<snark::Bls381>();
+
+    TextTable table;
+    table.setHeader({"EC", "compile", "setup", "witness", "proving",
+                     "verifying"});
+    auto row = [&](const char* name,
+                   const std::array<double, core::kNumStages>& a) {
+        table.addRow({name, fmtF(a[0], 2), fmtF(a[1], 2), fmtF(a[2], 2),
+                      fmtF(a[3], 2), fmtF(a[4], 2)});
+    };
+    row("BN (GB/s)", bn);
+    row("BLS (GB/s)", bls);
+    table.addRow({"paper BN", "10.30", "23.40", "2.70", "25.00", "5.20"});
+    table.addRow({"paper BLS", "11.50", "20.20", "2.80", "22.90",
+                  "4.40"});
+    printTable("Table III: maximum memory bandwidth", table);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E6 — Table V: the compute / control-flow / data-flow instruction
+ * mix of each stage (the DynamoRIO opcode-mix profile), averaged over
+ * the size sweep, per curve.
+ *
+ * Paper reference points: setup/proving/verifying are
+ * compute-intensive (42.6 / 47.3 / 48.2% average); compile is
+ * data-flow intensive (39.6%); witness is the control-flow-intensive
+ * stage.
+ */
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+template <typename Curve>
+std::array<core::OpcodeMix, core::kNumStages>
+averageMix()
+{
+    core::SweepConfig cfg;
+    cfg.sizes = sweepSizes();
+    auto cells = core::runCodeAnalysis<Curve>(cfg);
+    std::array<core::OpcodeMix, core::kNumStages> avg{};
+    std::array<unsigned, core::kNumStages> count{};
+    for (const auto& c : cells) {
+        auto& a = avg[(std::size_t)c.stage];
+        a.computePct += c.mix.computePct;
+        a.controlPct += c.mix.controlPct;
+        a.dataPct += c.mix.dataPct;
+        ++count[(std::size_t)c.stage];
+    }
+    for (std::size_t s = 0; s < core::kNumStages; ++s) {
+        if (!count[s])
+            continue;
+        avg[s].computePct /= count[s];
+        avg[s].controlPct /= count[s];
+        avg[s].dataPct /= count[s];
+    }
+    return avg;
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    using namespace zkp;
+    using namespace zkp::bench;
+    std::printf("bench_table5_opcode_mix: instruction-class mix per "
+                "stage (avg over sizes)\n");
+
+    auto bn = averageMix<snark::Bn254>();
+    auto bls = averageMix<snark::Bls381>();
+
+    TextTable table;
+    table.setHeader({"stage", "BN Comp%", "BN Ctrl%", "BN Data%",
+                     "BLS Comp%", "BLS Ctrl%", "BLS Data%",
+                     "dominant"});
+    for (core::Stage s : core::kAllStages) {
+        const auto& a = bn[(std::size_t)s];
+        const auto& b = bls[(std::size_t)s];
+        const char* dom = "compute";
+        double c_avg = (a.computePct + b.computePct) / 2;
+        double t_avg = (a.controlPct + b.controlPct) / 2;
+        double d_avg = (a.dataPct + b.dataPct) / 2;
+        if (t_avg > c_avg && t_avg > d_avg)
+            dom = "control-flow";
+        else if (d_avg > c_avg && d_avg > t_avg)
+            dom = "data-flow";
+        table.addRow({core::stageName(s), fmtF(a.computePct, 2),
+                      fmtF(a.controlPct, 2), fmtF(a.dataPct, 2),
+                      fmtF(b.computePct, 2), fmtF(b.controlPct, 2),
+                      fmtF(b.dataPct, 2), dom});
+    }
+    printTable("Table V: opcode-type percentages", table);
+
+    TextTable paper;
+    paper.setHeader({"stage", "BN Comp%", "BN Ctrl%", "BN Data%",
+                     "BLS Comp%", "BLS Ctrl%", "BLS Data%"});
+    paper.addRow({"compile", "32.68", "28.99", "38.33", "38.68",
+                  "20.42", "40.89"});
+    paper.addRow({"setup", "42.60", "20.16", "37.24", "42.53", "20.36",
+                  "37.10"});
+    paper.addRow({"witness", "35.96", "29.49", "34.55", "39.16",
+                  "28.26", "32.57"});
+    paper.addRow({"proving", "40.96", "22.69", "36.35", "53.66",
+                  "16.27", "30.07"});
+    paper.addRow({"verifying", "46.66", "24.81", "28.53", "49.75",
+                  "23.04", "27.21"});
+    printTable("Table V (paper, for comparison)", paper);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * E9 — Table VI: serial/parallel percentage per stage from fitting
+ * the strong-scaling curves to Amdahl's law and the weak-scaling
+ * curves to Gustafson's law, on the modelled i9, for both curves.
+ *
+ * Paper reference points (SS-i9-BN): proving is the most parallel
+ * stage (72.7% parallel); compile 41.9%, setup 58.6%. WS shows >90%
+ * parallelism for witness and verifying (their runtimes are ~constant
+ * in n, so the scaled workload is "free").
+ */
+
+#include "bench_util.h"
+
+namespace zkp::bench {
+namespace {
+
+const std::vector<unsigned> kThreads{1, 2, 4, 8, 16, 32};
+
+struct Fits
+{
+    std::array<double, core::kNumStages> ssSerial{};
+    std::array<double, core::kNumStages> wsSerial{};
+};
+
+template <typename Curve>
+Fits
+fitCurve()
+{
+    Fits fits;
+    core::SweepConfig cfg;
+    cfg.sizes = sweepSizes();
+
+    auto ss = core::runStrongScaling<Curve>(cfg, kThreads,
+                                            sim::cpuI9_13900K());
+    std::array<double, core::kNumStages> sum{};
+    std::array<unsigned, core::kNumStages> cnt{};
+    for (const auto& c : ss) {
+        sum[(std::size_t)c.stage] += c.fittedSerial;
+        ++cnt[(std::size_t)c.stage];
+    }
+    for (std::size_t s = 0; s < core::kNumStages; ++s)
+        fits.ssSerial[s] = cnt[s] ? sum[s] / cnt[s] : 1.0;
+
+    auto ws = core::runWeakScaling<Curve>(
+        std::size_t(1) << envLong("ZKP_WS_BASE_LOG_N", 10), kThreads,
+        sim::cpuI9_13900K());
+    for (const auto& c : ws)
+        fits.wsSerial[(std::size_t)c.stage] = c.fittedSerial;
+    return fits;
+}
+
+} // namespace
+} // namespace zkp::bench
+
+int
+main()
+{
+    using namespace zkp;
+    using namespace zkp::bench;
+    std::printf("bench_table6_parallelism: Amdahl/Gustafson "
+                "serial-parallel split (i9 model)\n");
+
+    auto bn = fitCurve<snark::Bn254>();
+    auto bls = fitCurve<snark::Bls381>();
+
+    TextTable table;
+    table.setHeader({"stage", "SS-BN ser%", "SS-BN par%", "SS-BLS ser%",
+                     "SS-BLS par%", "WS-BN ser%", "WS-BN par%",
+                     "WS-BLS ser%", "WS-BLS par%"});
+    for (core::Stage s : core::kAllStages) {
+        const std::size_t i = (std::size_t)s;
+        table.addRow({core::stageName(s),
+                      fmtF(100 * bn.ssSerial[i], 2),
+                      fmtF(100 * (1 - bn.ssSerial[i]), 2),
+                      fmtF(100 * bls.ssSerial[i], 2),
+                      fmtF(100 * (1 - bls.ssSerial[i]), 2),
+                      fmtF(100 * bn.wsSerial[i], 2),
+                      fmtF(100 * (1 - bn.wsSerial[i]), 2),
+                      fmtF(100 * bls.wsSerial[i], 2),
+                      fmtF(100 * (1 - bls.wsSerial[i]), 2)});
+    }
+    printTable("Table VI: serial/parallel percentages", table);
+
+    TextTable paper;
+    paper.setHeader({"stage", "SS-BN ser%", "SS-BN par%", "SS-BLS ser%",
+                     "SS-BLS par%", "WS-BN ser%", "WS-BN par%",
+                     "WS-BLS ser%", "WS-BLS par%"});
+    paper.addRow({"compile", "58.09", "41.90", "62.50", "37.49",
+                  "69.65", "30.35", "71.98", "28.02"});
+    paper.addRow({"setup", "41.35", "58.64", "68.30", "31.69", "73.59",
+                  "26.41", "75.11", "24.89"});
+    paper.addRow({"witness", "31.73", "68.26", "50.17", "49.82", "3.59",
+                  "96.41", "7.75", "92.25"});
+    paper.addRow({"proving", "27.28", "72.71", "31.06", "68.93",
+                  "29.57", "70.43", "25.38", "74.62"});
+    paper.addRow({"verifying", "43.68", "56.31", "57.56", "42.43",
+                  "1.00", "99.00", "1.00", "99.00"});
+    printTable("Table VI (paper, for comparison)", paper);
+    return 0;
+}

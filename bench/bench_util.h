@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Environment knobs (all optional):
+ *   ZKP_MIN_LOG_N   smallest circuit size as log2 (default 10)
+ *   ZKP_MAX_LOG_N   largest circuit size as log2 (default 12; the
+ *                   paper sweeps to 18 — raise this when you have the
+ *                   minutes to spare)
+ *   ZKP_REPEATS     timing repeats, averaged (default 3, as in §IV)
+ *   ZKP_SAMPLE_MASK memory-trace sampling mask (default 0 = trace all)
+ *   ZKP_CSV         set to 1 to also print CSV blocks
+ */
+
+#ifndef ZKP_BENCH_UTIL_H
+#define ZKP_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/analysis.h"
+#include "snark/curve.h"
+
+namespace zkp::bench {
+
+inline long
+envLong(const char* name, long fallback)
+{
+    const char* v = std::getenv(name);
+    return v ? std::atol(v) : fallback;
+}
+
+inline std::vector<std::size_t>
+sweepSizes()
+{
+    const long lo = envLong("ZKP_MIN_LOG_N", 10);
+    const long hi = envLong("ZKP_MAX_LOG_N", 12);
+    std::vector<std::size_t> sizes;
+    for (long k = lo; k <= hi; ++k)
+        sizes.push_back(std::size_t(1) << k);
+    return sizes;
+}
+
+inline unsigned
+repeats()
+{
+    return (unsigned)envLong("ZKP_REPEATS", 3);
+}
+
+inline sim::u32
+sampleMask()
+{
+    return (sim::u32)envLong("ZKP_SAMPLE_MASK", 0);
+}
+
+inline bool
+wantCsv()
+{
+    return envLong("ZKP_CSV", 0) != 0;
+}
+
+/** Print a titled table (plus CSV when requested). */
+inline void
+printTable(const std::string& title, const TextTable& t)
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), t.render().c_str());
+    if (wantCsv())
+        std::printf("-- csv --\n%s", t.renderCsv().c_str());
+    std::fflush(stdout);
+}
+
+/** Apply a functor to both curve configurations. */
+template <typename Fn>
+void
+forEachCurve(Fn&& fn)
+{
+    fn(snark::Bn254{});
+    fn(snark::Bls381{});
+}
+
+/** log2 of a power of two, for axis labels. */
+inline unsigned
+log2Of(std::size_t n)
+{
+    unsigned k = 0;
+    while ((std::size_t(1) << (k + 1)) <= n)
+        ++k;
+    return k;
+}
+
+} // namespace zkp::bench
+
+#endif // ZKP_BENCH_UTIL_H

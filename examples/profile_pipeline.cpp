@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Example: drive the paper's analysis framework programmatically.
+ * Profiles the full pipeline at one size and prints a compact
+ * characterization report — the library's primary public API.
+ *
+ * Run: ./build/examples/profile_pipeline [log2_constraints]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "core/analysis.h"
+#include "snark/curve.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace zkp;
+    const std::size_t log_n = argc > 1 ? std::atoi(argv[1]) : 11;
+
+    core::SweepConfig cfg;
+    cfg.sizes = {std::size_t(1) << log_n};
+    std::printf("profile_pipeline: characterizing the BN254 pipeline at "
+                "2^%zu constraints\n\n", log_n);
+
+    core::StageRunner<snark::Bn254> runner(cfg.sizes[0]);
+
+    TextTable report;
+    report.setHeader({"stage", "time", "instructions", "IPC-ish mix",
+                      "i9 bound category", "i9 LLC MPKI"});
+    for (core::Stage s : core::kAllStages) {
+        auto obs = core::observeStage(runner, s, cfg);
+        const auto& i9 = obs.cpus.back();
+        auto td = sim::classifyTopDown(core::stageEventsFor(obs, i9),
+                                       *i9.cpu);
+        auto mix = core::opcodeMixOf(obs.run.counters);
+        const double instr = (double)obs.run.counters.instructions();
+        char mixbuf[64];
+        std::snprintf(mixbuf, sizeof(mixbuf), "%.0f/%.0f/%.0f C/B/D",
+                      mix.computePct, mix.controlPct, mix.dataPct);
+        report.addRow({core::stageName(s),
+                       fmtSeconds(obs.run.seconds),
+                       fmtCount((unsigned long long)instr), mixbuf,
+                       td.boundCategory(),
+                       fmtF(instr > 0 ? i9.llcLoadMisses /
+                                            (instr / 1000.0)
+                                      : 0.0, 3)});
+    }
+    std::printf("%s\n", report.render().c_str());
+
+    std::printf("hot functions in the proving stage:\n");
+    auto prove = runner.run(core::Stage::Proving);
+    for (const auto& f : core::attributeFunctions(prove, 4))
+        std::printf("  %-28s %5.1f%%\n", f.function.c_str(), f.pct);
+    return 0;
+}

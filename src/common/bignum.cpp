@@ -1,0 +1,322 @@
+#include "common/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zkp {
+
+BigNum::BigNum(u64 v)
+{
+    if (v)
+        limbs_.push_back(v);
+}
+
+void
+BigNum::normalize()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+BigNum
+BigNum::fromHex(std::string_view s)
+{
+    if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+        s.remove_prefix(2);
+    BigNum r;
+    std::size_t nibble = 0;
+    for (std::size_t i = s.size(); i-- > 0;) {
+        char c = s[i];
+        u64 v;
+        if (c >= '0' && c <= '9')
+            v = (u64)(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v = (u64)(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            v = (u64)(c - 'A' + 10);
+        else
+            continue;
+        std::size_t limb = nibble / 16;
+        if (limb >= r.limbs_.size())
+            r.limbs_.resize(limb + 1, 0);
+        r.limbs_[limb] |= v << (4 * (nibble % 16));
+        ++nibble;
+    }
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::fromDec(std::string_view s)
+{
+    BigNum r;
+    BigNum ten(10);
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            continue;
+        r = r * ten + BigNum((u64)(c - '0'));
+    }
+    return r;
+}
+
+std::string
+BigNum::toHex() const
+{
+    if (limbs_.empty())
+        return "0x0";
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    bool leading = true;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            unsigned v = (unsigned)((limbs_[i] >> shift) & 0xf);
+            if (leading && v == 0)
+                continue;
+            leading = false;
+            out.push_back(digits[v]);
+        }
+    }
+    return "0x" + out;
+}
+
+std::string
+BigNum::toDec() const
+{
+    if (limbs_.empty())
+        return "0";
+    std::string out;
+    BigNum v = *this;
+    BigNum ten(10);
+    while (!v.isZero()) {
+        auto [q, rem] = v.divMod(ten);
+        u64 d = rem.limbs_.empty() ? 0 : rem.limbs_[0];
+        out.push_back((char)('0' + d));
+        v = std::move(q);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::size_t
+BigNum::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    u64 top = limbs_.back();
+    std::size_t b = 0;
+    while (top) {
+        top >>= 1;
+        ++b;
+    }
+    return (limbs_.size() - 1) * 64 + b;
+}
+
+bool
+BigNum::bit(std::size_t i) const
+{
+    std::size_t limb = i / 64;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int
+BigNum::cmp(const BigNum& o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigNum
+BigNum::operator+(const BigNum& o) const
+{
+    BigNum r;
+    std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+    r.limbs_.resize(n + 1, 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        u64 a = i < limbs_.size() ? limbs_[i] : 0;
+        u64 b = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        r.limbs_[i] = addCarry(a, b, carry);
+    }
+    r.limbs_[n] = carry;
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::operator-(const BigNum& o) const
+{
+    assert(cmp(o) >= 0 && "BigNum subtraction would underflow");
+    BigNum r;
+    r.limbs_.resize(limbs_.size(), 0);
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u64 b = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        r.limbs_[i] = subBorrow(limbs_[i], b, borrow);
+    }
+    assert(borrow == 0);
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::operator*(const BigNum& o) const
+{
+    if (limbs_.empty() || o.limbs_.empty())
+        return BigNum();
+    BigNum r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+            r.limbs_[i + j] = mulAdd2(limbs_[i], o.limbs_[j], r.limbs_[i + j],
+                                      carry, carry);
+        }
+        r.limbs_[i + o.limbs_.size()] += carry;
+    }
+    r.normalize();
+    return r;
+}
+
+std::pair<BigNum, BigNum>
+BigNum::divMod(const BigNum& o) const
+{
+    assert(!o.isZero() && "BigNum division by zero");
+    if (cmp(o) < 0)
+        return {BigNum(), *this};
+
+    // Single-limb divisor fast path.
+    if (o.limbs_.size() == 1) {
+        u64 d = o.limbs_[0];
+        BigNum q;
+        q.limbs_.resize(limbs_.size(), 0);
+        u128 rem = 0;
+        for (std::size_t i = limbs_.size(); i-- > 0;) {
+            u128 cur = (rem << 64) | limbs_[i];
+            q.limbs_[i] = (u64)(cur / d);
+            rem = cur % d;
+        }
+        q.normalize();
+        return {q, BigNum((u64)rem)};
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top bit is set.
+    std::size_t shift = 64 - (o.bitLength() % 64);
+    if (shift == 64)
+        shift = 0;
+    BigNum u = shl(shift);
+    BigNum v = o.shl(shift);
+    std::size_t n = v.limbs_.size();
+    std::size_t m = u.limbs_.size() - n;
+    u.limbs_.push_back(0); // u has m + n + 1 limbs
+
+    BigNum q;
+    q.limbs_.assign(m + 1, 0);
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        u128 top = ((u128)u.limbs_[j + n] << 64) | u.limbs_[j + n - 1];
+        u128 qhat = top / v.limbs_.back();
+        u128 rhat = top % v.limbs_.back();
+        while (qhat >> 64 ||
+               (u128)(u64)qhat * v.limbs_[n - 2] >
+                   ((rhat << 64) | u.limbs_[j + n - 2])) {
+            --qhat;
+            rhat += v.limbs_.back();
+            if (rhat >> 64)
+                break;
+        }
+
+        // u[j .. j+n] -= qhat * v
+        u64 borrow = 0, carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            u128 p = (u128)(u64)qhat * v.limbs_[i] + carry;
+            carry = (u64)(p >> 64);
+            u.limbs_[j + i] = subBorrow(u.limbs_[j + i], (u64)p, borrow);
+        }
+        u.limbs_[j + n] = subBorrow(u.limbs_[j + n], carry, borrow);
+
+        if (borrow) { // qhat was one too large: add v back
+            --qhat;
+            u64 c = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                u.limbs_[j + i] = addCarry(u.limbs_[j + i], v.limbs_[i], c);
+            u.limbs_[j + n] += c;
+        }
+        q.limbs_[j] = (u64)qhat;
+    }
+
+    q.normalize();
+    u.limbs_.resize(n);
+    u.normalize();
+    return {q, u.shr(shift)};
+}
+
+BigNum
+BigNum::operator/(const BigNum& o) const
+{
+    return divMod(o).first;
+}
+
+BigNum
+BigNum::operator%(const BigNum& o) const
+{
+    return divMod(o).second;
+}
+
+BigNum
+BigNum::shl(std::size_t bits) const
+{
+    if (limbs_.empty())
+        return BigNum();
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    BigNum r;
+    r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        r.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift)
+            r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::shr(std::size_t bits) const
+{
+    std::size_t limb_shift = bits / 64;
+    std::size_t bit_shift = bits % 64;
+    if (limb_shift >= limbs_.size())
+        return BigNum();
+    BigNum r;
+    r.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+        r.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size())
+            r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::powMod(const BigNum& e, const BigNum& m) const
+{
+    BigNum base = *this % m;
+    BigNum result(1);
+    std::size_t bits = e.bitLength();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = (result * result) % m;
+        if (e.bit(i))
+            result = (result * base) % m;
+    }
+    return result;
+}
+
+} // namespace zkp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers.
+ *
+ * BigNum is a dynamically sized little-endian limb vector used for the
+ * "cold" bignum work in the library: deriving pairing final-exponent
+ * values such as (p^4 - p^2 + 1)/r, parsing and printing constants, and
+ * cross-checking the fixed-width field arithmetic in tests. Hot paths
+ * use the fixed-width BigInt/Fp types instead.
+ */
+
+#ifndef ZKP_COMMON_BIGNUM_H
+#define ZKP_COMMON_BIGNUM_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/uint.h"
+
+namespace zkp {
+
+/**
+ * Arbitrary-precision unsigned integer.
+ *
+ * Limbs are little-endian and kept normalized (no trailing zero limbs;
+ * zero is the empty vector). Division uses Knuth's Algorithm D.
+ */
+class BigNum
+{
+  public:
+    BigNum() = default;
+
+    /** Construct from a single 64-bit value. */
+    explicit BigNum(u64 v);
+
+    /** Construct from a fixed-width BigInt. */
+    template <std::size_t N>
+    static BigNum
+    fromBigInt(const BigInt<N>& a)
+    {
+        BigNum r;
+        r.limbs_.assign(a.limbs.begin(), a.limbs.end());
+        r.normalize();
+        return r;
+    }
+
+    /** Parse a hex string with optional 0x prefix. */
+    static BigNum fromHex(std::string_view s);
+
+    /** Parse a decimal string. */
+    static BigNum fromDec(std::string_view s);
+
+    /** Render as 0x-prefixed lowercase hex. */
+    std::string toHex() const;
+
+    /** Render as decimal. */
+    std::string toDec() const;
+
+    /** Convert to fixed width; asserts the value fits. */
+    template <std::size_t N>
+    BigInt<N>
+    toBigInt() const
+    {
+        BigInt<N> r;
+        for (std::size_t i = 0; i < limbs_.size() && i < N; ++i)
+            r.limbs[i] = limbs_[i];
+        return r;
+    }
+
+    bool isZero() const { return limbs_.empty(); }
+    bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+    /** Number of significant bits; 0 for zero. */
+    std::size_t bitLength() const;
+
+    /** Test bit @p i. */
+    bool bit(std::size_t i) const;
+
+    /** Three-way comparison. */
+    int cmp(const BigNum& o) const;
+
+    bool operator==(const BigNum& o) const { return cmp(o) == 0; }
+    bool operator!=(const BigNum& o) const { return cmp(o) != 0; }
+    bool operator<(const BigNum& o) const { return cmp(o) < 0; }
+    bool operator<=(const BigNum& o) const { return cmp(o) <= 0; }
+    bool operator>(const BigNum& o) const { return cmp(o) > 0; }
+    bool operator>=(const BigNum& o) const { return cmp(o) >= 0; }
+
+    BigNum operator+(const BigNum& o) const;
+
+    /** Subtraction; asserts *this >= o. */
+    BigNum operator-(const BigNum& o) const;
+
+    BigNum operator*(const BigNum& o) const;
+
+    /** Quotient (Knuth Algorithm D); asserts o != 0. */
+    BigNum operator/(const BigNum& o) const;
+
+    /** Remainder; asserts o != 0. */
+    BigNum operator%(const BigNum& o) const;
+
+    /** Combined quotient/remainder. */
+    std::pair<BigNum, BigNum> divMod(const BigNum& o) const;
+
+    /** Left shift by @p bits. */
+    BigNum shl(std::size_t bits) const;
+
+    /** Right shift by @p bits. */
+    BigNum shr(std::size_t bits) const;
+
+    /** Modular exponentiation: this^e mod m. */
+    BigNum powMod(const BigNum& e, const BigNum& m) const;
+
+    /** Raw limb access (little-endian, normalized). */
+    const std::vector<u64>& limbs() const { return limbs_; }
+
+  private:
+    void normalize();
+
+    std::vector<u64> limbs_;
+};
+
+} // namespace zkp
+
+#endif // ZKP_COMMON_BIGNUM_H

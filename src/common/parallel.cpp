@@ -1,0 +1,44 @@
+#include "common/parallel.h"
+
+#include <utility>
+
+namespace zkp {
+
+namespace {
+WorkerDoneHook gWorkerDoneHook;
+thread_local double gParallelSeconds = 0.0;
+} // namespace
+
+double
+parallelWorkSeconds()
+{
+    return gParallelSeconds;
+}
+
+void
+resetParallelWorkSeconds()
+{
+    gParallelSeconds = 0.0;
+}
+
+void
+addParallelWorkSeconds(double s)
+{
+    gParallelSeconds += s;
+}
+
+WorkerDoneHook
+setWorkerDoneHook(WorkerDoneHook hook)
+{
+    auto prev = std::move(gWorkerDoneHook);
+    gWorkerDoneHook = std::move(hook);
+    return prev;
+}
+
+const WorkerDoneHook&
+workerDoneHook()
+{
+    return gWorkerDoneHook;
+}
+
+} // namespace zkp

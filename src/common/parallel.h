@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fork-join parallel helpers used by the threaded stage implementations.
+ *
+ * The scalability analysis (paper §III-D) measures each pipeline stage at
+ * thread counts 1..32, so the thread count is always an explicit argument
+ * rather than a global pool size. Workers are plain std::threads; the
+ * per-thread perf counters of workers are merged into the caller by the
+ * sim layer (see sim/counters.h) via the onWorkerDone hook.
+ */
+
+#ifndef ZKP_COMMON_PARALLEL_H
+#define ZKP_COMMON_PARALLEL_H
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace zkp {
+
+/**
+ * Hook invoked in each worker thread after its chunk completes, while
+ * still on the worker thread. The sim layer installs a counter-merging
+ * callback here; it defaults to a no-op.
+ */
+using WorkerDoneHook = std::function<void()>;
+
+/** Install the worker-completion hook (returns the previous hook). */
+WorkerDoneHook setWorkerDoneHook(WorkerDoneHook hook);
+
+/** Retrieve the currently installed hook (may be empty). */
+const WorkerDoneHook& workerDoneHook();
+
+/**
+ * Seconds the calling thread has spent inside parallelFor regions
+ * since the last reset. With threads == 1 this measures the
+ * parallelizable share of a stage — the "p" of Amdahl's law — which
+ * the scalability analysis projects to higher thread counts.
+ */
+double parallelWorkSeconds();
+
+/** Reset the calling thread's parallel-region stopwatch. */
+void resetParallelWorkSeconds();
+
+/** @internal accumulate parallel-region time. */
+void addParallelWorkSeconds(double s);
+
+/**
+ * Run fn(thread_index, begin, end) on @p threads threads over [0, n),
+ * splitting the range into contiguous chunks. Runs inline when
+ * threads <= 1. Joins before returning.
+ *
+ * @param n total iteration count
+ * @param threads number of worker threads to use
+ * @param fn callable (std::size_t tid, std::size_t begin, std::size_t end)
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, std::size_t threads, Fn&& fn)
+{
+    struct RegionTimer
+    {
+        std::chrono::steady_clock::time_point start =
+            std::chrono::steady_clock::now();
+        ~RegionTimer()
+        {
+            addParallelWorkSeconds(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                                       .count());
+        }
+    } region_timer;
+
+    if (threads <= 1 || n <= 1) {
+        fn(0, 0, n);
+        return;
+    }
+    if (threads > n)
+        threads = n;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    std::size_t chunk = (n + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+        std::size_t begin = t * chunk;
+        std::size_t end = begin + chunk < n ? begin + chunk : n;
+        if (begin >= end)
+            break;
+        workers.emplace_back([&fn, t, begin, end] {
+            fn(t, begin, end);
+            if (const auto& hook = workerDoneHook())
+                hook();
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+}
+
+} // namespace zkp
+
+#endif // ZKP_COMMON_PARALLEL_H

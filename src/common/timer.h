@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by the measurement harness.
+ */
+
+#ifndef ZKP_COMMON_TIMER_H
+#define ZKP_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace zkp {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Elapsed nanoseconds. */
+    double nanos() const { return seconds() * 1e9; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace zkp
+
+#endif // ZKP_COMMON_TIMER_H

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Fixed-width multi-limb unsigned integers.
+ *
+ * BigInt<N> is a little-endian array of N 64-bit limbs with the carry
+ * aware primitives needed to build Montgomery field arithmetic on top.
+ * All operations are constexpr so that field parameters (Montgomery R^2,
+ * the n0 inverse, ...) can be derived from the modulus at compile time.
+ */
+
+#ifndef ZKP_COMMON_UINT_H
+#define ZKP_COMMON_UINT_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace zkp {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/** Add with carry-in; returns sum, writes carry-out. */
+constexpr u64
+addCarry(u64 a, u64 b, u64& carry)
+{
+    u128 t = (u128)a + b + carry;
+    carry = (u64)(t >> 64);
+    return (u64)t;
+}
+
+/** Subtract with borrow-in; returns difference, writes borrow-out (0/1). */
+constexpr u64
+subBorrow(u64 a, u64 b, u64& borrow)
+{
+    u128 t = (u128)a - b - borrow;
+    borrow = (u64)((t >> 64) & 1);
+    return (u64)t;
+}
+
+/** a*b + c + d with full 128-bit intermediate; returns low, writes high. */
+constexpr u64
+mulAdd2(u64 a, u64 b, u64 c, u64 d, u64& hi)
+{
+    u128 t = (u128)a * b + c + d;
+    hi = (u64)(t >> 64);
+    return (u64)t;
+}
+
+/**
+ * Fixed-width little-endian unsigned integer with N 64-bit limbs.
+ *
+ * This is a plain value type: all arithmetic helpers either return the
+ * carry/borrow or are in-place, leaving modular reduction policy to the
+ * field layer.
+ */
+template <std::size_t N>
+struct BigInt
+{
+    std::array<u64, N> limbs{};
+
+    constexpr BigInt() = default;
+
+    /** Construct from a single limb (value < 2^64). */
+    constexpr explicit BigInt(u64 lo) { limbs[0] = lo; }
+
+    static constexpr std::size_t kLimbs = N;
+    static constexpr std::size_t kBits = 64 * N;
+
+    constexpr u64 operator[](std::size_t i) const { return limbs[i]; }
+    constexpr u64& operator[](std::size_t i) { return limbs[i]; }
+
+    constexpr bool
+    isZero() const
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            if (limbs[i] != 0)
+                return false;
+        return true;
+    }
+
+    constexpr bool
+    operator==(const BigInt& o) const
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            if (limbs[i] != o.limbs[i])
+                return false;
+        return true;
+    }
+
+    constexpr bool operator!=(const BigInt& o) const { return !(*this == o); }
+
+    /** Three-way unsigned comparison: -1, 0, or +1. */
+    constexpr int
+    cmp(const BigInt& o) const
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (limbs[i] < o.limbs[i])
+                return -1;
+            if (limbs[i] > o.limbs[i])
+                return 1;
+        }
+        return 0;
+    }
+
+    constexpr bool operator<(const BigInt& o) const { return cmp(o) < 0; }
+    constexpr bool operator<=(const BigInt& o) const { return cmp(o) <= 0; }
+    constexpr bool operator>(const BigInt& o) const { return cmp(o) > 0; }
+    constexpr bool operator>=(const BigInt& o) const { return cmp(o) >= 0; }
+
+    /** In-place addition; returns the final carry-out. */
+    constexpr u64
+    addInPlace(const BigInt& o)
+    {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < N; ++i)
+            limbs[i] = addCarry(limbs[i], o.limbs[i], carry);
+        return carry;
+    }
+
+    /** In-place subtraction; returns the final borrow-out (0/1). */
+    constexpr u64
+    subInPlace(const BigInt& o)
+    {
+        u64 borrow = 0;
+        for (std::size_t i = 0; i < N; ++i)
+            limbs[i] = subBorrow(limbs[i], o.limbs[i], borrow);
+        return borrow;
+    }
+
+    /** Logical shift left by one bit; returns the bit shifted out. */
+    constexpr u64
+    shl1InPlace()
+    {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            u64 next = limbs[i] >> 63;
+            limbs[i] = (limbs[i] << 1) | carry;
+            carry = next;
+        }
+        return carry;
+    }
+
+    /** Logical shift right by one bit. */
+    constexpr void
+    shr1InPlace()
+    {
+        for (std::size_t i = 0; i + 1 < N; ++i)
+            limbs[i] = (limbs[i] >> 1) | (limbs[i + 1] << 63);
+        limbs[N - 1] >>= 1;
+    }
+
+    /** Test bit @p i (little-endian bit order). */
+    constexpr bool
+    bit(std::size_t i) const
+    {
+        return (limbs[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Index of the highest set bit plus one; 0 for zero. */
+    constexpr std::size_t
+    bitLength() const
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (limbs[i] != 0) {
+                u64 v = limbs[i];
+                std::size_t b = 0;
+                while (v) {
+                    v >>= 1;
+                    ++b;
+                }
+                return i * 64 + b;
+            }
+        }
+        return 0;
+    }
+
+    constexpr bool isOdd() const { return limbs[0] & 1; }
+
+    /**
+     * Full schoolbook multiplication producing 2N limbs.
+     *
+     * @param o multiplier
+     * @return product limbs, little-endian
+     */
+    constexpr BigInt<2 * N>
+    mulFull(const BigInt& o) const
+    {
+        BigInt<2 * N> r;
+        for (std::size_t i = 0; i < N; ++i) {
+            u64 carry = 0;
+            for (std::size_t j = 0; j < N; ++j) {
+                r.limbs[i + j] =
+                    mulAdd2(limbs[i], o.limbs[j], r.limbs[i + j], carry,
+                            carry);
+            }
+            r.limbs[i + N] = carry;
+        }
+        return r;
+    }
+
+    /** Parse a hex string (optional 0x prefix); truncates to N limbs. */
+    static constexpr BigInt
+    fromHex(std::string_view s)
+    {
+        if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+            s.remove_prefix(2);
+        BigInt r;
+        std::size_t nibble = 0;
+        for (std::size_t i = s.size(); i-- > 0;) {
+            char c = s[i];
+            u64 v = 0;
+            if (c >= '0' && c <= '9')
+                v = (u64)(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v = (u64)(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v = (u64)(c - 'A' + 10);
+            else
+                continue; // allow separators such as '_'
+            if (nibble / 16 < N)
+                r.limbs[nibble / 16] |= v << (4 * (nibble % 16));
+            ++nibble;
+        }
+        return r;
+    }
+
+    /** Render as 0x-prefixed lowercase hex without leading zeros. */
+    std::string
+    toHex() const
+    {
+        static const char* digits = "0123456789abcdef";
+        std::string out;
+        bool leading = true;
+        for (std::size_t i = N; i-- > 0;) {
+            for (int shift = 60; shift >= 0; shift -= 4) {
+                unsigned v = (unsigned)((limbs[i] >> shift) & 0xf);
+                if (leading && v == 0)
+                    continue;
+                leading = false;
+                out.push_back(digits[v]);
+            }
+        }
+        if (out.empty())
+            out = "0";
+        return "0x" + out;
+    }
+};
+
+/** Widen a BigInt by zero extension. */
+template <std::size_t M, std::size_t N>
+constexpr BigInt<M>
+zeroExtend(const BigInt<N>& a)
+{
+    static_assert(M >= N);
+    BigInt<M> r;
+    for (std::size_t i = 0; i < N; ++i)
+        r.limbs[i] = a.limbs[i];
+    return r;
+}
+
+/** Truncate a BigInt to fewer limbs. */
+template <std::size_t M, std::size_t N>
+constexpr BigInt<M>
+truncate(const BigInt<N>& a)
+{
+    static_assert(M <= N);
+    BigInt<M> r;
+    for (std::size_t i = 0; i < M; ++i)
+        r.limbs[i] = a.limbs[i];
+    return r;
+}
+
+} // namespace zkp
+
+#endif // ZKP_COMMON_UINT_H

@@ -1,0 +1,110 @@
+#include "core/calibrate.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "ff/params.h"
+
+namespace zkp::core {
+
+namespace {
+
+/** Time @p iters executions of @p fn, returning ns per iteration. */
+template <typename Fn>
+double
+nsPer(std::size_t iters, Fn&& fn)
+{
+    Timer t;
+    for (std::size_t i = 0; i < iters; ++i)
+        fn(i);
+    return t.nanos() / (double)iters;
+}
+
+UnitCosts
+measure()
+{
+    using Fq = ff::bn254::Fq;
+    Rng rng(99);
+    UnitCosts c;
+
+    // Montgomery multiply: 4-limb CIOS executes ~n^2+n = 20 imuls.
+    {
+        Fq a = Fq::random(rng);
+        Fq b = Fq::random(rng);
+        volatile bool sink = false;
+        double ns = nsPer(200'000, [&](std::size_t) { a = a * b; });
+        sink = a.isZero();
+        (void)sink;
+        c.nsPerImul = ns / 20.0;
+    }
+
+    // Modular addition per limb.
+    {
+        Fq a = Fq::random(rng);
+        Fq b = Fq::random(rng);
+        double ns = nsPer(400'000, [&](std::size_t) { a = a + b; });
+        c.nsPerAddLimb = ns / 4.0;
+    }
+
+    // Bulk copy.
+    {
+        std::vector<char> src(1 << 20), dst(1 << 20);
+        double ns = nsPer(64, [&](std::size_t) {
+            std::memcpy(dst.data(), src.data(), src.size());
+        });
+        c.nsPerMemcpyByte = ns / (double)src.size();
+    }
+
+    // Allocation fast path.
+    {
+        double ns = nsPer(200'000, [&](std::size_t i) {
+            volatile char* p = new char[64 + (i & 7) * 16];
+            delete[] const_cast<char*>(p);
+        });
+        c.nsPerAlloc = ns;
+    }
+
+    // Interpreter dispatch: a data-dependent switch in a loop.
+    {
+        std::vector<unsigned char> ops(4096);
+        Rng r2(7);
+        for (auto& o : ops)
+            o = (unsigned char)(r2.next() % 4);
+        volatile long sink = 0;
+        long acc = 0;
+        double ns = nsPer(200'000, [&](std::size_t i) {
+            switch (ops[i & 4095]) {
+              case 0:
+                acc += 3;
+                break;
+              case 1:
+                acc ^= (long)i;
+                break;
+              case 2:
+                acc -= 5;
+                break;
+              default:
+                acc <<= 1;
+                break;
+            }
+        });
+        sink = acc;
+        (void)sink;
+        c.nsPerDispatch = ns;
+    }
+
+    return c;
+}
+
+} // namespace
+
+const UnitCosts&
+UnitCosts::get()
+{
+    static const UnitCosts costs = measure();
+    return costs;
+}
+
+} // namespace zkp::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host unit-cost calibration for the function-level code analysis.
+ *
+ * The paper attributes CPU time to functions with VTune's sampling
+ * profiler. We attribute analytically instead: the instrumented event
+ * counts of a stage, multiplied by per-event unit costs measured once
+ * on the host at startup, give each "function family" (bigint, memcpy,
+ * heap allocation, gate dispatch) its share of the stage's wall time.
+ */
+
+#ifndef ZKP_CORE_CALIBRATE_H
+#define ZKP_CORE_CALIBRATE_H
+
+namespace zkp::core {
+
+/** Measured per-event costs on the executing host. */
+struct UnitCosts
+{
+    /// ns per 64x64->128 multiply inside a Montgomery kernel.
+    double nsPerImul;
+    /// ns per limb of a modular addition.
+    double nsPerAddLimb;
+    /// ns per byte of bulk copy.
+    double nsPerMemcpyByte;
+    /// ns per malloc/free pair (allocator fast path).
+    double nsPerAlloc;
+    /// ns per interpreter gate dispatch (decode + indirect branch).
+    double nsPerDispatch;
+
+    /** Singleton; measures once on first use. */
+    static const UnitCosts& get();
+};
+
+} // namespace zkp::core
+
+#endif // ZKP_CORE_CALIBRATE_H

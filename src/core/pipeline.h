@@ -1,0 +1,182 @@
+/**
+ * @file
+ * StageRunner: executes each of the five pipeline stages in isolation
+ * under instrumentation (paper §IV: "We run each stage of the
+ * zk-SNARK protocol separately").
+ *
+ * The runner owns the artifacts flowing between stages (constraint
+ * system, keys, witness, proof) and lazily produces prerequisites
+ * without instrumentation, so that a measured run of stage k observes
+ * only stage k's work. Re-running a stage overwrites its artifact,
+ * which is how the harness repeats measurements.
+ */
+
+#ifndef ZKP_CORE_PIPELINE_H
+#define ZKP_CORE_PIPELINE_H
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/stage.h"
+#include "r1cs/circuits.h"
+#include "sim/memtrace.h"
+#include "snark/groth16.h"
+
+namespace zkp::core {
+
+/** Difference of two counter snapshots (after - before). */
+inline sim::Counters
+countersDelta(const sim::Counters& before, const sim::Counters& after)
+{
+    sim::Counters d;
+    d.compute = after.compute - before.compute;
+    d.control = after.control - before.control;
+    d.data = after.data - before.data;
+    d.loads = after.loads - before.loads;
+    d.stores = after.stores - before.stores;
+    d.branches = after.branches - before.branches;
+    for (std::size_t i = 0; i < sim::kNumPrimOps; ++i)
+        d.prim[i] = after.prim[i] - before.prim[i];
+    d.imuls = after.imuls - before.imuls;
+    d.allocBytes = after.allocBytes - before.allocBytes;
+    d.memcpyBytes = after.memcpyBytes - before.memcpyBytes;
+    return d;
+}
+
+/**
+ * Runs the exponentiation-circuit pipeline for one curve at one
+ * constraint count.
+ *
+ * @tparam Curve snark::Bn254 or snark::Bls381
+ */
+template <typename Curve>
+class StageRunner
+{
+  public:
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+
+    /**
+     * @param constraints circuit size (the paper's sweep variable)
+     * @param seed deterministic seed for inputs and toxic waste
+     */
+    explicit StageRunner(std::size_t constraints, u64 seed = 2024)
+        : constraints_(constraints), seed_(seed)
+    {
+        sim::installWorkerMergeHook();
+        Scheme::prewarmTables();
+        Rng rng(seed_);
+        x_ = Fr::random(rng);
+        y_ = x_.pow(BigInt<1>((u64)constraints_));
+    }
+
+    std::size_t constraints() const { return constraints_; }
+
+    /**
+     * Execute stage @p s under instrumentation.
+     *
+     * @param s stage to measure
+     * @param threads worker threads for the stage
+     * @param sinks trace sinks (cache models, predictors); empty
+     *        disables address/branch tracing
+     * @param sample_mask memory-trace sampling (see ScopedTrace)
+     */
+    StageRun
+    run(Stage s, std::size_t threads = 1,
+        std::vector<sim::TraceSink*> sinks = {}, sim::u32 sample_mask = 0)
+    {
+        ensurePrerequisites(s, threads);
+
+        sim::drainWorkerCounters();
+        const sim::Counters before = sim::counters();
+        Timer timer;
+        {
+            sim::ScopedTrace trace(std::move(sinks), sample_mask);
+            execute(s, threads);
+        }
+        const double seconds = timer.seconds();
+        sim::drainWorkerCounters();
+
+        StageRun out;
+        out.seconds = seconds;
+        out.counters = countersDelta(before, sim::counters());
+        return out;
+    }
+
+    /** Last verification verdict (sanity check for the harness). */
+    bool lastVerifyOk() const { return verifyOk_; }
+
+    /** The compiled system (available after the compile stage). */
+    const r1cs::R1cs<Fr>&
+    constraintSystem() const
+    {
+        assert(cs_.has_value());
+        return *cs_;
+    }
+
+  private:
+    void
+    ensurePrerequisites(Stage s, std::size_t threads)
+    {
+        if (s > Stage::Compile && !cs_.has_value())
+            execute(Stage::Compile, threads);
+        if (s > Stage::Setup && !keys_.has_value())
+            execute(Stage::Setup, threads);
+        if (s > Stage::Witness && !z_.has_value())
+            execute(Stage::Witness, threads);
+        if (s > Stage::Proving && !proof_.has_value())
+            execute(Stage::Proving, threads);
+    }
+
+    void
+    execute(Stage s, std::size_t threads)
+    {
+        switch (s) {
+          case Stage::Compile:
+            // The compile stage covers what circom does: walking the
+            // circuit description into gates, then materializing the
+            // R1CS and the witness program.
+            circ_.emplace(constraints_);
+            cs_ = circ_->builder.compile(threads);
+            calc_.emplace(circ_->builder.witnessProgram());
+            break;
+          case Stage::Setup: {
+            Rng rng(seed_ + 1);
+            keys_ = Scheme::setup(*cs_, rng, threads);
+            break;
+          }
+          case Stage::Witness:
+            z_ = calc_->compute({y_}, {x_}, threads);
+            break;
+          case Stage::Proving: {
+            Rng rng(seed_ + 2);
+            proof_ = Scheme::prove(keys_->pk, *cs_, *z_, rng, threads);
+            break;
+          }
+          case Stage::Verifying:
+            verifyOk_ = Scheme::verify(keys_->vk, {y_}, *proof_);
+            assert(verifyOk_ && "pipeline produced a rejected proof");
+            break;
+          default:
+            break;
+        }
+    }
+
+    std::size_t constraints_;
+    u64 seed_;
+    std::optional<r1cs::ExponentiationCircuit<Fr>> circ_;
+    Fr x_, y_;
+    std::optional<r1cs::R1cs<Fr>> cs_;
+    std::optional<r1cs::WitnessCalculator<Fr>> calc_;
+    std::optional<typename Scheme::Keypair> keys_;
+    std::optional<std::vector<Fr>> z_;
+    std::optional<typename Scheme::Proof> proof_;
+    bool verifyOk_ = false;
+};
+
+} // namespace zkp::core
+
+#endif // ZKP_CORE_PIPELINE_H

@@ -1,0 +1,78 @@
+#include "core/scaling_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkp::core {
+
+double
+amdahlSpeedup(double s, double n)
+{
+    return 1.0 / (s + (1.0 - s) / n);
+}
+
+double
+gustafsonSpeedup(double s, double n)
+{
+    return s + (1.0 - s) * n;
+}
+
+double
+fitAmdahlSerial(const std::vector<SpeedupPoint>& points)
+{
+    if (points.empty())
+        return 1.0;
+    auto sse = [&](double s) {
+        double e = 0;
+        for (const auto& [n, sp] : points) {
+            double d = amdahlSpeedup(s, (double)n) - sp;
+            e += d * d;
+        }
+        return e;
+    };
+    // The SSE is well behaved in s on [0, 1]: coarse grid + golden
+    // section refinement around the best cell.
+    double best_s = 0, best_e = sse(0);
+    for (int i = 1; i <= 200; ++i) {
+        double s = i / 200.0;
+        double e = sse(s);
+        if (e < best_e) {
+            best_e = e;
+            best_s = s;
+        }
+    }
+    double lo = std::max(0.0, best_s - 0.005);
+    double hi = std::min(1.0, best_s + 0.005);
+    for (int it = 0; it < 60; ++it) {
+        double m1 = lo + (hi - lo) / 3;
+        double m2 = hi - (hi - lo) / 3;
+        if (sse(m1) < sse(m2))
+            hi = m2;
+        else
+            lo = m1;
+    }
+    return (lo + hi) / 2;
+}
+
+double
+fitGustafsonSerial(const std::vector<SpeedupPoint>& points)
+{
+    if (points.empty())
+        return 1.0;
+    // S = s + (1-s) n  ->  S = a + b n with s = a = 1 - b; least
+    // squares with both coefficients then project to the constrained
+    // family: minimize over s directly (1-D, closed form).
+    // d/ds sum (s + (1-s)n_i - S_i)^2 = 0
+    // => s = sum((S_i - n_i)(1 - n_i)) / sum((1 - n_i)^2)
+    double num = 0, den = 0;
+    for (const auto& [n, sp] : points) {
+        const double one_minus_n = 1.0 - (double)n;
+        num += (sp - (double)n) * one_minus_n;
+        den += one_minus_n * one_minus_n;
+    }
+    if (den == 0)
+        return 1.0;
+    return std::clamp(num / den, 0.0, 1.0);
+}
+
+} // namespace zkp::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Amdahl / Gustafson least-squares fitting (paper §III-D, Table VI).
+ */
+
+#ifndef ZKP_CORE_SCALING_FIT_H
+#define ZKP_CORE_SCALING_FIT_H
+
+#include <utility>
+#include <vector>
+
+namespace zkp::core {
+
+/** (threads, speedup) sample. */
+using SpeedupPoint = std::pair<unsigned, double>;
+
+/**
+ * Fit the serial fraction s of Amdahl's law
+ * S(n) = 1 / (s + (1 - s)/n) by least squares over [0, 1].
+ *
+ * @return s in [0, 1]
+ */
+double fitAmdahlSerial(const std::vector<SpeedupPoint>& points);
+
+/**
+ * Fit the serial fraction s of Gustafson's law
+ * S(n) = s + (1 - s) * n by linear least squares, clamped to [0, 1].
+ *
+ * @return s in [0, 1]
+ */
+double fitGustafsonSerial(const std::vector<SpeedupPoint>& points);
+
+/** Evaluate Amdahl speedup for serial fraction @p s at @p n threads. */
+double amdahlSpeedup(double s, double n);
+
+/** Evaluate Gustafson speedup for serial fraction @p s. */
+double gustafsonSpeedup(double s, double n);
+
+} // namespace zkp::core
+
+#endif // ZKP_CORE_SCALING_FIT_H

@@ -1,0 +1,48 @@
+#include "core/stage.h"
+
+namespace zkp::core {
+
+const char*
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Compile:
+        return "compile";
+      case Stage::Setup:
+        return "setup";
+      case Stage::Witness:
+        return "witness";
+      case Stage::Proving:
+        return "proving";
+      case Stage::Verifying:
+        return "verifying";
+      default:
+        return "?";
+    }
+}
+
+double
+stageFootprintUops(Stage s, std::size_t constraints)
+{
+    // Footprints model the paper's artifacts: circom is a full native
+    // compiler binary; the snarkjs stages run WASM-compiled kernels
+    // (code inflation ~3x a native build); the verifier leans on the
+    // JS bigint library; and the witness calculator is straight-line
+    // generated code that grows with the circuit.
+    switch (s) {
+      case Stage::Compile:
+        return 60000; // compiler hot paths: parser, IR, allocators
+      case Stage::Setup:
+        return 24000; // WASM field kernels + encoder
+      case Stage::Witness:
+        return 600.0 + 90.0 * (double)constraints;
+      case Stage::Proving:
+        return 30000; // WASM NTT + Pippenger + field kernels
+      case Stage::Verifying:
+        return 100000; // JS bigint library + pairing tower
+      default:
+        return 4096;
+    }
+}
+
+} // namespace zkp::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The five zk-SNARK pipeline stages (paper Fig. 1) and the observation
+ * record one instrumented stage run produces.
+ */
+
+#ifndef ZKP_CORE_STAGE_H
+#define ZKP_CORE_STAGE_H
+
+#include <array>
+#include <string>
+
+#include "sim/counters.h"
+
+namespace zkp::core {
+
+/** Pipeline stages in execution order. */
+enum class Stage : unsigned
+{
+    Compile,
+    Setup,
+    Witness,
+    Proving,
+    Verifying,
+    NumStages
+};
+
+constexpr std::size_t kNumStages = (std::size_t)Stage::NumStages;
+
+/** All stages, iteration helper. */
+constexpr std::array<Stage, kNumStages> kAllStages{
+    Stage::Compile, Stage::Setup, Stage::Witness, Stage::Proving,
+    Stage::Verifying};
+
+/** Paper-style lowercase stage name. */
+const char* stageName(Stage s);
+
+/**
+ * Static uop footprint estimate of the stage's hot code, the
+ * uop-cache pressure input of the top-down model. Values are
+ * order-of-magnitude estimates of the inlined kernel sizes in this
+ * library: the constraint builder and allocator paths (compile), the
+ * fixed-base encoder (setup), the gate interpreter (witness), the
+ * NTT + Pippenger + field kernels (proving) and the fully inlined
+ * Fp12 pairing tower (verifying).
+ *
+ * The witness footprint scales with the circuit: circom's witness
+ * calculator emits straight-line generated code per signal, so its
+ * instruction working set grows with the constraint count — the
+ * mechanism that keeps the witness stage front-end bound on every
+ * CPU in the paper.
+ */
+double stageFootprintUops(Stage s, std::size_t constraints = 4096);
+
+/** Measurement of one stage execution. */
+struct StageRun
+{
+    /// Wall-clock seconds (averaged over repeats by the harness).
+    double seconds = 0;
+    /// Instrumented event counters for the stage (all threads merged).
+    sim::Counters counters;
+};
+
+} // namespace zkp::core
+
+#endif // ZKP_CORE_STAGE_H

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Short-Weierstrass elliptic curve arithmetic (a = 0 curves).
+ *
+ * Generic over the coordinate field, so the same code implements G1
+ * (over Fq), G2 (over Fq2), and the untwisted image of G2 over Fq12
+ * used by the textbook Miller loop. Points are held in Jacobian
+ * coordinates; AffinePoint is the compact form used for stored bases
+ * (CRS, MSM inputs).
+ *
+ * All formulas below are complete for the a = 0 case including the
+ * doubling/infinity corner cases, and every field operation they
+ * perform is captured by the ff-layer instrumentation.
+ */
+
+#ifndef ZKP_EC_CURVE_H
+#define ZKP_EC_CURVE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/uint.h"
+#include "ff/fp.h"
+
+namespace zkp::ec {
+
+/** Affine point; the flag distinguishes the point at infinity. */
+template <typename Field>
+struct AffinePoint
+{
+    Field x, y;
+    bool infinity = true;
+
+    AffinePoint() = default;
+    AffinePoint(const Field& px, const Field& py)
+        : x(px), y(py), infinity(false)
+    {}
+
+    bool
+    operator==(const AffinePoint& o) const
+    {
+        if (infinity || o.infinity)
+            return infinity == o.infinity;
+        return x == o.x && y == o.y;
+    }
+
+    bool operator!=(const AffinePoint& o) const { return !(*this == o); }
+
+    /** Check y^2 = x^3 + b (vacuously true at infinity). */
+    bool
+    isOnCurve(const Field& b) const
+    {
+        if (infinity)
+            return true;
+        return y.squared() == x.squared() * x + b;
+    }
+
+    AffinePoint
+    negated() const
+    {
+        AffinePoint r = *this;
+        if (!r.infinity)
+            r.y = -r.y;
+        return r;
+    }
+};
+
+/**
+ * Jacobian-coordinate point (X, Y, Z) representing (X/Z^2, Y/Z^3);
+ * Z = 0 encodes the point at infinity.
+ */
+template <typename Field>
+struct JacobianPoint
+{
+    Field x, y, z;
+
+    /** Default-constructs the point at infinity. */
+    JacobianPoint()
+        : x(Field::one()), y(Field::one()), z(Field::zero())
+    {}
+
+    /** Lift an affine point. */
+    explicit JacobianPoint(const AffinePoint<Field>& a)
+    {
+        if (a.infinity) {
+            *this = JacobianPoint();
+        } else {
+            x = a.x;
+            y = a.y;
+            z = Field::one();
+        }
+    }
+
+    static JacobianPoint infinity() { return JacobianPoint(); }
+
+    bool isInfinity() const { return z.isZero(); }
+
+    /** Convert to affine (one field inversion). */
+    AffinePoint<Field>
+    toAffine() const
+    {
+        if (isInfinity())
+            return AffinePoint<Field>();
+        Field zinv = z.inverse();
+        Field zinv2 = zinv.squared();
+        return AffinePoint<Field>(x * zinv2, y * zinv2 * zinv);
+    }
+
+    /** Projective equality without normalization. */
+    bool
+    operator==(const JacobianPoint& o) const
+    {
+        if (isInfinity() || o.isInfinity())
+            return isInfinity() == o.isInfinity();
+        // x1/z1^2 == x2/z2^2 and y1/z1^3 == y2/z2^3.
+        Field z1z1 = z.squared();
+        Field z2z2 = o.z.squared();
+        if (x * z2z2 != o.x * z1z1)
+            return false;
+        return y * z2z2 * o.z == o.y * z1z1 * z;
+    }
+
+    bool operator!=(const JacobianPoint& o) const { return !(*this == o); }
+
+    /** Point doubling (dbl-2009-l, a = 0). */
+    JacobianPoint
+    doubled() const
+    {
+        if (isInfinity() || y.isZero())
+            return JacobianPoint();
+        Field a = x.squared();
+        Field b = y.squared();
+        Field c = b.squared();
+        Field d = ((x + b).squared() - a - c).doubled();
+        Field e = a + a + a;
+        Field f = e.squared();
+        JacobianPoint r;
+        r.x = f - d.doubled();
+        r.y = e * (d - r.x) - c.doubled().doubled().doubled();
+        r.z = (y * z).doubled();
+        return r;
+    }
+
+    /** Full Jacobian addition (add-2007-bl with corner cases). */
+    JacobianPoint
+    operator+(const JacobianPoint& o) const
+    {
+        if (isInfinity())
+            return o;
+        if (o.isInfinity())
+            return *this;
+        Field z1z1 = z.squared();
+        Field z2z2 = o.z.squared();
+        Field u1 = x * z2z2;
+        Field u2 = o.x * z1z1;
+        Field s1 = y * o.z * z2z2;
+        Field s2 = o.y * z * z1z1;
+        if (u1 == u2) {
+            if (s1 == s2)
+                return doubled();
+            return JacobianPoint();
+        }
+        Field h = u2 - u1;
+        Field i = h.doubled().squared();
+        Field j = h * i;
+        Field r = (s2 - s1).doubled();
+        Field v = u1 * i;
+        JacobianPoint out;
+        out.x = r.squared() - j - v.doubled();
+        out.y = r * (v - out.x) - (s1 * j).doubled();
+        out.z = ((z + o.z).squared() - z1z1 - z2z2) * h;
+        return out;
+    }
+
+    /** Mixed addition with an affine addend (madd-2007-bl). */
+    JacobianPoint
+    addMixed(const AffinePoint<Field>& o) const
+    {
+        if (o.infinity)
+            return *this;
+        if (isInfinity())
+            return JacobianPoint(o);
+        Field z1z1 = z.squared();
+        Field u2 = o.x * z1z1;
+        Field s2 = o.y * z * z1z1;
+        if (x == u2) {
+            if (y == s2)
+                return doubled();
+            return JacobianPoint();
+        }
+        Field h = u2 - x;
+        Field hh = h.squared();
+        Field i = hh.doubled().doubled();
+        Field j = h * i;
+        Field r = (s2 - y).doubled();
+        Field v = x * i;
+        JacobianPoint out;
+        out.x = r.squared() - j - v.doubled();
+        out.y = r * (v - out.x) - (y * j).doubled();
+        out.z = (z + h).squared() - z1z1 - hh;
+        return out;
+    }
+
+    JacobianPoint& operator+=(const JacobianPoint& o)
+    {
+        return *this = *this + o;
+    }
+
+    JacobianPoint
+    operator-() const
+    {
+        JacobianPoint r = *this;
+        if (!r.isInfinity())
+            r.y = -r.y;
+        return r;
+    }
+
+    JacobianPoint operator-(const JacobianPoint& o) const
+    {
+        return *this + (-o);
+    }
+
+    /**
+     * Scalar multiplication by a fixed-width integer (MSB-first
+     * double-and-add; not constant time — this library targets
+     * performance analysis, not side-channel hardening).
+     */
+    template <std::size_t M>
+    JacobianPoint
+    mulScalar(const BigInt<M>& k) const
+    {
+        JacobianPoint acc;
+        for (std::size_t i = k.bitLength(); i-- > 0;) {
+            acc = acc.doubled();
+            if (k.bit(i))
+                acc += *this;
+        }
+        return acc;
+    }
+
+    JacobianPoint mulScalar(u64 k) const { return mulScalar(BigInt<1>(k)); }
+};
+
+/**
+ * Batch-normalize Jacobian points to affine using one inversion
+ * (Montgomery's trick over the Z coordinates).
+ */
+template <typename Field>
+std::vector<AffinePoint<Field>>
+batchToAffine(const std::vector<JacobianPoint<Field>>& pts)
+{
+    std::vector<AffinePoint<Field>> out(pts.size());
+    std::vector<Field> zs;
+    zs.reserve(pts.size());
+    std::vector<std::size_t> idx;
+    idx.reserve(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (!pts[i].isInfinity()) {
+            zs.push_back(pts[i].z);
+            idx.push_back(i);
+        }
+    }
+    if (!zs.empty()) {
+        std::vector<Field> invs = zs;
+        ff::batchInverse(invs.data(), invs.size());
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            const auto& p = pts[idx[k]];
+            Field zi = invs[k];
+            Field zi2 = zi.squared();
+            out[idx[k]] = AffinePoint<Field>(p.x * zi2, p.y * zi2 * zi);
+        }
+    }
+    return out;
+}
+
+} // namespace zkp::ec
+
+#endif // ZKP_EC_CURVE_H

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Concrete pairing groups: G1 and G2 for BN254 and BLS12-381.
+ *
+ * Each Group struct bundles the coordinate field, the scalar field,
+ * the curve coefficient b, and the subgroup generator. The generator
+ * coordinates are the standard published values for both curves
+ * (alt_bn128 as used by Ethereum/circom, and the BLS12-381 spec).
+ */
+
+#ifndef ZKP_EC_GROUPS_H
+#define ZKP_EC_GROUPS_H
+
+#include "ec/curve.h"
+#include "ff/field_util.h"
+#include "ff/tower.h"
+
+namespace zkp::ec {
+
+/** BN254 G1: y^2 = x^3 + 3 over Fq, generator (1, 2). */
+struct Bn254G1
+{
+    using Field = ff::bn254::Fq;
+    using Scalar = ff::bn254::Fr;
+    using Affine = AffinePoint<Field>;
+    using Jacobian = JacobianPoint<Field>;
+
+    static Field b() { return Field::fromU64(3); }
+
+    static Affine
+    generator()
+    {
+        return Affine(Field::fromU64(1), Field::fromU64(2));
+    }
+
+    static constexpr const char* kName = "bn254.G1";
+};
+
+/** BN254 G2: y^2 = x^3 + 3/(9+u) over Fq2 (D-type twist). */
+struct Bn254G2
+{
+    using Field = ff::Bn254Tower::Fq2;
+    using Scalar = ff::bn254::Fr;
+    using Affine = AffinePoint<Field>;
+    using Jacobian = JacobianPoint<Field>;
+    using Tower = ff::Bn254Tower;
+
+    /// The twist divides b by xi (D-type).
+    static constexpr bool kTwistIsM = false;
+
+    static Field
+    b()
+    {
+        static const Field value =
+            Field::fromFq(Tower::Fq::fromU64(3)) * Tower::xi().inverse();
+        return value;
+    }
+
+    static Affine
+    generator()
+    {
+        using Fq = Tower::Fq;
+        static const Affine value{
+            Field(Fq::fromDec("108570469990230571359445707622328294813707563"
+                              "59578518086990519993285655852781"),
+                  Fq::fromDec("115597320329863871079910040213922857839258128"
+                              "61821192530917403151452391805634")),
+            Field(Fq::fromDec("849565392312343141760497324748927243841819058"
+                              "7263600148770280649306958101930"),
+                  Fq::fromDec("408236787586343368133220340314543556831685132"
+                              "7593401208105741076214120093531"))};
+        return value;
+    }
+
+    static constexpr const char* kName = "bn254.G2";
+};
+
+/** BLS12-381 G1: y^2 = x^3 + 4 over Fq. */
+struct Bls381G1
+{
+    using Field = ff::bls381::Fq;
+    using Scalar = ff::bls381::Fr;
+    using Affine = AffinePoint<Field>;
+    using Jacobian = JacobianPoint<Field>;
+
+    static Field b() { return Field::fromU64(4); }
+
+    static Affine
+    generator()
+    {
+        static const Affine value{
+            Field::fromHex(
+                "0x17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f"
+                "171bac586c55e83ff97a1aeffb3af00adb22c6bb"),
+            Field::fromHex(
+                "0x08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb"
+                "2c04b3edd03cc744a2888ae40caa232946c5e7e1")};
+        return value;
+    }
+
+    static constexpr const char* kName = "bls381.G1";
+};
+
+/** BLS12-381 G2: y^2 = x^3 + 4(1+u) over Fq2 (M-type twist). */
+struct Bls381G2
+{
+    using Field = ff::Bls381Tower::Fq2;
+    using Scalar = ff::bls381::Fr;
+    using Affine = AffinePoint<Field>;
+    using Jacobian = JacobianPoint<Field>;
+    using Tower = ff::Bls381Tower;
+
+    /// The twist multiplies b by xi (M-type).
+    static constexpr bool kTwistIsM = true;
+
+    static Field
+    b()
+    {
+        static const Field value =
+            Tower::xi().mulByFq(Tower::Fq::fromU64(4));
+        return value;
+    }
+
+    static Affine
+    generator()
+    {
+        using Fq = Tower::Fq;
+        static const Affine value{
+            Field(Fq::fromHex(
+                      "0x024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b45"
+                      "10b647ae3d1770bac0326a805bbefd48056c8c121bdb8"),
+                  Fq::fromHex(
+                      "0x13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5d"
+                      "a61bbdc7f5049334cf11213945d57e5ac7d055d042b7e")),
+            Field(Fq::fromHex(
+                      "0x0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d4"
+                      "29a695160d12c923ac9cc3baca289e193548608b82801"),
+                  Fq::fromHex(
+                      "0x0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267"
+                      "492ab572e99ab3f370d275cec1da1aaa9075ff05f79be"))};
+        return value;
+    }
+
+    static constexpr const char* kName = "bls381.G2";
+};
+
+/** Scalar multiplication by a field scalar (canonical integer form). */
+template <typename Group>
+typename Group::Jacobian
+mulByScalarField(const typename Group::Jacobian& p,
+                 const typename Group::Scalar& s)
+{
+    return p.mulScalar(s.toBigInt());
+}
+
+} // namespace zkp::ec
+
+#endif // ZKP_EC_GROUPS_H

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Multi-scalar multiplication (Pippenger's bucket method).
+ *
+ * MSM is the dominant kernel of the setup and proving stages; the
+ * paper's related work (PipeZK, DistMSM) accelerates exactly this
+ * computation. The implementation is instrumented: scalar and base
+ * reads and bucket updates report their addresses to the memory-trace
+ * sinks, window extraction reports its instruction signature, and the
+ * bucket-occupancy branch feeds the branch-predictor model.
+ *
+ * A naive double-and-add variant is kept alongside as the ablation
+ * baseline (bench_ablation).
+ */
+
+#ifndef ZKP_EC_MSM_H
+#define ZKP_EC_MSM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+#include "ec/curve.h"
+#include "sim/counters.h"
+#include "sim/memtrace.h"
+
+namespace zkp::ec {
+
+/** Branch-site ids used by the EC layer for predictor modelling. */
+enum MsmBranchSite : sim::u32
+{
+    kBranchMsmBucketNonZero = 1,
+    kBranchMsmBucketOccupied = 2,
+};
+
+/** Heuristic Pippenger window size for @p n points. */
+inline unsigned
+msmWindowBits(std::size_t n)
+{
+    if (n < 32)
+        return 3;
+    unsigned log2n = 0;
+    while ((std::size_t(1) << (log2n + 1)) <= n)
+        ++log2n;
+    unsigned c = log2n > 3 ? log2n - 3 : 1;
+    return c > 16 ? 16 : c;
+}
+
+/**
+ * Serial Pippenger MSM over one chunk:
+ * result = sum_i scalars[i] * points[i].
+ *
+ * @tparam Point Jacobian point type
+ * @tparam ScalarRepr BigInt<M> canonical scalar representation
+ */
+template <typename Point, typename Affine, typename ScalarRepr>
+Point
+msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
+{
+    if (n == 0)
+        return Point::infinity();
+
+    const unsigned c = msmWindowBits(n);
+    const unsigned scalar_bits = ScalarRepr::kBits;
+    const unsigned windows = (scalar_bits + c - 1) / c;
+    const std::size_t nbuckets = (std::size_t(1) << c) - 1;
+
+    Point result = Point::infinity();
+    std::vector<Point> buckets(nbuckets);
+
+    for (unsigned w = windows; w-- > 0;) {
+        // Shift the accumulated result left by one window.
+        if (w + 1 != windows) {
+            for (unsigned i = 0; i < c; ++i)
+                result = result.doubled();
+        }
+
+        for (auto& b : buckets)
+            b = Point::infinity();
+
+        for (std::size_t i = 0; i < n; ++i) {
+            sim::count(sim::PrimOp::MsmWindow);
+            sim::traceLoad(&scalars[i], sizeof(ScalarRepr));
+
+            // Extract window bits [w*c, w*c + c).
+            const unsigned lo = w * c;
+            std::size_t slice = 0;
+            for (unsigned b = 0; b < c && lo + b < scalar_bits; ++b)
+                slice |= (std::size_t)scalars[i].bit(lo + b) << b;
+
+            sim::branchEvent(kBranchMsmBucketNonZero, slice != 0);
+            if (slice == 0)
+                continue;
+
+            sim::traceLoad(&points[i], sizeof(Affine));
+            Point& bucket = buckets[slice - 1];
+            sim::branchEvent(kBranchMsmBucketOccupied,
+                             !bucket.isInfinity());
+            bucket = bucket.addMixed(points[i]);
+            sim::traceStore(&bucket, sizeof(Point));
+        }
+
+        // Running-sum over the buckets: sum_j j * bucket_j.
+        Point running = Point::infinity();
+        Point window_sum = Point::infinity();
+        for (std::size_t j = nbuckets; j-- > 0;) {
+            sim::traceLoad(&buckets[j], sizeof(Point));
+            running += buckets[j];
+            window_sum += running;
+        }
+        result += window_sum;
+    }
+    return result;
+}
+
+/**
+ * Multi-threaded MSM: chunks the input across @p threads workers and
+ * adds the partial sums.
+ */
+template <typename Point, typename Affine, typename ScalarRepr>
+Point
+msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
+    std::size_t threads = 1)
+{
+    if (n == 0)
+        return Point::infinity();
+    // Chunking below ~256 points per worker hurts Pippenger; the
+    // single-worker path still routes through parallelFor so the
+    // work/span instrumentation sees MSM as parallelizable work.
+    const std::size_t workers =
+        (threads <= 1 || n < 256) ? 1 : threads;
+    std::vector<Point> partial(workers, Point::infinity());
+    parallelFor(n, workers,
+                [&](std::size_t tid, std::size_t b, std::size_t e) {
+                    partial[tid] =
+                        msmSerial<Point>(points + b, scalars + b, e - b);
+                });
+    Point result = Point::infinity();
+    for (const auto& p : partial)
+        result += p;
+    return result;
+}
+
+/** Naive double-and-add MSM; ablation baseline for bench_ablation. */
+template <typename Point, typename Affine, typename ScalarRepr>
+Point
+msmNaive(const Affine* points, const ScalarRepr* scalars, std::size_t n)
+{
+    Point acc = Point::infinity();
+    for (std::size_t i = 0; i < n; ++i)
+        acc += Point(points[i]).mulScalar(scalars[i]);
+    return acc;
+}
+
+/** Convenience overload converting field scalars to canonical form. */
+template <typename Group>
+typename Group::Jacobian
+msmField(const std::vector<typename Group::Affine>& points,
+         const std::vector<typename Group::Scalar>& scalars,
+         std::size_t threads = 1)
+{
+    using Repr = typename Group::Scalar::Repr;
+    assert(points.size() == scalars.size());
+    std::vector<Repr> repr(scalars.size());
+    for (std::size_t i = 0; i < scalars.size(); ++i)
+        repr[i] = scalars[i].toBigInt();
+    return msm<typename Group::Jacobian>(points.data(), repr.data(),
+                                         points.size());
+}
+
+} // namespace zkp::ec
+
+#endif // ZKP_EC_MSM_H

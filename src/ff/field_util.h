@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Field helpers that work across the tower: generic exponentiation by
+ * arbitrary-precision exponents.
+ */
+
+#ifndef ZKP_FF_FIELD_UTIL_H
+#define ZKP_FF_FIELD_UTIL_H
+
+#include "common/bignum.h"
+#include "ff/fp.h"
+
+namespace zkp::ff {
+
+/**
+ * base^e by MSB-first square and multiply. Works for any field type
+ * exposing one(), squared() and operator*.
+ */
+template <typename F>
+F
+fieldPow(const F& base, const BigNum& e)
+{
+    F result = F::one();
+    for (std::size_t i = e.bitLength(); i-- > 0;) {
+        result = result.squared();
+        if (e.bit(i))
+            result = result * base;
+    }
+    return result;
+}
+
+template <typename Params>
+Fp<Params>
+Fp<Params>::fromDec(std::string_view s)
+{
+    return fromBigInt(BigNum::fromDec(s).toBigInt<N>());
+}
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_FIELD_UTIL_H

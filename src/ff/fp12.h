@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sextic-over-quadratic extension Fp12 = Fp6[w] / (w^2 - v).
+ *
+ * This is the pairing target group's home. The p-power Frobenius is
+ * implemented with gamma coefficients gamma_i = xi^(i*(p-1)/6) derived
+ * at startup from the modulus (no hard-coded magic constants), using
+ * the w-basis decomposition a = sum b_i w^i with b_i in Fp2.
+ */
+
+#ifndef ZKP_FF_FP12_H
+#define ZKP_FF_FP12_H
+
+#include <array>
+
+#include "common/bignum.h"
+#include "common/rng.h"
+#include "ff/field_util.h"
+#include "ff/fp6.h"
+
+namespace zkp::ff {
+
+/** Runtime-derived Frobenius coefficients for one tower. */
+template <typename Tower>
+struct FrobeniusConstants
+{
+    using Fq2 = typename Tower::Fq2;
+
+    /// gamma[i] = xi^(i*(p-1)/6) for i in 1..5 (index 0 unused, = 1).
+    std::array<Fq2, 6> gamma;
+
+    static const FrobeniusConstants&
+    get()
+    {
+        static const FrobeniusConstants instance{compute()};
+        return instance;
+    }
+
+  private:
+    static std::array<Fq2, 6>
+    compute()
+    {
+        using Fq = typename Tower::Fq;
+        const BigNum p = BigNum::fromBigInt(Fq::kModulus);
+        const BigNum e = (p - BigNum(1)) / BigNum(6);
+        std::array<Fq2, 6> g;
+        g[0] = Fq2::one();
+        g[1] = fieldPow(Tower::xi(), e);
+        for (int i = 2; i < 6; ++i)
+            g[i] = g[i - 1] * g[1];
+        return g;
+    }
+};
+
+/**
+ * Element c0 + c1*w with w^2 = v (and hence w^6 = xi).
+ *
+ * @tparam Tower curve tower traits
+ */
+template <typename Tower>
+struct Fp12
+{
+    using Fq = typename Tower::Fq;
+    using Fq2 = typename Tower::Fq2;
+    using Fq6 = Fp6<Tower>;
+
+    Fq6 c0, c1;
+
+    constexpr Fp12() = default;
+    Fp12(const Fq6& a, const Fq6& b) : c0(a), c1(b) {}
+
+    static Fp12 zero() { return {}; }
+    static Fp12 one() { return {Fq6::one(), Fq6::zero()}; }
+
+    static Fp12
+    random(Rng& rng)
+    {
+        return {Fq6::random(rng), Fq6::random(rng)};
+    }
+
+    bool isZero() const { return c0.isZero() && c1.isZero(); }
+    bool isOne() const { return *this == one(); }
+
+    bool
+    operator==(const Fp12& o) const
+    {
+        return c0 == o.c0 && c1 == o.c1;
+    }
+
+    bool operator!=(const Fp12& o) const { return !(*this == o); }
+
+    Fp12 operator+(const Fp12& o) const { return {c0 + o.c0, c1 + o.c1}; }
+    Fp12 operator-(const Fp12& o) const { return {c0 - o.c0, c1 - o.c1}; }
+    Fp12 operator-() const { return {-c0, -c1}; }
+
+    /** Karatsuba over the quadratic layer. */
+    Fp12
+    operator*(const Fp12& o) const
+    {
+        Fq6 t0 = c0 * o.c0;
+        Fq6 t1 = c1 * o.c1;
+        Fq6 mixed = (c0 + c1) * (o.c0 + o.c1);
+        return {t0 + t1.mulByV(), mixed - t0 - t1};
+    }
+
+    Fp12& operator*=(const Fp12& o) { return *this = *this * o; }
+
+    Fp12
+    squared() const
+    {
+        // Complex squaring: (c0 + c1 w)^2 with w^2 = v.
+        Fq6 t = c0 * c1;
+        Fq6 a = (c0 + c1) * (c0 + c1.mulByV()) - t - t.mulByV();
+        return {a, t + t};
+    }
+
+    /** Conjugation over Fp6: the p^6-power Frobenius. */
+    Fp12 conjugate() const { return {c0, -c1}; }
+
+    /**
+     * Multiplicative inverse via the quadratic norm c0^2 - v*c1^2.
+     *
+     * @pre !isZero()
+     */
+    Fp12
+    inverse() const
+    {
+        Fq6 t = (c0.squared() - c1.squared().mulByV()).inverse();
+        return {c0 * t, -(c1 * t)};
+    }
+
+    /**
+     * The p-power Frobenius endomorphism.
+     *
+     * Decomposes into the w-basis b_i (Fp2 coefficients), conjugates
+     * each, and scales b_i by gamma_i.
+     */
+    Fp12
+    frobenius() const
+    {
+        const auto& fc = FrobeniusConstants<Tower>::get();
+        // w-basis: b0..b5 = c0.c0, c1.c0, c0.c1, c1.c1, c0.c2, c1.c2
+        Fq2 b0 = c0.c0.conjugate();
+        Fq2 b1 = c1.c0.conjugate() * fc.gamma[1];
+        Fq2 b2 = c0.c1.conjugate() * fc.gamma[2];
+        Fq2 b3 = c1.c1.conjugate() * fc.gamma[3];
+        Fq2 b4 = c0.c2.conjugate() * fc.gamma[4];
+        Fq2 b5 = c1.c2.conjugate() * fc.gamma[5];
+        return {Fq6(b0, b2, b4), Fq6(b1, b3, b5)};
+    }
+
+    /** Frobenius applied @p k times. */
+    Fp12
+    frobenius(unsigned k) const
+    {
+        Fp12 r = *this;
+        for (unsigned i = 0; i < k; ++i)
+            r = r.frobenius();
+        return r;
+    }
+
+    /** Exponentiation by an arbitrary-precision exponent. */
+    Fp12 pow(const BigNum& e) const { return fieldPow(*this, e); }
+};
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_FP12_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cubic extension Fp6 = Fp2[v] / (v^3 - xi).
+ */
+
+#ifndef ZKP_FF_FP6_H
+#define ZKP_FF_FP6_H
+
+#include "common/rng.h"
+#include "ff/tower.h"
+
+namespace zkp::ff {
+
+/**
+ * Element c0 + c1*v + c2*v^2 with v^3 = xi.
+ *
+ * @tparam Tower curve tower traits (see ff/tower.h)
+ */
+template <typename Tower>
+struct Fp6
+{
+    using Fq = typename Tower::Fq;
+    using Fq2 = typename Tower::Fq2;
+
+    Fq2 c0, c1, c2;
+
+    constexpr Fp6() = default;
+    Fp6(const Fq2& a, const Fq2& b, const Fq2& c) : c0(a), c1(b), c2(c) {}
+
+    static Fp6 zero() { return {}; }
+    static Fp6 one() { return {Fq2::one(), Fq2::zero(), Fq2::zero()}; }
+
+    static Fp6
+    random(Rng& rng)
+    {
+        return {Fq2::random(rng), Fq2::random(rng), Fq2::random(rng)};
+    }
+
+    /** Multiply an Fp2 element by the non-residue xi. */
+    static Fq2 mulByXi(const Fq2& a) { return a * Tower::xi(); }
+
+    bool
+    isZero() const
+    {
+        return c0.isZero() && c1.isZero() && c2.isZero();
+    }
+
+    bool
+    operator==(const Fp6& o) const
+    {
+        return c0 == o.c0 && c1 == o.c1 && c2 == o.c2;
+    }
+
+    bool operator!=(const Fp6& o) const { return !(*this == o); }
+
+    Fp6
+    operator+(const Fp6& o) const
+    {
+        return {c0 + o.c0, c1 + o.c1, c2 + o.c2};
+    }
+
+    Fp6
+    operator-(const Fp6& o) const
+    {
+        return {c0 - o.c0, c1 - o.c1, c2 - o.c2};
+    }
+
+    Fp6 operator-() const { return {-c0, -c1, -c2}; }
+
+    /** Toom-style multiplication (6 Fp2 muls + xi reductions). */
+    Fp6
+    operator*(const Fp6& o) const
+    {
+        Fq2 t0 = c0 * o.c0;
+        Fq2 t1 = c1 * o.c1;
+        Fq2 t2 = c2 * o.c2;
+        Fq2 r0 = t0 + mulByXi((c1 + c2) * (o.c1 + o.c2) - t1 - t2);
+        Fq2 r1 = (c0 + c1) * (o.c0 + o.c1) - t0 - t1 + mulByXi(t2);
+        Fq2 r2 = (c0 + c2) * (o.c0 + o.c2) - t0 - t2 + t1;
+        return {r0, r1, r2};
+    }
+
+    Fp6& operator+=(const Fp6& o) { return *this = *this + o; }
+    Fp6& operator-=(const Fp6& o) { return *this = *this - o; }
+    Fp6& operator*=(const Fp6& o) { return *this = *this * o; }
+
+    Fp6 squared() const { return *this * *this; }
+
+    /** Multiply by v: (c0,c1,c2) -> (xi*c2, c0, c1). */
+    Fp6 mulByV() const { return {mulByXi(c2), c0, c1}; }
+
+    /** Scale by an Fp2 element. */
+    Fp6
+    mulByFq2(const Fq2& s) const
+    {
+        return {c0 * s, c1 * s, c2 * s};
+    }
+
+    /**
+     * Multiplicative inverse (standard cubic-extension formula).
+     *
+     * @pre !isZero()
+     */
+    Fp6
+    inverse() const
+    {
+        Fq2 t0 = c0.squared() - mulByXi(c1 * c2);
+        Fq2 t1 = mulByXi(c2.squared()) - c0 * c1;
+        Fq2 t2 = c1.squared() - c0 * c2;
+        Fq2 f = (c0 * t0 + mulByXi(c2 * t1) + mulByXi(c1 * t2)).inverse();
+        return {t0 * f, t1 * f, t2 * f};
+    }
+};
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_FP6_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Field parameters for the two curves the paper evaluates.
+ *
+ * BN254 (the paper's "BN128": 128-bit security level, 254-bit prime)
+ * and BLS12-381. Each curve contributes a base field Fq (coordinates)
+ * and a scalar field Fr (exponents, witness values, FFT domain).
+ * Everything else — Montgomery constants, towers, Frobenius
+ * coefficients, two-adic roots of unity — is derived from these
+ * numbers at compile time or startup.
+ */
+
+#ifndef ZKP_FF_PARAMS_H
+#define ZKP_FF_PARAMS_H
+
+#include "common/uint.h"
+#include "ff/fp.h"
+
+namespace zkp::ff {
+
+// --------------------------------------------------------------------
+// BN254 (a.k.a. alt_bn128 / BN128)
+// --------------------------------------------------------------------
+
+struct Bn254FqParams
+{
+    static constexpr std::size_t kLimbs = 4;
+    static constexpr BigInt<4> kModulus = BigInt<4>::fromHex(
+        "0x30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47");
+    static constexpr const char* kName = "bn254.Fq";
+};
+
+struct Bn254FrParams
+{
+    static constexpr std::size_t kLimbs = 4;
+    static constexpr BigInt<4> kModulus = BigInt<4>::fromHex(
+        "0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001");
+    static constexpr const char* kName = "bn254.Fr";
+};
+
+// --------------------------------------------------------------------
+// BLS12-381
+// --------------------------------------------------------------------
+
+struct Bls381FqParams
+{
+    static constexpr std::size_t kLimbs = 6;
+    static constexpr BigInt<6> kModulus = BigInt<6>::fromHex(
+        "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624"
+        "1eabfffeb153ffffb9feffffffffaaab");
+    static constexpr const char* kName = "bls381.Fq";
+};
+
+struct Bls381FrParams
+{
+    static constexpr std::size_t kLimbs = 4;
+    static constexpr BigInt<4> kModulus = BigInt<4>::fromHex(
+        "0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+    static constexpr const char* kName = "bls381.Fr";
+};
+
+namespace bn254 {
+using Fq = Fp<Bn254FqParams>;
+using Fr = Fp<Bn254FrParams>;
+/// BN parameter x: p, r and the ate loop count derive from it.
+constexpr u64 kX = 4965661367192848881ULL;
+} // namespace bn254
+
+namespace bls381 {
+using Fq = Fp<Bls381FqParams>;
+using Fr = Fp<Bls381FrParams>;
+/// BLS parameter |x| (x itself is negative: x = -0xd201000000010000).
+constexpr u64 kXAbs = 0xd201000000010000ULL;
+constexpr bool kXNegative = true;
+} // namespace bls381
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_PARAMS_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tower traits tying each curve's extension fields together.
+ *
+ * The Fp6/Fp12 templates are parameterized by a Tower struct that
+ * provides the base fields and the cubic/sextic non-residue xi used to
+ * build Fp6 = Fp2[v]/(v^3 - xi) and Fp12 = Fp6[w]/(w^2 - v).
+ */
+
+#ifndef ZKP_FF_TOWER_H
+#define ZKP_FF_TOWER_H
+
+#include "ff/fp2.h"
+#include "ff/params.h"
+
+namespace zkp::ff {
+
+/** BN254 tower: xi = 9 + u. */
+struct Bn254Tower
+{
+    using Fq = bn254::Fq;
+    using Fq2 = Fp2<Fq>;
+
+    static Fq2 xi() { return {Fq::fromU64(9), Fq::one()}; }
+    static constexpr const char* kName = "bn254";
+};
+
+/** BLS12-381 tower: xi = 1 + u. */
+struct Bls381Tower
+{
+    using Fq = bls381::Fq;
+    using Fq2 = Fp2<Fq>;
+
+    static Fq2 xi() { return {Fq::one(), Fq::one()}; }
+    static constexpr const char* kName = "bls381";
+};
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_TOWER_H

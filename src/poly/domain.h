@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Radix-2 evaluation domains and (inverse/coset) NTTs over a scalar
+ * field.
+ *
+ * Both scalar fields have two-adicity >= 28, so every circuit size in
+ * the paper's sweep (2^10 .. 2^18 constraints) has a power-of-two
+ * multiplicative subgroup to interpolate over. The 2^s-th root of
+ * unity is derived at startup by finding a quadratic non-residue c
+ * (Euler's criterion) and taking c^t for r - 1 = 2^s * t.
+ *
+ * The butterfly loops are instrumented: each butterfly reports its
+ * loop-overhead signature and its element accesses, which makes the
+ * proving stage's strided access pattern visible to the cache and
+ * bandwidth models.
+ */
+
+#ifndef ZKP_POLY_DOMAIN_H
+#define ZKP_POLY_DOMAIN_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+#include "ff/fp.h"
+#include "sim/counters.h"
+#include "sim/memtrace.h"
+
+namespace zkp::poly {
+
+/** Two-adicity data shared by all domains of one field. */
+template <typename Fr>
+struct TwoAdicity
+{
+    /// r - 1 = 2^s * t with t odd.
+    std::size_t s = 0;
+    /// Generator of the order-2^s subgroup.
+    Fr rootOfUnity;
+    /// A quadratic non-residue, used as the coset shift.
+    Fr cosetShift;
+
+    static const TwoAdicity&
+    get()
+    {
+        static const TwoAdicity instance = compute();
+        return instance;
+    }
+
+  private:
+    static TwoAdicity
+    compute()
+    {
+        TwoAdicity out;
+        auto t = Fr::kModulus;
+        t.subInPlace(typename Fr::Repr(1));
+        while (!t.isOdd()) {
+            t.shr1InPlace();
+            ++out.s;
+        }
+        // Smallest quadratic non-residue; c^t then has order 2^s.
+        Fr c = Fr::fromU64(2);
+        while (c.legendre() != -1)
+            c += Fr::one();
+        out.cosetShift = c;
+        out.rootOfUnity = c.pow(t);
+        return out;
+    }
+};
+
+/**
+ * A multiplicative subgroup of size 2^k with forward/inverse/coset
+ * NTT transforms.
+ */
+template <typename Fr>
+class Domain
+{
+  public:
+    /** Build the domain of size @p n (must be a power of two). */
+    explicit Domain(std::size_t n) : size_(n)
+    {
+        assert(n > 0 && (n & (n - 1)) == 0 && "domain size not 2^k");
+        const auto& ta = TwoAdicity<Fr>::get();
+        std::size_t log2n = 0;
+        while ((std::size_t(1) << log2n) < n)
+            ++log2n;
+        assert(log2n <= ta.s && "domain exceeds field two-adicity");
+
+        omega_ = ta.rootOfUnity;
+        for (std::size_t i = log2n; i < ta.s; ++i)
+            omega_ = omega_.squared();
+        omegaInv_ = omega_.inverse();
+        sizeInv_ = Fr::fromU64(n).inverse();
+        shift_ = ta.cosetShift;
+        shiftInv_ = shift_.inverse();
+        log2n_ = log2n;
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t log2Size() const { return log2n_; }
+
+    /** The domain generator omega (primitive n-th root of unity). */
+    const Fr& omega() const { return omega_; }
+
+    /** The coset shift g (a non-residue, so the coset is disjoint). */
+    const Fr& cosetShift() const { return shift_; }
+
+    /** 1 / n, for Lagrange evaluations. */
+    const Fr& sizeInv() const { return sizeInv_; }
+
+    /** Element omega^i. */
+    Fr
+    element(std::size_t i) const
+    {
+        return omega_.pow((u64)i);
+    }
+
+    /** Evaluate the vanishing polynomial Z(x) = x^n - 1. */
+    Fr
+    vanishingAt(const Fr& x) const
+    {
+        return x.pow((u64)size_) - Fr::one();
+    }
+
+    /** Z evaluated anywhere on the coset (constant: g^n - 1). */
+    Fr
+    vanishingOnCoset() const
+    {
+        return shift_.pow((u64)size_) - Fr::one();
+    }
+
+    /** In-place forward NTT: coefficients -> evaluations. */
+    void
+    ntt(std::vector<Fr>& a, std::size_t threads = 1) const
+    {
+        transform(a, omega_, threads);
+    }
+
+    /** In-place inverse NTT: evaluations -> coefficients. */
+    void
+    intt(std::vector<Fr>& a, std::size_t threads = 1) const
+    {
+        transform(a, omegaInv_, threads);
+        parallelFor(a.size(), threads,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i)
+                            a[i] *= sizeInv_;
+                    });
+    }
+
+    /** Coefficients -> evaluations on the coset g * H. */
+    void
+    cosetNtt(std::vector<Fr>& a, std::size_t threads = 1) const
+    {
+        scaleByPowers(a, shift_, threads);
+        transform(a, omega_, threads);
+    }
+
+    /** Evaluations on the coset -> coefficients. */
+    void
+    cosetIntt(std::vector<Fr>& a, std::size_t threads = 1) const
+    {
+        intt(a, threads);
+        scaleByPowers(a, shiftInv_, threads);
+    }
+
+    /**
+     * All Lagrange basis polynomials evaluated at @p tau:
+     * L_j(tau) = (tau^n - 1) * omega^j / (n * (tau - omega^j)).
+     * One batch inversion; used by the trusted setup.
+     */
+    std::vector<Fr>
+    lagrangeCoeffsAt(const Fr& tau) const
+    {
+        std::vector<Fr> denom(size_);
+        Fr w = Fr::one();
+        for (std::size_t j = 0; j < size_; ++j) {
+            denom[j] = tau - w;
+            // tau inside the domain would need the trivial answer; the
+            // setup draws tau uniformly so this has probability n/r.
+            assert(!denom[j].isZero() && "tau collides with the domain");
+            w *= omega_;
+        }
+        ff::batchInverse(denom.data(), denom.size());
+
+        const Fr ztau_over_n = vanishingAt(tau) * sizeInv_;
+        std::vector<Fr> out(size_);
+        w = Fr::one();
+        for (std::size_t j = 0; j < size_; ++j) {
+            out[j] = ztau_over_n * w * denom[j];
+            w *= omega_;
+        }
+        return out;
+    }
+
+  private:
+    /** Iterative radix-2 Cooley-Tukey with bit-reversal permutation. */
+    void
+    transform(std::vector<Fr>& a, const Fr& root, std::size_t threads) const
+    {
+        assert(a.size() == size_);
+        const std::size_t n = size_;
+        if (n == 1)
+            return;
+
+        // Bit-reversal permutation.
+        for (std::size_t i = 1, j = 0; i < n; ++i) {
+            std::size_t bit = n >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j ^= bit;
+            if (i < j)
+                std::swap(a[i], a[j]);
+        }
+
+        // Per-level twiddle tables.
+        for (std::size_t len = 2; len <= n; len <<= 1) {
+            Fr wlen = root;
+            for (std::size_t l = len; l < n; l <<= 1)
+                wlen = wlen.squared();
+
+            const std::size_t half = len >> 1;
+            std::vector<Fr> tw(half);
+            Fr w = Fr::one();
+            for (std::size_t k = 0; k < half; ++k) {
+                tw[k] = w;
+                w *= wlen;
+            }
+
+            const std::size_t blocks = n / len;
+            parallelFor(blocks, threads,
+                        [&](std::size_t, std::size_t bb, std::size_t be) {
+                for (std::size_t b = bb; b < be; ++b) {
+                    const std::size_t base = b * len;
+                    for (std::size_t k = 0; k < half; ++k) {
+                        sim::count(sim::PrimOp::NttButterfly, Fr::N);
+                        Fr& lo = a[base + k];
+                        Fr& hi = a[base + k + half];
+                        sim::traceLoad(&lo, sizeof(Fr));
+                        sim::traceLoad(&hi, sizeof(Fr));
+                        Fr u = lo;
+                        Fr v = hi * tw[k];
+                        lo = u + v;
+                        hi = u - v;
+                        sim::traceStore(&lo, sizeof(Fr));
+                        sim::traceStore(&hi, sizeof(Fr));
+                    }
+                }
+            });
+        }
+    }
+
+    /** a[i] *= s^i. */
+    void
+    scaleByPowers(std::vector<Fr>& a, const Fr& s,
+                  std::size_t threads) const
+    {
+        parallelFor(a.size(), threads,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        Fr cur = s.pow((u64)b);
+                        for (std::size_t i = b; i < e; ++i) {
+                            a[i] *= cur;
+                            cur *= s;
+                        }
+                    });
+    }
+
+    std::size_t size_;
+    std::size_t log2n_ = 0;
+    Fr omega_, omegaInv_, sizeInv_, shift_, shiftInv_;
+};
+
+} // namespace zkp::poly
+
+#endif // ZKP_POLY_DOMAIN_H

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Dense univariate polynomials over a scalar field.
+ *
+ * Used by the QAP reduction tests and utility code; the prover itself
+ * works on raw evaluation vectors for speed. Multiplication switches
+ * between schoolbook and NTT based on size.
+ */
+
+#ifndef ZKP_POLY_POLYNOMIAL_H
+#define ZKP_POLY_POLYNOMIAL_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "poly/domain.h"
+
+namespace zkp::poly {
+
+/** Dense polynomial: coeffs_[i] is the x^i coefficient. */
+template <typename Fr>
+class Polynomial
+{
+  public:
+    Polynomial() = default;
+
+    explicit Polynomial(std::vector<Fr> coeffs) : coeffs_(std::move(coeffs))
+    {
+        trim();
+    }
+
+    static Polynomial
+    constant(const Fr& c)
+    {
+        return Polynomial(std::vector<Fr>{c});
+    }
+
+    /** The zero polynomial has degree -1 by convention (returned as 0). */
+    std::size_t
+    degree() const
+    {
+        return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+    }
+
+    bool isZero() const { return coeffs_.empty(); }
+
+    const std::vector<Fr>& coeffs() const { return coeffs_; }
+
+    /** Coefficient of x^i (0 beyond the stored degree). */
+    Fr
+    coeff(std::size_t i) const
+    {
+        return i < coeffs_.size() ? coeffs_[i] : Fr::zero();
+    }
+
+    bool
+    operator==(const Polynomial& o) const
+    {
+        return coeffs_ == o.coeffs_;
+    }
+
+    bool operator!=(const Polynomial& o) const { return !(*this == o); }
+
+    Polynomial
+    operator+(const Polynomial& o) const
+    {
+        std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()),
+                            Fr::zero());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = coeff(i) + o.coeff(i);
+        return Polynomial(std::move(out));
+    }
+
+    Polynomial
+    operator-(const Polynomial& o) const
+    {
+        std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()),
+                            Fr::zero());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = coeff(i) - o.coeff(i);
+        return Polynomial(std::move(out));
+    }
+
+    /** Product; NTT-based above the schoolbook threshold. */
+    Polynomial
+    operator*(const Polynomial& o) const
+    {
+        if (isZero() || o.isZero())
+            return Polynomial();
+        const std::size_t out_size = coeffs_.size() + o.coeffs_.size() - 1;
+        if (out_size <= 64) {
+            std::vector<Fr> out(out_size, Fr::zero());
+            for (std::size_t i = 0; i < coeffs_.size(); ++i)
+                for (std::size_t j = 0; j < o.coeffs_.size(); ++j)
+                    out[i + j] += coeffs_[i] * o.coeffs_[j];
+            return Polynomial(std::move(out));
+        }
+        std::size_t n = 1;
+        while (n < out_size)
+            n <<= 1;
+        Domain<Fr> dom(n);
+        std::vector<Fr> a = coeffs_;
+        std::vector<Fr> b = o.coeffs_;
+        a.resize(n, Fr::zero());
+        b.resize(n, Fr::zero());
+        dom.ntt(a);
+        dom.ntt(b);
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] *= b[i];
+        dom.intt(a);
+        a.resize(out_size);
+        return Polynomial(std::move(a));
+    }
+
+    /** Horner evaluation. */
+    Fr
+    evaluate(const Fr& x) const
+    {
+        Fr acc = Fr::zero();
+        for (std::size_t i = coeffs_.size(); i-- > 0;)
+            acc = acc * x + coeffs_[i];
+        return acc;
+    }
+
+    /**
+     * Long division by @p d.
+     *
+     * @return {quotient, remainder} with deg(remainder) < deg(d)
+     */
+    std::pair<Polynomial, Polynomial>
+    divMod(const Polynomial& d) const
+    {
+        assert(!d.isZero() && "polynomial division by zero");
+        std::vector<Fr> rem = coeffs_;
+        if (rem.size() < d.coeffs_.size())
+            return {Polynomial(), *this};
+        std::vector<Fr> quot(rem.size() - d.coeffs_.size() + 1, Fr::zero());
+        const Fr lead_inv = d.coeffs_.back().inverse();
+        for (std::size_t i = quot.size(); i-- > 0;) {
+            Fr q = rem[i + d.coeffs_.size() - 1] * lead_inv;
+            quot[i] = q;
+            if (q.isZero())
+                continue;
+            for (std::size_t j = 0; j < d.coeffs_.size(); ++j)
+                rem[i + j] -= q * d.coeffs_[j];
+        }
+        rem.resize(d.coeffs_.size() - 1);
+        return {Polynomial(std::move(quot)), Polynomial(std::move(rem))};
+    }
+
+    /** Interpolate evaluations over a domain (inverse NTT). */
+    static Polynomial
+    interpolate(const Domain<Fr>& dom, std::vector<Fr> evals)
+    {
+        assert(evals.size() == dom.size());
+        dom.intt(evals);
+        return Polynomial(std::move(evals));
+    }
+
+  private:
+    void
+    trim()
+    {
+        while (!coeffs_.empty() && coeffs_.back().isZero())
+            coeffs_.pop_back();
+    }
+
+    std::vector<Fr> coeffs_;
+};
+
+} // namespace zkp::poly
+
+#endif // ZKP_POLY_POLYNOMIAL_H

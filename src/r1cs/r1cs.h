@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Rank-1 Constraint Systems (paper §II-C).
+ *
+ * A constraint is <A,z> * <B,z> = <C,z> over the variable vector z,
+ * where z[0] is the constant one, z[1..numPublic] are the public
+ * inputs, and the remaining entries are private inputs and internal
+ * wires. Rows are sparse (index, coefficient) lists, as in circom's
+ * .r1cs format.
+ */
+
+#ifndef ZKP_R1CS_R1CS_H
+#define ZKP_R1CS_R1CS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/counters.h"
+#include "sim/memtrace.h"
+
+namespace zkp::r1cs {
+
+using VarIndex = std::uint32_t;
+
+/** Sparse linear combination sum_i coeff_i * z[var_i]. */
+template <typename Fr>
+struct LinearCombination
+{
+    std::vector<std::pair<VarIndex, Fr>> terms;
+
+    LinearCombination() = default;
+
+    /** Single-term combination. */
+    LinearCombination(VarIndex v, const Fr& coeff)
+    {
+        terms.emplace_back(v, coeff);
+    }
+
+    bool isZero() const { return terms.empty(); }
+
+    /**
+     * Evaluate against an assignment. Every term visit reports a
+     * SparseEntry signature and traces the indexed wire load — the
+     * scattered z[] indexing is what drives the witness/proving MPKI.
+     */
+    Fr
+    evaluate(const std::vector<Fr>& z) const
+    {
+        Fr acc = Fr::zero();
+        for (const auto& [v, coeff] : terms) {
+            sim::count(sim::PrimOp::SparseEntry);
+            sim::traceLoad(&z[v], sizeof(Fr));
+            acc += coeff * z[v];
+        }
+        return acc;
+    }
+
+    /**
+     * Canonicalize: sort by variable and merge duplicate indices,
+     * dropping zero coefficients.
+     */
+    void
+    normalize()
+    {
+        std::sort(terms.begin(), terms.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        std::vector<std::pair<VarIndex, Fr>> merged;
+        merged.reserve(terms.size());
+        for (const auto& t : terms) {
+            if (!merged.empty() && merged.back().first == t.first)
+                merged.back().second += t.second;
+            else
+                merged.push_back(t);
+        }
+        std::erase_if(merged,
+                      [](const auto& t) { return t.second.isZero(); });
+        terms = std::move(merged);
+    }
+
+    LinearCombination
+    operator+(const LinearCombination& o) const
+    {
+        LinearCombination r = *this;
+        r.terms.insert(r.terms.end(), o.terms.begin(), o.terms.end());
+        r.normalize();
+        return r;
+    }
+
+    LinearCombination
+    operator-(const LinearCombination& o) const
+    {
+        LinearCombination r = *this;
+        for (const auto& [v, c] : o.terms)
+            r.terms.emplace_back(v, -c);
+        r.normalize();
+        return r;
+    }
+
+    LinearCombination
+    scaled(const Fr& s) const
+    {
+        LinearCombination r = *this;
+        for (auto& [v, c] : r.terms)
+            c *= s;
+        r.normalize();
+        return r;
+    }
+};
+
+/** One rank-1 constraint <A,z> * <B,z> = <C,z>. */
+template <typename Fr>
+struct Constraint
+{
+    LinearCombination<Fr> a, b, c;
+};
+
+/** A compiled constraint system (the paper's "ccs"). */
+template <typename Fr>
+class R1cs
+{
+  public:
+    R1cs() = default;
+
+    R1cs(VarIndex num_vars, VarIndex num_public,
+         std::vector<Constraint<Fr>> constraints)
+        : numVars_(num_vars),
+          numPublic_(num_public),
+          constraints_(std::move(constraints))
+    {}
+
+    /** Total variable count including the constant one. */
+    VarIndex numVars() const { return numVars_; }
+
+    /** Number of public input variables (z[1..numPublic]). */
+    VarIndex numPublic() const { return numPublic_; }
+
+    std::size_t numConstraints() const { return constraints_.size(); }
+
+    const std::vector<Constraint<Fr>>& constraints() const
+    {
+        return constraints_;
+    }
+
+    /** Check every constraint against a full assignment. */
+    bool
+    isSatisfied(const std::vector<Fr>& z) const
+    {
+        assert(z.size() == numVars_);
+        assert(!z.empty() && z[0] == Fr::one());
+        for (const auto& cst : constraints_) {
+            if (cst.a.evaluate(z) * cst.b.evaluate(z) != cst.c.evaluate(z))
+                return false;
+        }
+        return true;
+    }
+
+    /** Total number of sparse entries (the "size" of the system). */
+    std::size_t
+    numNonZero() const
+    {
+        std::size_t nnz = 0;
+        for (const auto& cst : constraints_)
+            nnz += cst.a.terms.size() + cst.b.terms.size() +
+                   cst.c.terms.size();
+        return nnz;
+    }
+
+  private:
+    VarIndex numVars_ = 1;
+    VarIndex numPublic_ = 0;
+    std::vector<Constraint<Fr>> constraints_;
+};
+
+} // namespace zkp::r1cs
+
+#endif // ZKP_R1CS_R1CS_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Gshare branch-predictor simulator.
+ *
+ * Consumes the real outcomes of the instrumented data-dependent
+ * branches (MSM bucket occupancy, witness gate dispatch, scalar-bit
+ * tests) and produces the misprediction counts that feed the
+ * bad-speculation share of the top-down model. Table sizes differ per
+ * modelled CPU (older cores predict the interpreter-style witness
+ * dispatch noticeably worse).
+ */
+
+#ifndef ZKP_SIM_BRANCH_H
+#define ZKP_SIM_BRANCH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/memtrace.h"
+
+namespace zkp::sim {
+
+/** Statistics of one predictor instance. */
+struct BranchStats
+{
+    u64 events = 0;
+    u64 mispredicts = 0;
+
+    double
+    mispredictRate() const
+    {
+        return events ? (double)mispredicts / (double)events : 0.0;
+    }
+};
+
+/**
+ * Gshare: global history XOR branch site indexes a table of 2-bit
+ * saturating counters.
+ */
+class GsharePredictor : public TraceSink
+{
+  public:
+    /**
+     * @param name CPU label for reports
+     * @param history_bits global history length / table index width
+     */
+    explicit GsharePredictor(std::string name, unsigned history_bits = 12)
+        : name_(std::move(name)), historyBits_(history_bits),
+          table_(std::size_t(1) << history_bits, 1)
+    {}
+
+    /** Predict, update, and record the outcome of one branch. */
+    void
+    branch(u32 site, bool taken)
+    {
+        const std::size_t idx =
+            (history_ ^ (site * 0x9e3779b9u)) & (table_.size() - 1);
+        const bool predicted = table_[idx] >= 2;
+        ++stats_.events;
+        if (predicted != taken)
+            ++stats_.mispredicts;
+        if (taken) {
+            if (table_[idx] < 3)
+                ++table_[idx];
+        } else {
+            if (table_[idx] > 0)
+                --table_[idx];
+        }
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+                   ((1u << historyBits_) - 1);
+    }
+
+    void
+    onAccess(u64, u32, bool, u64) override
+    {}
+
+    void
+    onBranch(u32 site, bool taken) override
+    {
+        branch(site, taken);
+    }
+
+    const BranchStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+
+    void
+    resetStats()
+    {
+        stats_ = BranchStats();
+    }
+
+  private:
+    std::string name_;
+    unsigned historyBits_;
+    std::vector<unsigned char> table_;
+    u32 history_ = 0;
+    BranchStats stats_;
+};
+
+} // namespace zkp::sim
+
+#endif // ZKP_SIM_BRANCH_H

@@ -1,0 +1,143 @@
+#include "sim/cpu_model.h"
+
+namespace zkp::sim {
+
+const CpuModel&
+cpuI7_8650U()
+{
+    static const CpuModel m = [] {
+        CpuModel c;
+        c.name = "i7-8650U";
+        c.perfCores = 4;
+        c.effCores = 0;
+        c.smtThreads = 8;
+        c.memBandwidthGBps = 34.1;
+        c.llcBytes = 8ull * 1024 * 1024;
+        c.dramType = "LPDDR3";
+        c.dramChannels = 2;
+
+        // Kaby Lake-R @ ~1.9 GHz base / 4.2 boost; sustained mobile
+        // clocks sit well below boost under multi-minute crypto load.
+        c.frequencyGHz = 2.8;
+        c.issueWidth = 4;
+        c.decodeWidth = 3.1;
+        c.uopCacheUops = 1536;
+        c.mispredictPenalty = 16.5;
+        // Mobile Skylake-family front end: costly steering bubbles.
+        c.takenBranchBubble = 1.4;
+        c.indirectBubble = 6.0;
+        c.memLevelParallelism = 6.0;
+        c.l2Latency = 12;
+        c.llcLatency = 40;
+        c.memLatency = 180; // LPDDR3: high latency
+        c.mulThroughput = 1.0;
+        c.mulLatency = 4.0;
+        c.depIlp = 1.4;
+        c.iStreamStallPerUop = 0.60;
+        c.l1iBytes = 32 * 1024; // effective (weak i-prefetch)
+        c.baseMispredictRate = 0.006;
+        c.predictorBits = 12;
+
+        c.l1 = {32 * 1024, 8};
+        c.l2 = {256 * 1024, 4};
+        c.llcConfig = {8ull * 1024 * 1024, 16};
+        return c;
+    }();
+    return m;
+}
+
+const CpuModel&
+cpuI5_11400()
+{
+    static const CpuModel m = [] {
+        CpuModel c;
+        c.name = "i5-11400";
+        c.perfCores = 6;
+        c.effCores = 0;
+        c.smtThreads = 12;
+        c.memBandwidthGBps = 17.0; // single channel (Table I)
+        c.llcBytes = 12ull * 1024 * 1024;
+        c.dramType = "DDR4";
+        c.dramChannels = 1;
+
+        // Rocket Lake (Cypress Cove) @ ~4.2 GHz all-core.
+        c.frequencyGHz = 4.2;
+        c.issueWidth = 5;
+        c.decodeWidth = 4.0;
+        c.uopCacheUops = 2304;
+        c.mispredictPenalty = 17.0;
+        c.takenBranchBubble = 1.0;
+        c.indirectBubble = 4.0;
+        // Single-channel DRAM throttles outstanding misses hard.
+        c.memLevelParallelism = 4.0;
+        c.l2Latency = 13;
+        c.llcLatency = 42;
+        c.memLatency = 260; // 1-channel DDR4 under load
+        c.mulThroughput = 1.0;
+        c.mulLatency = 3.6;
+        c.depIlp = 1.5;
+        c.iStreamStallPerUop = 0.32;
+        c.l1iBytes = 48 * 1024; // effective with i-prefetch
+        c.baseMispredictRate = 0.005;
+        c.predictorBits = 13;
+
+        c.l1 = {48 * 1024, 12};
+        c.l2 = {512 * 1024, 8};
+        c.llcConfig = {12ull * 1024 * 1024, 12};
+        return c;
+    }();
+    return m;
+}
+
+const CpuModel&
+cpuI9_13900K()
+{
+    static const CpuModel m = [] {
+        CpuModel c;
+        c.name = "i9-13900K";
+        c.perfCores = 8;
+        c.effCores = 16;
+        c.smtThreads = 32;
+        c.memBandwidthGBps = 89.6;
+        c.llcBytes = 36ull * 1024 * 1024;
+        c.dramType = "DDR5";
+        c.dramChannels = 4;
+
+        // Raptor Cove P-core @ ~5.5 GHz.
+        c.frequencyGHz = 5.5;
+        c.issueWidth = 6;
+        c.decodeWidth = 5.5;
+        c.uopCacheUops = 4096;
+        c.mispredictPenalty = 18.0;
+        // Wide, deep front end: small steering bubbles.
+        c.takenBranchBubble = 0.55;
+        c.indirectBubble = 2.2;
+        c.memLevelParallelism = 10.0;
+        c.l2Latency = 15;
+        c.llcLatency = 55;   // big shared LLC: longer hit latency
+        c.memLatency = 380;  // DDR5 latency in cycles at 5.5 GHz
+        c.mulThroughput = 2.0;
+        c.mulLatency = 3.2;
+        c.depIlp = 1.6;
+        c.iStreamStallPerUop = 0.30;
+        c.l1iBytes = 96 * 1024; // effective: aggressive i-prefetch
+        c.baseMispredictRate = 0.004;
+        c.predictorBits = 14;
+
+        c.l1 = {48 * 1024, 12};
+        c.l2 = {2048 * 1024, 16};
+        c.llcConfig = {36ull * 1024 * 1024, 12};
+        return c;
+    }();
+    return m;
+}
+
+const std::vector<const CpuModel*>&
+allCpuModels()
+{
+    static const std::vector<const CpuModel*> all{
+        &cpuI7_8650U(), &cpuI5_11400(), &cpuI9_13900K()};
+    return all;
+}
+
+} // namespace zkp::sim

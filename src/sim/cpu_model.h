@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Microarchitecture models of the paper's three CPUs (Table I).
+ *
+ * Geometry (cores, SMT, LLC, DRAM bandwidth) comes straight from the
+ * paper's Table I; pipeline parameters (issue width, mispredict
+ * penalty, fetch bubbles, memory-level parallelism) come from the
+ * public microarchitecture families these parts belong to (Kaby
+ * Lake-R, Rocket Lake, Raptor Lake). These parameters are the
+ * substitution for owning the retail machines: the top-down model
+ * classifies each stage against them, which is what makes the same
+ * stage land in different categories on different CPUs.
+ */
+
+#ifndef ZKP_SIM_CPU_MODEL_H
+#define ZKP_SIM_CPU_MODEL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/cache.h"
+
+namespace zkp::sim {
+
+/** One modelled CPU. */
+struct CpuModel
+{
+    std::string name;
+
+    // ---- Table I geometry ----
+    unsigned perfCores;
+    unsigned effCores;
+    unsigned smtThreads;
+    double memBandwidthGBps;
+    std::size_t llcBytes;
+    std::string dramType;
+    unsigned dramChannels;
+
+    // ---- pipeline parameters (microarchitecture family) ----
+    double frequencyGHz;
+    /// Pipeline slots per cycle (top-down slot width).
+    unsigned issueWidth;
+    /// Effective legacy-decode throughput (uops/cycle); the fetch
+    /// bottleneck when a kernel overflows the uop cache.
+    double decodeWidth;
+    /// Uop-cache capacity in uops: hot loops larger than this stream
+    /// from the legacy decoder.
+    unsigned uopCacheUops;
+    /// Cycles lost on a branch mispredict.
+    double mispredictPenalty;
+    /// Fetch-bubble cycles per taken branch (front-end steering).
+    double takenBranchBubble;
+    /// Fetch-bubble cycles per indirect dispatch (interpreter-style).
+    double indirectBubble;
+    /// Outstanding-miss overlap: effective divisor on memory stalls.
+    double memLevelParallelism;
+    /// Latency in cycles: L2 hit, LLC hit, DRAM.
+    double l2Latency;
+    double llcLatency;
+    double memLatency;
+    /// Sustained multiplies per cycle (64x64 IMUL pipes).
+    double mulThroughput;
+    /// IMUL result latency in cycles.
+    double mulLatency;
+    /// Average independent dependency chains the OoO window overlaps
+    /// in the Montgomery kernels (divides the latency-bound cycles).
+    double depIlp;
+    /// Fetch-stall cycles per uop when the hot code streams from the
+    /// memory hierarchy instead of L1i/uop cache.
+    double iStreamStallPerUop;
+    /// Effective L1 instruction capacity (physical L1i scaled by the
+    /// quality of the instruction prefetcher).
+    std::size_t l1iBytes;
+    /// Baseline misprediction rate of the easy (loop/carry) branches.
+    double baseMispredictRate;
+    /// Branch predictor table index bits.
+    unsigned predictorBits;
+
+    // ---- cache geometry ----
+    CacheConfig l1{32 * 1024, 8};
+    CacheConfig l2{256 * 1024, 4};
+    CacheConfig llcConfig{8u * 1024 * 1024, 16};
+
+    /** Hardware threads available (paper's scalability axis). */
+    unsigned
+    hardwareThreads() const
+    {
+        return smtThreads;
+    }
+
+    /**
+     * Effective parallel capacity of @p threads software threads:
+     * P cores count fully, E cores at ~0.55 of a P core, and SMT
+     * siblings add ~25% each. This is the divisor the scalability
+     * model applies to the parallelizable share of a stage.
+     */
+    double
+    effectiveCapacity(unsigned threads) const
+    {
+        if (threads == 0)
+            return 1.0;
+        const unsigned p = perfCores;
+        const unsigned e = effCores;
+        double cap = 0;
+        unsigned t = threads;
+        const unsigned use_p = t < p ? t : p;
+        cap += use_p;
+        t -= use_p;
+        const unsigned use_e = t < e ? t : e;
+        cap += 0.55 * use_e;
+        t -= use_e;
+        cap += 0.25 * t;
+        return cap < 1.0 ? 1.0 : cap;
+    }
+
+    /** Construct a cache hierarchy instance for this CPU. */
+    CacheHierarchy
+    makeHierarchy(u64 window_instructions = 1'000'000) const
+    {
+        return CacheHierarchy(name, l1, l2, llcConfig,
+                              window_instructions);
+    }
+};
+
+/** Intel i7-8650U (Kaby Lake-R): mobile quad core, LPDDR3. */
+const CpuModel& cpuI7_8650U();
+
+/** Intel i5-11400 (Rocket Lake): 6 cores, single-channel DDR4. */
+const CpuModel& cpuI5_11400();
+
+/** Intel i9-13900K (Raptor Lake): 8P + 16E, DDR5. */
+const CpuModel& cpuI9_13900K();
+
+/** All three modelled CPUs, in the paper's Table I order. */
+const std::vector<const CpuModel*>& allCpuModels();
+
+} // namespace zkp::sim
+
+#endif // ZKP_SIM_CPU_MODEL_H

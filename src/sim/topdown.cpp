@@ -1,0 +1,103 @@
+#include "sim/topdown.h"
+
+#include <algorithm>
+
+namespace zkp::sim {
+
+std::string
+TopDownResult::boundCategory() const
+{
+    if (retiring >= frontend && retiring >= backend &&
+        retiring >= badSpeculation)
+        return "retiring";
+    if (frontend >= backend && frontend >= badSpeculation)
+        return "front-end bound";
+    if (backend >= badSpeculation)
+        return "back-end bound";
+    return "bad speculation";
+}
+
+TopDownResult
+classifyTopDown(const StageEvents& ev, const CpuModel& cpu)
+{
+    const Counters& c = ev.counters;
+    const double uops = (double)c.instructions();
+    TopDownResult out;
+    if (uops <= 0) {
+        out.retiring = 1.0;
+        return out;
+    }
+
+    // Ideal issue-limited cycles.
+    const double c_retire = uops / cpu.issueWidth;
+
+    // Core execution stalls: the Montgomery kernels are chains of
+    // dependent wide multiplies; the OoO window overlaps only a few
+    // chains, so latency-bound cycles dominate throughput-bound ones.
+    const double c_core =
+        std::max((double)c.imuls / cpu.mulThroughput,
+                 (double)c.imuls * cpu.mulLatency / cpu.depIlp);
+    const double c_exec = std::max(c_retire, c_core);
+
+    // Memory stalls from the simulated hierarchy, overlapped by the
+    // CPU's memory-level parallelism.
+    const double c_mem = (ev.l1Misses * cpu.l2Latency +
+                          ev.l2Misses * cpu.llcLatency +
+                          ev.llcMisses * cpu.memLatency) /
+                         cpu.memLevelParallelism;
+
+    // Front-end stalls.
+    double c_fe = 0;
+    // (a) uop-cache overflow: fetch falls back to the legacy decoder.
+    if (ev.hotCodeUops > cpu.uopCacheUops) {
+        const double overflow =
+            std::min(1.0, (ev.hotCodeUops - cpu.uopCacheUops) /
+                              (double)cpu.uopCacheUops);
+        const double decode_gap =
+            std::max(0.0, uops / cpu.decodeWidth - c_retire);
+        c_fe += overflow * decode_gap;
+    }
+    // (b) instruction streaming: as the hot code outgrows the
+    // effective L1i (generated witness code, WASM-compiled kernels,
+    // the verifier's JS bigint library), a growing share of fetches
+    // stream from L2 and beyond. Saturates at 4x the capacity.
+    const double hot_code_bytes = ev.hotCodeUops * 4.0;
+    const double l1i = (double)cpu.l1iBytes;
+    if (hot_code_bytes > l1i) {
+        const double sat =
+            std::min(1.0, (hot_code_bytes - l1i) / (3.0 * l1i));
+        c_fe += uops * cpu.iStreamStallPerUop * sat;
+    }
+    // (c) steering bubbles: taken branches and indirect dispatches.
+    const double taken = (double)c.branches * ev.takenFraction;
+    const double indirects =
+        (double)(c.prim[(std::size_t)PrimOp::GateDispatch] +
+                 c.prim[(std::size_t)PrimOp::Alloc]);
+    c_fe += taken * cpu.takenBranchBubble +
+            indirects * cpu.indirectBubble;
+
+    // Bad speculation: the instrumented data-dependent branches carry
+    // the simulated predictor's miss rate; the remaining (loop/carry)
+    // branches are easy and mispredict at the baseline rate.
+    const double hard = std::min((double)c.branches, ev.branchEvents);
+    const double easy = (double)c.branches - hard;
+    const double hard_rate =
+        ev.branchEvents > 0 ? ev.branchMispredicts / ev.branchEvents
+                            : 0.0;
+    const double mispredicts =
+        hard * hard_rate + easy * cpu.baseMispredictRate;
+    const double c_spec = mispredicts * cpu.mispredictPenalty;
+
+    const double total = c_exec + c_mem + c_fe + c_spec;
+
+    out.totalCycles = total;
+    out.retiring = c_retire / total;
+    out.frontend = c_fe / total;
+    out.badSpeculation = c_spec / total;
+    out.backend =
+        std::max(0.0, 1.0 - out.retiring - out.frontend -
+                          out.badSpeculation);
+    return out;
+}
+
+} // namespace zkp::sim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Top-level curve configurations tying together the scalar field, the
+ * groups and the pairing engine for each supported curve.
+ */
+
+#ifndef ZKP_SNARK_CURVE_H
+#define ZKP_SNARK_CURVE_H
+
+#include "ec/groups.h"
+#include "pairing/pairing.h"
+
+namespace zkp::snark {
+
+/** BN254 — the curve the paper calls BN128. */
+struct Bn254
+{
+    using Engine = pairing::Bn254Engine;
+    using G1 = ec::Bn254G1;
+    using G2 = ec::Bn254G2;
+    using Fr = ff::bn254::Fr;
+    using Fq12 = Engine::Fq12;
+    static constexpr const char* kName = "BN128";
+};
+
+/** BLS12-381. */
+struct Bls381
+{
+    using Engine = pairing::Bls381Engine;
+    using G1 = ec::Bls381G1;
+    using G2 = ec::Bls381G2;
+    using Fr = ff::bls381::Fr;
+    using Fq12 = Engine::Fq12;
+    static constexpr const char* kName = "BLS12-381";
+};
+
+} // namespace zkp::snark
+
+#endif // ZKP_SNARK_CURVE_H

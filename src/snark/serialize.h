@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Binary (de)serialization of field elements, curve points, proofs
+ * and keys.
+ *
+ * Format: little-endian canonical limbs. G1 points are compressed to
+ * the x coordinate plus a sign byte (decompression solves
+ * y^2 = x^3 + b with Tonelli-Shanks); G2 points are stored
+ * uncompressed (both Fp2 coordinates). A one-byte tag distinguishes
+ * infinity. All readers validate: field elements must be canonical
+ * (< p), points must lie on the curve, and — because every group here
+ * except BN254 G1 has a nontrivial cofactor — points must lie in the
+ * order-r subgroup (checked by scalar multiplication with r).
+ */
+
+#ifndef ZKP_SNARK_SERIALIZE_H
+#define ZKP_SNARK_SERIALIZE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "snark/groth16.h"
+
+namespace zkp::snark {
+
+/** Growable byte sink. */
+class ByteWriter
+{
+  public:
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    putU64(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back((std::uint8_t)(v >> (8 * i)));
+    }
+
+    template <std::size_t N>
+    void
+    putBigInt(const BigInt<N>& v)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            putU64(v.limbs[i]);
+    }
+
+    template <typename F>
+    void
+    putField(const F& v)
+    {
+        putBigInt(v.toBigInt());
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Validating byte source; all getters fail on truncation. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+        : buf_(bytes)
+    {}
+
+    bool
+    getU8(std::uint8_t& v)
+    {
+        if (pos_ >= buf_.size())
+            return false;
+        v = buf_[pos_++];
+        return true;
+    }
+
+    bool
+    getU64(u64& v)
+    {
+        if (pos_ + 8 > buf_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= (u64)buf_[pos_++] << (8 * i);
+        return true;
+    }
+
+    template <std::size_t N>
+    bool
+    getBigInt(BigInt<N>& v)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            if (!getU64(v.limbs[i]))
+                return false;
+        return true;
+    }
+
+    /** Read a field element, rejecting non-canonical encodings. */
+    template <typename F>
+    bool
+    getField(F& v)
+    {
+        typename F::Repr r;
+        if (!getBigInt(r))
+            return false;
+        if (!(r < F::kModulus))
+            return false;
+        v = F::fromBigInt(r);
+        return true;
+    }
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+/** Subgroup membership: r * P == infinity. */
+template <typename Group>
+bool
+inSubgroup(const typename Group::Affine& p)
+{
+    if (p.infinity)
+        return true;
+    return typename Group::Jacobian{p}
+        .mulScalar(Group::Scalar::kModulus)
+        .isInfinity();
+}
+
+/// Point encoding tags.
+inline constexpr std::uint8_t kTagInfinity = 0;
+inline constexpr std::uint8_t kTagEvenY = 2;
+inline constexpr std::uint8_t kTagOddY = 3;
+inline constexpr std::uint8_t kTagUncompressed = 4;
+
+/** Write a G1 point compressed (x + y-parity). */
+template <typename Group>
+void
+writeG1(ByteWriter& w, const typename Group::Affine& p)
+{
+    if (p.infinity) {
+        w.putU8(kTagInfinity);
+        return;
+    }
+    const bool odd = p.y.toBigInt().isOdd();
+    w.putU8(odd ? kTagOddY : kTagEvenY);
+    w.putField(p.x);
+}
+
+/**
+ * Read a compressed G1 point: recomputes y from the curve equation
+ * and checks the result is on the curve.
+ */
+template <typename Group>
+bool
+readG1(ByteReader& r, typename Group::Affine& out)
+{
+    std::uint8_t tag;
+    if (!r.getU8(tag))
+        return false;
+    if (tag == kTagInfinity) {
+        out = typename Group::Affine();
+        return true;
+    }
+    if (tag != kTagEvenY && tag != kTagOddY)
+        return false;
+    typename Group::Field x;
+    if (!r.getField(x))
+        return false;
+    typename Group::Field y2 = x.squared() * x + Group::b();
+    typename Group::Field y;
+    if (!y2.sqrt(y))
+        return false; // x not on the curve
+    if (y.toBigInt().isOdd() != (tag == kTagOddY))
+        y = -y;
+    out = typename Group::Affine(x, y);
+    return out.isOnCurve(Group::b()) && inSubgroup<Group>(out);
+}
+
+/**
+ * Sign bit distinguishing y from -y in Fp2: the parity of y.c0, or of
+ * y.c1 when c0 is zero (the parities of v and p - v always differ for
+ * nonzero v since p is odd).
+ */
+template <typename Fq2>
+bool
+fp2SignBit(const Fq2& y)
+{
+    if (!y.c0.isZero())
+        return y.c0.toBigInt().isOdd();
+    return y.c1.toBigInt().isOdd();
+}
+
+/** Write a G2 point compressed (x coordinate + y sign bit). */
+template <typename Group>
+void
+writeG2(ByteWriter& w, const typename Group::Affine& p)
+{
+    if (p.infinity) {
+        w.putU8(kTagInfinity);
+        return;
+    }
+    w.putU8(fp2SignBit(p.y) ? kTagOddY : kTagEvenY);
+    w.putField(p.x.c0);
+    w.putField(p.x.c1);
+}
+
+/**
+ * Read a compressed G2 point: recomputes y over Fp2 (complex-method
+ * square root) and validates curve and subgroup membership.
+ */
+template <typename Group>
+bool
+readG2(ByteReader& r, typename Group::Affine& out)
+{
+    std::uint8_t tag;
+    if (!r.getU8(tag))
+        return false;
+    if (tag == kTagInfinity) {
+        out = typename Group::Affine();
+        return true;
+    }
+    if (tag != kTagEvenY && tag != kTagOddY)
+        return false;
+    typename Group::Field x;
+    if (!r.getField(x.c0) || !r.getField(x.c1))
+        return false;
+    typename Group::Field y2 = x.squared() * x + Group::b();
+    typename Group::Field y;
+    if (!y2.sqrt(y))
+        return false; // x not on the twist
+    if (fp2SignBit(y) != (tag == kTagOddY))
+        y = -y;
+    out = typename Group::Affine(x, y);
+    return out.isOnCurve(Group::b()) && inSubgroup<Group>(out);
+}
+
+/** Serialize a proof (80 bytes for BN254: 2 G1 + 1 G2 point). */
+template <typename Curve>
+std::vector<std::uint8_t>
+serializeProof(const typename Groth16<Curve>::Proof& proof)
+{
+    ByteWriter w;
+    writeG1<typename Curve::G1>(w, proof.a);
+    writeG2<typename Curve::G2>(w, proof.b);
+    writeG1<typename Curve::G1>(w, proof.c);
+    return w.bytes();
+}
+
+/** Parse and validate a proof; empty on any malformed input. */
+template <typename Curve>
+std::optional<typename Groth16<Curve>::Proof>
+deserializeProof(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    typename Groth16<Curve>::Proof proof;
+    if (!readG1<typename Curve::G1>(r, proof.a))
+        return std::nullopt;
+    if (!readG2<typename Curve::G2>(r, proof.b))
+        return std::nullopt;
+    if (!readG1<typename Curve::G1>(r, proof.c))
+        return std::nullopt;
+    if (!r.atEnd())
+        return std::nullopt;
+    return proof;
+}
+
+/** Serialize a verifying key. */
+template <typename Curve>
+std::vector<std::uint8_t>
+serializeVerifyingKey(const typename Groth16<Curve>::VerifyingKey& vk)
+{
+    ByteWriter w;
+    // alphaBeta is in the pairing target group: store its 12 Fq
+    // coefficients.
+    const auto& ab = vk.alphaBeta;
+    for (const auto& c6 : {ab.c0, ab.c1}) {
+        for (const auto& c2 : {c6.c0, c6.c1, c6.c2}) {
+            w.putField(c2.c0);
+            w.putField(c2.c1);
+        }
+    }
+    writeG2<typename Curve::G2>(w, vk.gamma2);
+    writeG2<typename Curve::G2>(w, vk.delta2);
+    w.putU64((u64)vk.ic.size());
+    for (const auto& p : vk.ic)
+        writeG1<typename Curve::G1>(w, p);
+    return w.bytes();
+}
+
+/** Parse and validate a verifying key. */
+template <typename Curve>
+std::optional<typename Groth16<Curve>::VerifyingKey>
+deserializeVerifyingKey(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    typename Groth16<Curve>::VerifyingKey vk;
+    using Fq2 = typename Curve::Engine::Fq2;
+    Fq2 coeffs[6];
+    for (auto& c : coeffs) {
+        if (!r.getField(c.c0) || !r.getField(c.c1))
+            return std::nullopt;
+    }
+    vk.alphaBeta.c0 = {coeffs[0], coeffs[1], coeffs[2]};
+    vk.alphaBeta.c1 = {coeffs[3], coeffs[4], coeffs[5]};
+    if (!readG2<typename Curve::G2>(r, vk.gamma2))
+        return std::nullopt;
+    if (!readG2<typename Curve::G2>(r, vk.delta2))
+        return std::nullopt;
+    u64 n;
+    if (!r.getU64(n) || n > (1u << 28))
+        return std::nullopt;
+    vk.ic.resize(n);
+    for (auto& p : vk.ic)
+        if (!readG1<typename Curve::G1>(r, p))
+            return std::nullopt;
+    if (!r.atEnd())
+        return std::nullopt;
+    return vk;
+}
+
+} // namespace zkp::snark
+
+#endif // ZKP_SNARK_SERIALIZE_H

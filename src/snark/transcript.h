@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fiat-Shamir transcript for the non-interactive PlonK prover.
+ *
+ * Challenges derive from a MiMC-style sponge over the scalar field:
+ * every absorbed element (field values, point coordinates limb by
+ * limb) perturbs the state; challenges are successive squeezes. This
+ * binds the challenges to the full transcript deterministically. Like
+ * the MiMC gadget it builds on, it is a benchmark-faithful stand-in,
+ * not a vetted hash (see DESIGN.md).
+ */
+
+#ifndef ZKP_SNARK_TRANSCRIPT_H
+#define ZKP_SNARK_TRANSCRIPT_H
+
+#include "r1cs/circuits.h"
+
+namespace zkp::snark {
+
+/**
+ * Deterministic transcript over one scalar field.
+ *
+ * @tparam Fr the scalar field challenges live in
+ */
+template <typename Fr>
+class Transcript
+{
+  public:
+    /** @param label domain separation seed */
+    explicit Transcript(u64 label)
+        : state_(Fr::fromU64(label ^ 0x504c4f4e4bULL)) // "PLONK"
+    {}
+
+    /** Absorb one scalar. */
+    void
+    absorb(const Fr& v)
+    {
+        state_ = r1cs::Mimc<Fr>::hash2(state_, v);
+    }
+
+    /** Absorb an arbitrary base-field element limb by limb. */
+    template <typename Fq>
+    void
+    absorbFq(const Fq& v)
+    {
+        const auto repr = v.toBigInt();
+        for (std::size_t i = 0; i < repr.kLimbs; ++i)
+            absorb(Fr::fromU64(repr.limbs[i]));
+    }
+
+    /** Absorb an affine G1 point (coordinates + infinity flag). */
+    template <typename Affine>
+    void
+    absorbPoint(const Affine& p)
+    {
+        absorb(Fr::fromU64(p.infinity ? 1 : 0));
+        if (!p.infinity) {
+            absorbFq(p.x);
+            absorbFq(p.y);
+        }
+    }
+
+    /** Squeeze the next challenge (never zero). */
+    Fr
+    challenge()
+    {
+        state_ = r1cs::Mimc<Fr>::hash2(state_, Fr::fromU64(++counter_));
+        if (state_.isZero())
+            state_ = Fr::one();
+        return state_;
+    }
+
+  private:
+    Fr state_;
+    u64 counter_ = 0;
+};
+
+} // namespace zkp::snark
+
+#endif // ZKP_SNARK_TRANSCRIPT_H

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Group-law, scalar-multiplication and MSM tests for all four groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bignum.h"
+#include "common/rng.h"
+#include "ec/groups.h"
+#include "ec/msm.h"
+
+namespace zkp::ec {
+namespace {
+
+template <typename Group>
+class GroupTest : public ::testing::Test
+{
+};
+
+using Groups = ::testing::Types<Bn254G1, Bn254G2, Bls381G1, Bls381G2>;
+TYPED_TEST_SUITE(GroupTest, Groups);
+
+TYPED_TEST(GroupTest, GeneratorOnCurve)
+{
+    using G = TypeParam;
+    EXPECT_TRUE(G::generator().isOnCurve(G::b()));
+    EXPECT_FALSE(G::generator().infinity);
+}
+
+TYPED_TEST(GroupTest, GeneratorHasOrderR)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    auto r = G::Scalar::kModulus;
+    EXPECT_TRUE(g.mulScalar(r).isInfinity());
+    EXPECT_FALSE(g.mulScalar(BigInt<4>(12345)).isInfinity());
+}
+
+TYPED_TEST(GroupTest, AdditionLaws)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    auto p = g.mulScalar((u64)17);
+    auto q = g.mulScalar((u64)23);
+    auto r = g.mulScalar((u64)99);
+
+    EXPECT_EQ(p + q, q + p);
+    EXPECT_EQ((p + q) + r, p + (q + r));
+    EXPECT_EQ(p + decltype(p)::infinity(), p);
+    EXPECT_TRUE((p - p).isInfinity());
+    EXPECT_EQ(p + q, g.mulScalar((u64)40));
+}
+
+TYPED_TEST(GroupTest, DoublingMatchesAddition)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    EXPECT_EQ(g.doubled(), g + g);
+    EXPECT_EQ(g.doubled().doubled(), g.mulScalar((u64)4));
+    // Doubling infinity stays at infinity.
+    EXPECT_TRUE(decltype(g)::infinity().doubled().isInfinity());
+}
+
+TYPED_TEST(GroupTest, MixedAdditionMatchesFull)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    auto p = g.mulScalar((u64)1234567);
+    auto q_aff = g.mulScalar((u64)7654321).toAffine();
+    EXPECT_EQ(p.addMixed(q_aff), p + decltype(p)(q_aff));
+    // Mixed-add corner cases: same point (doubling) and inverse.
+    auto p_aff = p.toAffine();
+    EXPECT_EQ(p.addMixed(p_aff), p.doubled());
+    EXPECT_TRUE(p.addMixed(p_aff.negated()).isInfinity());
+    EXPECT_EQ(p.addMixed(typename G::Affine()), p);
+}
+
+TYPED_TEST(GroupTest, AffineRoundTrip)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    auto p = g.mulScalar((u64)424242);
+    auto aff = p.toAffine();
+    EXPECT_TRUE(aff.isOnCurve(G::b()));
+    EXPECT_EQ(typename G::Jacobian(aff), p);
+    // Infinity round trip.
+    EXPECT_TRUE(decltype(p)::infinity().toAffine().infinity);
+}
+
+TYPED_TEST(GroupTest, ScalarMulDistributes)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    Rng rng(21);
+    typename G::Jacobian g{G::generator()};
+    Fr a = Fr::random(rng);
+    Fr b = Fr::random(rng);
+    auto lhs = g.mulScalar((a + b).toBigInt());
+    auto rhs = g.mulScalar(a.toBigInt()) + g.mulScalar(b.toBigInt());
+    EXPECT_EQ(lhs, rhs);
+    // (a*b)G == a(bG)
+    EXPECT_EQ(g.mulScalar((a * b).toBigInt()),
+              g.mulScalar(b.toBigInt()).mulScalar(a.toBigInt()));
+}
+
+TYPED_TEST(GroupTest, BatchToAffine)
+{
+    using G = TypeParam;
+    typename G::Jacobian g{G::generator()};
+    std::vector<typename G::Jacobian> pts;
+    for (u64 k = 0; k < 10; ++k)
+        pts.push_back(g.mulScalar(k)); // includes infinity at k=0
+    auto affs = batchToAffine(pts);
+    ASSERT_EQ(affs.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(affs[i], pts[i].toAffine());
+}
+
+TYPED_TEST(GroupTest, MsmMatchesNaive)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    using Repr = typename Fr::Repr;
+    Rng rng(22);
+    typename G::Jacobian g{G::generator()};
+
+    const std::size_t n = 64;
+    std::vector<typename G::Affine> points;
+    std::vector<Repr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+        points.push_back(g.mulScalar(rng.nextBelow(1000) + 1).toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    auto fast = msm<typename G::Jacobian>(points.data(), scalars.data(), n);
+    auto naive =
+        msmNaive<typename G::Jacobian>(points.data(), scalars.data(), n);
+    EXPECT_EQ(fast, naive);
+}
+
+TYPED_TEST(GroupTest, MsmThreadedMatchesSerial)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    using Repr = typename Fr::Repr;
+    Rng rng(23);
+    typename G::Jacobian g{G::generator()};
+
+    const std::size_t n = 300;
+    std::vector<typename G::Affine> points;
+    std::vector<Repr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+        points.push_back(g.mulScalar(rng.nextBelow(997) + 1).toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    auto serial =
+        msmSerial<typename G::Jacobian>(points.data(), scalars.data(), n);
+    auto threaded =
+        msm<typename G::Jacobian>(points.data(), scalars.data(), n, 4);
+    EXPECT_EQ(serial, threaded);
+}
+
+TYPED_TEST(GroupTest, MsmEdgeCases)
+{
+    using G = TypeParam;
+    using Repr = typename G::Scalar::Repr;
+    using J = typename G::Jacobian;
+    J g{G::generator()};
+
+    // Empty input.
+    EXPECT_TRUE((msm<J, typename G::Affine, Repr>(nullptr, nullptr, 0))
+                    .isInfinity());
+
+    // All-zero scalars.
+    std::vector<typename G::Affine> pts(5, G::generator());
+    std::vector<Repr> zeros(5);
+    EXPECT_TRUE(msm<J>(pts.data(), zeros.data(), 5).isInfinity());
+
+    // Single element.
+    std::vector<Repr> one{Repr(7)};
+    EXPECT_EQ(msm<J>(pts.data(), one.data(), 1), g.mulScalar((u64)7));
+}
+
+TEST(MsmWindow, GrowsWithSize)
+{
+    EXPECT_LE(msmWindowBits(16), msmWindowBits(1 << 10));
+    EXPECT_LE(msmWindowBits(1 << 10), msmWindowBits(1 << 20));
+    EXPECT_GE(msmWindowBits(1), 1u);
+    EXPECT_LE(msmWindowBits(std::size_t(1) << 40), 16u);
+}
+
+} // namespace
+} // namespace zkp::ec

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Extended curve-layer tests: representation invariance, fixed-base
+ * tables, MSM window heuristics, and parameterized scalar sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ec/fixed_base.h"
+#include "ec/groups.h"
+#include "ec/msm.h"
+
+namespace zkp::ec {
+namespace {
+
+using G1 = Bn254G1;
+using Fr = G1::Scalar;
+using Jac = G1::Jacobian;
+
+TEST(Representation, EqualityAcrossZ)
+{
+    // The same affine point under different Jacobian Z coordinates
+    // must compare equal.
+    Jac g{G1::generator()};
+    Jac p = g.mulScalar((u64)777);
+    // Scale (X, Y, Z) -> (l^2 X, l^3 Y, l Z).
+    auto l = G1::Field::fromU64(5);
+    Jac q;
+    q.x = p.x * l.squared();
+    q.y = p.y * l.squared() * l;
+    q.z = p.z * l;
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(p.toAffine(), q.toAffine());
+    EXPECT_EQ(p + q, p.doubled());
+}
+
+TEST(Representation, NegationAndSubtraction)
+{
+    Jac g{G1::generator()};
+    Jac p = g.mulScalar((u64)31);
+    Jac q = g.mulScalar((u64)13);
+    EXPECT_EQ(p - q, g.mulScalar((u64)18));
+    EXPECT_EQ(-(-p), p);
+    EXPECT_TRUE((-Jac::infinity()).isInfinity());
+    // Affine negation stays on curve.
+    auto aff = p.toAffine();
+    EXPECT_TRUE(aff.negated().isOnCurve(G1::b()));
+    EXPECT_EQ(Jac(aff.negated()), -p);
+}
+
+TEST(Representation, OffCurvePointDetected)
+{
+    auto aff = G1::generator();
+    aff.x += G1::Field::one();
+    EXPECT_FALSE(aff.isOnCurve(G1::b()));
+}
+
+TEST(FixedBase, MatchesScalarMulOnEdgeScalars)
+{
+    Jac g{G1::generator()};
+    FixedBaseTable<Jac, Fr::Repr> table(g);
+
+    // Zero, one, small, and max-ish scalars.
+    EXPECT_TRUE(table.mul(Fr::Repr(0)).isInfinity());
+    EXPECT_EQ(table.mul(Fr::Repr(1)), g);
+    EXPECT_EQ(table.mul(Fr::Repr(255)), g.mulScalar((u64)255));
+    EXPECT_EQ(table.mul(Fr::Repr(256)), g.mulScalar((u64)256));
+
+    auto rm1 = Fr::kModulus;
+    rm1.subInPlace(Fr::Repr(1));
+    EXPECT_EQ(table.mul(rm1), -g); // (r-1)G == -G
+    EXPECT_GT(table.footprintBytes(), 0u);
+}
+
+class FixedBaseScalarSweep : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FixedBaseScalarSweep, AgreesWithDoubleAndAdd)
+{
+    Rng rng(GetParam());
+    Jac g{G1::generator()};
+    static FixedBaseTable<Jac, Fr::Repr> table(g);
+    Fr k = Fr::random(rng);
+    EXPECT_EQ(table.mul(k.toBigInt()), g.mulScalar(k.toBigInt()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedBaseScalarSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class MsmSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MsmSizeSweep, MatchesNaiveAcrossSizes)
+{
+    const std::size_t n = GetParam();
+    Rng rng(500 + n);
+    Jac g{G1::generator()};
+    std::vector<G1::Affine> pts;
+    std::vector<Fr::Repr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(1 << 14) + 1)
+                          .toAffine());
+        // Mix tiny, zero, and full-width scalars.
+        if (i % 5 == 0)
+            scalars.push_back(Fr::Repr(i % 3));
+        else
+            scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    auto fast = msm<Jac>(pts.data(), scalars.data(), n);
+    auto naive = msmNaive<Jac>(pts.data(), scalars.data(), n);
+    EXPECT_EQ(fast, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MsmSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 17, 33, 90));
+
+TEST(MsmProperties, LinearInScalars)
+{
+    // msm(points, s) + msm(points, t) == msm(points, s + t).
+    Rng rng(501);
+    Jac g{G1::generator()};
+    const std::size_t n = 24;
+    std::vector<G1::Affine> pts;
+    std::vector<Fr> s(n), t(n), sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(1000) + 1).toAffine());
+        s[i] = Fr::random(rng);
+        t[i] = Fr::random(rng);
+        sum[i] = s[i] + t[i];
+    }
+    auto to_repr = [](const std::vector<Fr>& v) {
+        std::vector<Fr::Repr> r(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            r[i] = v[i].toBigInt();
+        return r;
+    };
+    auto rs = to_repr(s), rt = to_repr(t), rsum = to_repr(sum);
+    EXPECT_EQ(msm<Jac>(pts.data(), rs.data(), n) +
+                  msm<Jac>(pts.data(), rt.data(), n),
+              msm<Jac>(pts.data(), rsum.data(), n));
+}
+
+TEST(MsmProperties, PermutationInvariant)
+{
+    Rng rng(502);
+    Jac g{G1::generator()};
+    const std::size_t n = 20;
+    std::vector<G1::Affine> pts;
+    std::vector<Fr::Repr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(997) + 1).toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    auto base = msm<Jac>(pts.data(), scalars.data(), n);
+    // Reverse both arrays.
+    std::reverse(pts.begin(), pts.end());
+    std::reverse(scalars.begin(), scalars.end());
+    EXPECT_EQ(msm<Jac>(pts.data(), scalars.data(), n), base);
+}
+
+TEST(MsmProperties, InfinityPointsContributeNothing)
+{
+    Rng rng(503);
+    Jac g{G1::generator()};
+    std::vector<G1::Affine> pts{g.toAffine(), G1::Affine(),
+                                g.doubled().toAffine()};
+    std::vector<Fr::Repr> scalars{Fr::Repr(3), Fr::Repr(1000),
+                                  Fr::Repr(4)};
+    EXPECT_EQ(msm<Jac>(pts.data(), scalars.data(), 3),
+              g.mulScalar((u64)11)); // 3*1 + 4*2
+}
+
+TEST(G2Arithmetic, TwistCoefficientConsistency)
+{
+    // b2 of the D-twist times xi equals 3 (BN254); the M-twist b2 of
+    // BLS12-381 equals 4*xi.
+    auto bn_b2 = Bn254G2::b() * ff::Bn254Tower::xi();
+    EXPECT_TRUE(bn_b2 ==
+                Bn254G2::Field::fromFq(ff::bn254::Fq::fromU64(3)));
+    auto bls_b2 = Bls381G2::b();
+    EXPECT_TRUE(bls_b2 ==
+                ff::Bls381Tower::xi().mulByFq(
+                    ff::bls381::Fq::fromU64(4)));
+}
+
+TEST(BatchToAffineExtended, AllInfinity)
+{
+    std::vector<Jac> pts(4, Jac::infinity());
+    auto affs = batchToAffine(pts);
+    for (const auto& a : affs)
+        EXPECT_TRUE(a.infinity);
+}
+
+} // namespace
+} // namespace zkp::ec

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end Groth16 tests: completeness, soundness smoke tests,
+ * zero-knowledge sanity, threading equivalence — on both curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "r1cs/circuits.h"
+#include "snark/groth16.h"
+
+namespace zkp::snark {
+namespace {
+
+template <typename Curve>
+class Groth16Test : public ::testing::Test
+{
+};
+
+using Curves = ::testing::Types<Bn254, Bls381>;
+TYPED_TEST_SUITE(Groth16Test, Curves);
+
+/** Build the paper's exponentiation pipeline end to end. */
+template <typename Curve>
+struct Pipeline
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    r1cs::ExponentiationCircuit<Fr> circ;
+    r1cs::R1cs<Fr> cs;
+    r1cs::WitnessCalculator<Fr> calc;
+    typename Scheme::Keypair keys;
+
+    explicit Pipeline(std::size_t e, u64 seed = 7)
+        : circ(e), cs(circ.builder.compile()),
+          calc(circ.builder.witnessProgram()), keys([&] {
+              Rng rng(seed);
+              return Scheme::setup(cs, rng);
+          }())
+    {}
+};
+
+TYPED_TEST(Groth16Test, Completeness)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    Pipeline<Curve> p(33);
+    Rng rng(71);
+    Fr x = Fr::random(rng);
+    Fr y = p.circ.evaluate(x);
+    auto z = p.calc.compute({y}, {x});
+    ASSERT_TRUE(p.cs.isSatisfied(z));
+
+    auto proof = Scheme::prove(p.keys.pk, p.cs, z, rng);
+    EXPECT_TRUE(Scheme::verify(p.keys.vk, {y}, proof));
+}
+
+TYPED_TEST(Groth16Test, RejectsWrongPublicInput)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    Pipeline<Curve> p(16);
+    Rng rng(72);
+    Fr x = Fr::random(rng);
+    Fr y = p.circ.evaluate(x);
+    auto proof =
+        Scheme::prove(p.keys.pk, p.cs, p.calc.compute({y}, {x}), rng);
+
+    EXPECT_TRUE(Scheme::verify(p.keys.vk, {y}, proof));
+    EXPECT_FALSE(Scheme::verify(p.keys.vk, {y + Fr::one()}, proof));
+    EXPECT_FALSE(Scheme::verify(p.keys.vk, {Fr::zero()}, proof));
+}
+
+TYPED_TEST(Groth16Test, RejectsTamperedProof)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+    using G1Jac = typename Scheme::G1Jac;
+
+    Pipeline<Curve> p(16);
+    Rng rng(73);
+    Fr x = Fr::random(rng);
+    Fr y = p.circ.evaluate(x);
+    auto proof =
+        Scheme::prove(p.keys.pk, p.cs, p.calc.compute({y}, {x}), rng);
+
+    auto tampered_a = proof;
+    tampered_a.a = (G1Jac(proof.a) + G1Jac(proof.a)).toAffine();
+    EXPECT_FALSE(Scheme::verify(p.keys.vk, {y}, tampered_a));
+
+    auto tampered_c = proof;
+    tampered_c.c = tampered_c.c.negated();
+    EXPECT_FALSE(Scheme::verify(p.keys.vk, {y}, tampered_c));
+
+    // A proof for a different statement does not transfer.
+    Fr x2 = x + Fr::one();
+    Fr y2 = p.circ.evaluate(x2);
+    auto proof2 =
+        Scheme::prove(p.keys.pk, p.cs, p.calc.compute({y2}, {x2}), rng);
+    EXPECT_TRUE(Scheme::verify(p.keys.vk, {y2}, proof2));
+    EXPECT_FALSE(Scheme::verify(p.keys.vk, {y}, proof2));
+}
+
+TYPED_TEST(Groth16Test, ProofsAreRerandomized)
+{
+    // Two proofs of the same statement differ (blinding r, s) but both
+    // verify: the zero-knowledge blinding is live.
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    Pipeline<Curve> p(8);
+    Rng rng(74);
+    Fr x = Fr::fromU64(3);
+    Fr y = p.circ.evaluate(x);
+    auto z = p.calc.compute({y}, {x});
+
+    auto proof1 = Scheme::prove(p.keys.pk, p.cs, z, rng);
+    auto proof2 = Scheme::prove(p.keys.pk, p.cs, z, rng);
+    EXPECT_TRUE(Scheme::verify(p.keys.vk, {y}, proof1));
+    EXPECT_TRUE(Scheme::verify(p.keys.vk, {y}, proof2));
+    EXPECT_FALSE(proof1.a == proof2.a);
+    EXPECT_FALSE(proof1.c == proof2.c);
+}
+
+TYPED_TEST(Groth16Test, ThreadedStagesMatchSerialVerdict)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    using FrT = Fr;
+    r1cs::ExponentiationCircuit<FrT> circ(64);
+    auto cs = circ.builder.compile();
+    r1cs::WitnessCalculator<FrT> calc(circ.builder.witnessProgram());
+
+    Rng rng1(75), rng2(75);
+    auto kp_serial = Scheme::setup(cs, rng1, 1);
+    auto kp_threaded = Scheme::setup(cs, rng2, 4);
+
+    // Same toxic waste (same seed) must give identical keys.
+    EXPECT_TRUE(kp_serial.pk.alpha1 == kp_threaded.pk.alpha1);
+    ASSERT_EQ(kp_serial.pk.aQuery.size(), kp_threaded.pk.aQuery.size());
+    for (std::size_t i = 0; i < kp_serial.pk.aQuery.size(); ++i)
+        EXPECT_TRUE(kp_serial.pk.aQuery[i] == kp_threaded.pk.aQuery[i]);
+
+    Fr x = Fr::fromU64(5);
+    Fr y = circ.evaluate(x);
+    auto z = calc.compute({y}, {x});
+    Rng prng(76);
+    auto proof = Scheme::prove(kp_threaded.pk, cs, z, prng, 4);
+    EXPECT_TRUE(Scheme::verify(kp_threaded.vk, {y}, proof));
+}
+
+TYPED_TEST(Groth16Test, MerkleCircuitEndToEnd)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = Groth16<Curve>;
+
+    Rng rng(77);
+    const std::size_t depth = 2;
+    r1cs::gadgets::MerkleCircuit<Fr> circ(depth);
+    auto cs = circ.builder.compile();
+    r1cs::WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+    auto keys = Scheme::setup(cs, rng, 2);
+
+    Fr leaf = Fr::random(rng);
+    std::vector<Fr> sib{Fr::random(rng), Fr::random(rng)};
+    std::vector<bool> dirs{true, false};
+    Fr root =
+        r1cs::gadgets::MerkleCircuit<Fr>::computeRoot(leaf, sib, dirs);
+    auto priv =
+        r1cs::gadgets::MerkleCircuit<Fr>::privateInputs(leaf, sib, dirs);
+    auto z = calc.compute({root}, priv);
+    ASSERT_TRUE(cs.isSatisfied(z));
+
+    auto proof = Scheme::prove(keys.pk, cs, z, rng, 2);
+    EXPECT_TRUE(Scheme::verify(keys.vk, {root}, proof));
+    EXPECT_FALSE(Scheme::verify(keys.vk, {root + Fr::one()}, proof));
+}
+
+TEST(Groth16Sizes, DomainSizeIsNextPowerOfTwo)
+{
+    using Scheme = Groth16<Bn254>;
+    using Fr = Bn254::Fr;
+    for (std::size_t e : {2u, 3u, 4u, 5u, 1023u, 1024u, 1025u}) {
+        r1cs::ExponentiationCircuit<Fr> circ(e);
+        auto cs = circ.builder.compile();
+        std::size_t m = Scheme::domainSizeFor(cs);
+        EXPECT_GE(m, cs.numConstraints());
+        EXPECT_EQ(m & (m - 1), 0u);
+        EXPECT_LT(m / 2, std::max<std::size_t>(cs.numConstraints(), 2));
+    }
+}
+
+} // namespace
+} // namespace zkp::snark

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pairing correctness: bilinearity, non-degeneracy, product form.
+ * These properties transitively validate the entire tower, the curve
+ * arithmetic and the final exponentiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pairing/pairing.h"
+
+namespace zkp::pairing {
+namespace {
+
+template <typename E>
+class PairingTest : public ::testing::Test
+{
+};
+
+using Engines = ::testing::Types<Bn254Engine, Bls381Engine>;
+TYPED_TEST_SUITE(PairingTest, Engines);
+
+TYPED_TEST(PairingTest, NonDegenerate)
+{
+    using E = TypeParam;
+    auto e = E::pairing(E::G1::generator(), E::G2::generator());
+    EXPECT_FALSE(e.isOne());
+    EXPECT_FALSE(e.isZero());
+}
+
+TYPED_TEST(PairingTest, TargetGroupOrderR)
+{
+    using E = TypeParam;
+    auto e = E::pairing(E::G1::generator(), E::G2::generator());
+    const BigNum r = BigNum::fromBigInt(E::G1::Scalar::kModulus);
+    EXPECT_TRUE(e.pow(r).isOne());
+}
+
+TYPED_TEST(PairingTest, BilinearInFirstArgument)
+{
+    using E = TypeParam;
+    typename E::G1::Jacobian g1{E::G1::generator()};
+    auto p2 = g1.mulScalar((u64)2).toAffine();
+    auto p3 = g1.mulScalar((u64)3).toAffine();
+    auto q = E::G2::generator();
+
+    auto e1 = E::pairing(E::G1::generator(), q);
+    EXPECT_EQ(E::pairing(p2, q), e1 * e1);
+    EXPECT_EQ(E::pairing(p3, q), e1 * e1 * e1);
+}
+
+TYPED_TEST(PairingTest, BilinearInSecondArgument)
+{
+    using E = TypeParam;
+    typename E::G2::Jacobian g2{E::G2::generator()};
+    auto q2 = g2.mulScalar((u64)2).toAffine();
+    auto p = E::G1::generator();
+
+    auto e1 = E::pairing(p, E::G2::generator());
+    EXPECT_EQ(E::pairing(p, q2), e1 * e1);
+}
+
+TYPED_TEST(PairingTest, BilinearRandomScalars)
+{
+    // e(aP, bQ) == e(P, Q)^(ab) == e(bP, aQ)
+    using E = TypeParam;
+    using Fr = typename E::G1::Scalar;
+    Rng rng(31);
+    Fr a = Fr::fromU64(rng.nextBelow(1 << 20) + 2);
+    Fr b = Fr::fromU64(rng.nextBelow(1 << 20) + 2);
+
+    typename E::G1::Jacobian g1{E::G1::generator()};
+    typename E::G2::Jacobian g2{E::G2::generator()};
+
+    auto ap = g1.mulScalar(a.toBigInt()).toAffine();
+    auto bq = g2.mulScalar(b.toBigInt()).toAffine();
+    auto bp = g1.mulScalar(b.toBigInt()).toAffine();
+    auto aq = g2.mulScalar(a.toBigInt()).toAffine();
+
+    auto base = E::pairing(E::G1::generator(), E::G2::generator());
+    auto ab = BigNum::fromBigInt((a * b).toBigInt());
+
+    EXPECT_EQ(E::pairing(ap, bq), base.pow(ab));
+    EXPECT_EQ(E::pairing(ap, bq), E::pairing(bp, aq));
+}
+
+TYPED_TEST(PairingTest, InverseCancels)
+{
+    // e(-P, Q) * e(P, Q) == 1
+    using E = TypeParam;
+    auto p = E::G1::generator();
+    auto q = E::G2::generator();
+    auto e = E::pairing(p, q) * E::pairing(p.negated(), q);
+    EXPECT_TRUE(e.isOne());
+}
+
+TYPED_TEST(PairingTest, ProductMatchesIndividual)
+{
+    using E = TypeParam;
+    typename E::G1::Jacobian g1{E::G1::generator()};
+    typename E::G2::Jacobian g2{E::G2::generator()};
+    auto p1 = g1.mulScalar((u64)5).toAffine();
+    auto p2 = g1.mulScalar((u64)7).toAffine();
+    auto q1 = g2.mulScalar((u64)11).toAffine();
+    auto q2 = g2.mulScalar((u64)13).toAffine();
+
+    auto prod = E::pairingProduct({{p1, q1}, {p2, q2}});
+    EXPECT_EQ(prod, E::pairing(p1, q1) * E::pairing(p2, q2));
+}
+
+TYPED_TEST(PairingTest, InfinityActsAsIdentity)
+{
+    using E = TypeParam;
+    typename E::G1::Affine inf1; // infinity
+    typename E::G2::Affine inf2;
+    EXPECT_TRUE(E::pairing(inf1, E::G2::generator()).isOne());
+    EXPECT_TRUE(E::pairing(E::G1::generator(), inf2).isOne());
+}
+
+TYPED_TEST(PairingTest, UntwistLandsOnCurve)
+{
+    // The untwisted generator must satisfy y^2 = x^3 + b over Fq12,
+    // where b is the *untwisted* curve's coefficient (same as G1's b).
+    using E = TypeParam;
+    auto qu = E::untwist(E::G2::generator());
+    auto b12 = E::embedFq(E::G1::b());
+    EXPECT_EQ(qu.y.squared(), qu.x.squared() * qu.x + b12);
+}
+
+} // namespace
+} // namespace zkp::pairing

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * NTT, evaluation-domain and polynomial tests over both scalar fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ff/params.h"
+#include "poly/domain.h"
+#include "poly/polynomial.h"
+
+namespace zkp::poly {
+namespace {
+
+template <typename Fr>
+class DomainTest : public ::testing::Test
+{
+};
+
+using ScalarFields = ::testing::Types<ff::bn254::Fr, ff::bls381::Fr>;
+TYPED_TEST_SUITE(DomainTest, ScalarFields);
+
+TYPED_TEST(DomainTest, RootOfUnityOrders)
+{
+    using Fr = TypeParam;
+    const auto& ta = TwoAdicity<Fr>::get();
+    EXPECT_GE(ta.s, 28u);
+
+    // rootOfUnity has order exactly 2^s.
+    Fr w = ta.rootOfUnity;
+    for (std::size_t i = 0; i + 1 < ta.s; ++i)
+        w = w.squared();
+    EXPECT_NE(w, Fr::one()); // order > 2^(s-1)
+    EXPECT_EQ(w.squared(), Fr::one());
+
+    // The coset shift is a genuine non-residue.
+    EXPECT_EQ(ta.cosetShift.legendre(), -1);
+}
+
+TYPED_TEST(DomainTest, DomainOmegaOrder)
+{
+    using Fr = TypeParam;
+    for (std::size_t n : {2u, 8u, 64u, 1024u}) {
+        Domain<Fr> d(n);
+        EXPECT_EQ(d.omega().pow((u64)n), Fr::one());
+        EXPECT_NE(d.omega().pow((u64)(n / 2)), Fr::one());
+        EXPECT_EQ(d.size(), n);
+    }
+}
+
+TYPED_TEST(DomainTest, NttInverseRoundTrip)
+{
+    using Fr = TypeParam;
+    Rng rng(41);
+    for (std::size_t n : {1u, 2u, 16u, 256u}) {
+        Domain<Fr> d(n);
+        std::vector<Fr> v(n);
+        for (auto& x : v)
+            x = Fr::random(rng);
+        auto w = v;
+        d.ntt(w);
+        d.intt(w);
+        EXPECT_EQ(w, v) << "size " << n;
+    }
+}
+
+TYPED_TEST(DomainTest, NttMatchesNaiveDft)
+{
+    using Fr = TypeParam;
+    Rng rng(42);
+    const std::size_t n = 16;
+    Domain<Fr> d(n);
+    std::vector<Fr> coeffs(n);
+    for (auto& x : coeffs)
+        x = Fr::random(rng);
+
+    auto evals = coeffs;
+    d.ntt(evals);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Naive evaluation at omega^i.
+        Fr x = d.element(i);
+        Fr acc = Fr::zero();
+        for (std::size_t j = n; j-- > 0;)
+            acc = acc * x + coeffs[j];
+        EXPECT_EQ(evals[i], acc) << "point " << i;
+    }
+}
+
+TYPED_TEST(DomainTest, ThreadedNttMatchesSerial)
+{
+    using Fr = TypeParam;
+    Rng rng(43);
+    const std::size_t n = 512;
+    Domain<Fr> d(n);
+    std::vector<Fr> v(n);
+    for (auto& x : v)
+        x = Fr::random(rng);
+    auto serial = v;
+    auto threaded = v;
+    d.ntt(serial, 1);
+    d.ntt(threaded, 4);
+    EXPECT_EQ(serial, threaded);
+    d.intt(threaded, 3);
+    EXPECT_EQ(threaded, v);
+}
+
+TYPED_TEST(DomainTest, CosetRoundTripAndDisjointness)
+{
+    using Fr = TypeParam;
+    Rng rng(44);
+    const std::size_t n = 64;
+    Domain<Fr> d(n);
+    std::vector<Fr> v(n);
+    for (auto& x : v)
+        x = Fr::random(rng);
+    auto w = v;
+    d.cosetNtt(w);
+    d.cosetIntt(w);
+    EXPECT_EQ(w, v);
+
+    // Z(x) = x^n - 1 is nonzero (and constant) on the coset.
+    EXPECT_FALSE(d.vanishingOnCoset().isZero());
+    EXPECT_EQ(d.vanishingAt(d.cosetShift() * d.element(5)),
+              d.vanishingOnCoset());
+    // ... and zero on the domain itself.
+    EXPECT_TRUE(d.vanishingAt(d.element(3)).isZero());
+}
+
+TYPED_TEST(DomainTest, LagrangeCoeffsInterpolate)
+{
+    using Fr = TypeParam;
+    Rng rng(45);
+    const std::size_t n = 32;
+    Domain<Fr> d(n);
+
+    // For a random polynomial P given by evaluations p_j, we must have
+    // P(tau) = sum_j p_j L_j(tau).
+    std::vector<Fr> evals(n);
+    for (auto& x : evals)
+        x = Fr::random(rng);
+    Fr tau = Fr::random(rng);
+    auto lag = d.lagrangeCoeffsAt(tau);
+
+    Fr via_lagrange = Fr::zero();
+    for (std::size_t j = 0; j < n; ++j)
+        via_lagrange += evals[j] * lag[j];
+
+    auto coeffs = evals;
+    d.intt(coeffs);
+    Fr direct = Fr::zero();
+    for (std::size_t j = n; j-- > 0;)
+        direct = direct * tau + coeffs[j];
+
+    EXPECT_EQ(via_lagrange, direct);
+}
+
+TYPED_TEST(DomainTest, PolynomialMulMatchesSchoolbook)
+{
+    using Fr = TypeParam;
+    Rng rng(46);
+    // Force the NTT path with degree > 64 and compare against the
+    // schoolbook path computed manually.
+    std::vector<Fr> a(70), b(90);
+    for (auto& x : a)
+        x = Fr::random(rng);
+    for (auto& x : b)
+        x = Fr::random(rng);
+    Polynomial<Fr> pa(a), pb(b);
+    auto fast = pa * pb;
+
+    std::vector<Fr> ref(a.size() + b.size() - 1, Fr::zero());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            ref[i + j] += a[i] * b[j];
+    EXPECT_EQ(fast, Polynomial<Fr>(ref));
+}
+
+TYPED_TEST(DomainTest, PolynomialDivMod)
+{
+    using Fr = TypeParam;
+    Rng rng(47);
+    std::vector<Fr> a(25), b(7);
+    for (auto& x : a)
+        x = Fr::random(rng);
+    for (auto& x : b)
+        x = Fr::random(rng);
+    Polynomial<Fr> pa(a), pb(b);
+    auto [q, r] = pa.divMod(pb);
+    EXPECT_EQ(q * pb + r, pa);
+    EXPECT_LT(r.coeffs().size(), pb.coeffs().size());
+
+    // Exact division: (pb * q2) / pb has zero remainder.
+    auto prod = pb * q;
+    auto [q2, r2] = prod.divMod(pb);
+    EXPECT_EQ(q2, q);
+    EXPECT_TRUE(r2.isZero());
+}
+
+TYPED_TEST(DomainTest, PolynomialEvaluate)
+{
+    using Fr = TypeParam;
+    // p(x) = 3 + 2x + x^2 at x = 5 -> 38.
+    Polynomial<Fr> p(std::vector<Fr>{Fr::fromU64(3), Fr::fromU64(2),
+                                     Fr::fromU64(1)});
+    EXPECT_EQ(p.evaluate(Fr::fromU64(5)), Fr::fromU64(38));
+    EXPECT_EQ(p.degree(), 2u);
+    EXPECT_TRUE(Polynomial<Fr>().isZero());
+}
+
+} // namespace
+} // namespace zkp::poly

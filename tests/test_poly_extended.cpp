@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Extended polynomial/domain tests: parameterized NTT sweeps,
+ * Lagrange-coefficient identities, coset disjointness, and the
+ * QAP-divisibility property the prover depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ff/params.h"
+#include "poly/domain.h"
+#include "poly/polynomial.h"
+
+namespace zkp::poly {
+namespace {
+
+using Fr = ff::bn254::Fr;
+
+class NttSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NttSizeSweep, RoundTripAndConvolution)
+{
+    const std::size_t n = GetParam();
+    Domain<Fr> d(n);
+    Rng rng(600 + n);
+
+    std::vector<Fr> a(n), b(n);
+    for (auto& x : a)
+        x = Fr::random(rng);
+    for (auto& x : b)
+        x = Fr::random(rng);
+
+    // Round trip.
+    auto a2 = a;
+    d.ntt(a2);
+    d.intt(a2);
+    EXPECT_EQ(a2, a);
+
+    // Pointwise product in evaluation form == cyclic convolution:
+    // check at a random domain element via direct evaluation of the
+    // product mod (x^n - 1).
+    auto ea = a, eb = b;
+    d.ntt(ea);
+    d.ntt(eb);
+    std::vector<Fr> prod(n);
+    for (std::size_t i = 0; i < n; ++i)
+        prod[i] = ea[i] * eb[i];
+    d.intt(prod);
+
+    const Fr x = d.element(3 % n);
+    auto eval = [&](const std::vector<Fr>& coeffs) {
+        Fr acc = Fr::zero();
+        for (std::size_t i = coeffs.size(); i-- > 0;)
+            acc = acc * x + coeffs[i];
+        return acc;
+    };
+    EXPECT_EQ(eval(prod), eval(a) * eval(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttSizeSweep,
+                         ::testing::Values(1, 2, 4, 8, 64, 512, 2048));
+
+TEST(LagrangeIdentities, PartitionOfUnity)
+{
+    // sum_j L_j(tau) == 1 for any tau (the Lagrange basis sums to the
+    // constant-one polynomial).
+    Domain<Fr> d(32);
+    Rng rng(601);
+    Fr tau = Fr::random(rng);
+    auto lag = d.lagrangeCoeffsAt(tau);
+    Fr sum = Fr::zero();
+    for (const auto& l : lag)
+        sum += l;
+    EXPECT_EQ(sum, Fr::one());
+}
+
+TEST(LagrangeIdentities, KroneckerOnDomainNeighborhood)
+{
+    // L_j evaluated just off the domain follows the closed form; and
+    // the weighted sum sum_j omega^j L_j(tau) equals tau restricted
+    // to the degree < n identity polynomial (interpolation of f(w^j)
+    // = w^j is f(X) = X).
+    Domain<Fr> d(16);
+    Rng rng(602);
+    Fr tau = Fr::random(rng);
+    auto lag = d.lagrangeCoeffsAt(tau);
+    Fr sum = Fr::zero();
+    Fr w = Fr::one();
+    for (std::size_t j = 0; j < d.size(); ++j) {
+        sum += w * lag[j];
+        w *= d.omega();
+    }
+    EXPECT_EQ(sum, tau);
+}
+
+TEST(CosetProperties, DisjointFromDomain)
+{
+    // Z_H vanishes exactly on H, never on the coset: g*w^i is not in
+    // H for any i.
+    Domain<Fr> d(64);
+    for (std::size_t i = 0; i < d.size(); i += 7) {
+        EXPECT_TRUE(d.vanishingAt(d.element(i)).isZero());
+        EXPECT_FALSE(
+            d.vanishingAt(d.cosetShift() * d.element(i)).isZero());
+    }
+}
+
+TEST(QapDivisibility, SatisfiedSystemDividesCleanly)
+{
+    // The core prover identity: for a satisfied instance,
+    // A(x)B(x) - C(x) is divisible by Z_H(x). Construct evaluation
+    // vectors with a*b == c on H and check the coset quotient
+    // reconstructs a polynomial of degree <= n-2 whose re-evaluation
+    // matches everywhere.
+    const std::size_t n = 32;
+    Domain<Fr> d(n);
+    Rng rng(603);
+
+    std::vector<Fr> a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = Fr::random(rng);
+        b[i] = Fr::random(rng);
+        c[i] = a[i] * b[i];
+    }
+    d.intt(a);
+    d.intt(b);
+    d.intt(c);
+    d.cosetNtt(a);
+    d.cosetNtt(b);
+    d.cosetNtt(c);
+    const Fr zinv = d.vanishingOnCoset().inverse();
+    std::vector<Fr> h(n);
+    for (std::size_t i = 0; i < n; ++i)
+        h[i] = (a[i] * b[i] - c[i]) * zinv;
+    d.cosetIntt(h);
+
+    // h * Z_H == A*B - C as polynomials: check at a random point.
+    Fr x = Fr::random(rng);
+    Polynomial<Fr> ph(h);
+    d.cosetIntt(a); // back to coefficients
+    d.cosetIntt(b);
+    d.cosetIntt(c);
+    Polynomial<Fr> pa(a), pb(b), pc(c);
+    EXPECT_EQ(ph.evaluate(x) * d.vanishingAt(x),
+              pa.evaluate(x) * pb.evaluate(x) - pc.evaluate(x));
+}
+
+TEST(QapDivisibility, UnsatisfiedSystemDoesNot)
+{
+    // Break one constraint: the "quotient" rebuilt from coset values
+    // no longer satisfies h * Z_H == A*B - C.
+    const std::size_t n = 16;
+    Domain<Fr> d(n);
+    Rng rng(604);
+    std::vector<Fr> a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = Fr::random(rng);
+        b[i] = Fr::random(rng);
+        c[i] = a[i] * b[i];
+    }
+    c[5] += Fr::one(); // violate one gate
+    d.intt(a);
+    d.intt(b);
+    d.intt(c);
+    d.cosetNtt(a);
+    d.cosetNtt(b);
+    d.cosetNtt(c);
+    const Fr zinv = d.vanishingOnCoset().inverse();
+    std::vector<Fr> h(n);
+    for (std::size_t i = 0; i < n; ++i)
+        h[i] = (a[i] * b[i] - c[i]) * zinv;
+    d.cosetIntt(h);
+    d.cosetIntt(a);
+    d.cosetIntt(b);
+    d.cosetIntt(c);
+
+    Fr x = Fr::random(rng);
+    Polynomial<Fr> ph(h), pa(a), pb(b), pc(c);
+    EXPECT_NE(ph.evaluate(x) * d.vanishingAt(x),
+              pa.evaluate(x) * pb.evaluate(x) - pc.evaluate(x));
+}
+
+TEST(PolynomialExtended, AlgebraProperties)
+{
+    Rng rng(605);
+    auto rand_poly = [&](std::size_t deg) {
+        std::vector<Fr> c(deg + 1);
+        for (auto& v : c)
+            v = Fr::random(rng);
+        return Polynomial<Fr>(c);
+    };
+    auto p = rand_poly(9);
+    auto q = rand_poly(4);
+    auto r = rand_poly(6);
+
+    EXPECT_EQ(p * q, q * p);
+    EXPECT_EQ(p * (q + r), p * q + p * r);
+    EXPECT_EQ((p - p), Polynomial<Fr>());
+    EXPECT_EQ(p * Polynomial<Fr>::constant(Fr::one()), p);
+    EXPECT_TRUE((p * Polynomial<Fr>()).isZero());
+
+    // Evaluation is a ring homomorphism.
+    Fr x = Fr::random(rng);
+    EXPECT_EQ((p * q).evaluate(x), p.evaluate(x) * q.evaluate(x));
+    EXPECT_EQ((p + q).evaluate(x), p.evaluate(x) + q.evaluate(x));
+}
+
+TEST(PolynomialExtended, InterpolateMatchesEvaluate)
+{
+    Domain<Fr> d(8);
+    Rng rng(606);
+    std::vector<Fr> evals(8);
+    for (auto& e : evals)
+        e = Fr::random(rng);
+    auto p = Polynomial<Fr>::interpolate(d, evals);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(p.evaluate(d.element(i)), evals[i]);
+}
+
+} // namespace
+} // namespace zkp::poly

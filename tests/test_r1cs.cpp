@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Circuit-builder, R1CS and witness-calculator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ff/params.h"
+#include "r1cs/circuits.h"
+
+namespace zkp::r1cs {
+namespace {
+
+using Fr = ff::bn254::Fr;
+using FrBls = ff::bls381::Fr;
+
+TEST(LinearCombination, NormalizeMergesAndDrops)
+{
+    LinearCombination<Fr> lc;
+    lc.terms = {{3, Fr::fromU64(2)},
+                {1, Fr::fromU64(5)},
+                {3, Fr::fromU64(7)},
+                {2, Fr::zero()}};
+    lc.normalize();
+    ASSERT_EQ(lc.terms.size(), 2u);
+    EXPECT_EQ(lc.terms[0].first, 1u);
+    EXPECT_EQ(lc.terms[0].second, Fr::fromU64(5));
+    EXPECT_EQ(lc.terms[1].first, 3u);
+    EXPECT_EQ(lc.terms[1].second, Fr::fromU64(9));
+
+    // Cancellation to zero.
+    LinearCombination<Fr> a(1, Fr::fromU64(4));
+    auto diff = a - a;
+    EXPECT_TRUE(diff.isZero());
+}
+
+TEST(LinearCombination, ArithmeticAndEvaluate)
+{
+    std::vector<Fr> z{Fr::one(), Fr::fromU64(10), Fr::fromU64(20)};
+    LinearCombination<Fr> a(1, Fr::fromU64(3)); // 3*z1 = 30
+    LinearCombination<Fr> b(2, Fr::fromU64(2)); // 2*z2 = 40
+    EXPECT_EQ(a.evaluate(z), Fr::fromU64(30));
+    EXPECT_EQ((a + b).evaluate(z), Fr::fromU64(70));
+    EXPECT_EQ((a - b).evaluate(z), Fr::fromU64(30) - Fr::fromU64(40));
+    EXPECT_EQ(a.scaled(Fr::fromU64(5)).evaluate(z), Fr::fromU64(150));
+}
+
+TEST(CircuitBuilder, ExponentiationConstraintCount)
+{
+    // The paper's circuit: e constraints for exponent e.
+    for (std::size_t e : {1u, 2u, 8u, 100u}) {
+        ExponentiationCircuit<Fr> circ(e);
+        EXPECT_EQ(circ.builder.numConstraints(), e) << "e=" << e;
+        EXPECT_EQ(circ.builder.numPublic(), 1u);
+        EXPECT_EQ(circ.builder.numPrivate(), 1u);
+    }
+}
+
+TEST(CircuitBuilder, ExponentiationSatisfied)
+{
+    Rng rng(51);
+    const std::size_t e = 17;
+    ExponentiationCircuit<Fr> circ(e);
+    auto cs = circ.builder.compile();
+    WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+
+    Fr x = Fr::random(rng);
+    Fr y = circ.evaluate(x);
+    auto z = calc.compute({y}, {x});
+    EXPECT_EQ(z.size(), cs.numVars());
+    EXPECT_TRUE(cs.isSatisfied(z));
+
+    // Wrong public input must not satisfy.
+    auto z_bad = calc.compute({y + Fr::one()}, {x});
+    EXPECT_FALSE(cs.isSatisfied(z_bad));
+}
+
+TEST(CircuitBuilder, InverseGate)
+{
+    CircuitBuilder<Fr> b;
+    auto pub = b.publicInput();
+    auto x = b.privateInput();
+    auto inv = b.inverse(x);
+    b.assertEqual(inv, pub);
+    auto cs = b.compile();
+    WitnessCalculator<Fr> calc(b.witnessProgram());
+
+    Fr v = Fr::fromU64(42);
+    auto z = calc.compute({v.inverse()}, {v});
+    EXPECT_TRUE(cs.isSatisfied(z));
+}
+
+TEST(CircuitBuilder, MaterializeAndAssertBoolean)
+{
+    CircuitBuilder<Fr> b;
+    auto pub = b.publicInput();
+    auto x = b.privateInput();
+    auto w = b.materialize(x + pub);
+    b.assertBoolean(w);
+    auto cs = b.compile();
+    WitnessCalculator<Fr> calc(b.witnessProgram());
+    auto z_ok = calc.compute({Fr::one()}, {Fr::zero()});
+    EXPECT_TRUE(cs.isSatisfied(z_ok));
+    auto z_bad = calc.compute({Fr::one()}, {Fr::one()});
+    EXPECT_FALSE(cs.isSatisfied(z_bad));
+}
+
+TEST(WitnessCalculator, ThreadedMatchesSerial)
+{
+    Rng rng(52);
+    ExponentiationCircuit<Fr> circ(64);
+    WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+    Fr x = Fr::random(rng);
+    Fr y = circ.evaluate(x);
+    EXPECT_EQ(calc.compute({y}, {x}, 1), calc.compute({y}, {x}, 4));
+}
+
+TEST(WitnessCalculator, PublicSlice)
+{
+    ExponentiationCircuit<Fr> circ(5);
+    WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+    Fr x = Fr::fromU64(3);
+    Fr y = circ.evaluate(x);
+    auto z = calc.compute({y}, {x});
+    auto pub = calc.publicSlice(z);
+    ASSERT_EQ(pub.size(), 1u);
+    EXPECT_EQ(pub[0], y);
+    EXPECT_EQ(y, Fr::fromU64(243));
+}
+
+TEST(Mimc, NativeMatchesGadget)
+{
+    Rng rng(53);
+    Fr l = Fr::random(rng);
+    Fr r = Fr::random(rng);
+
+    CircuitBuilder<Fr> b;
+    auto pub = b.publicInput();
+    auto lw = b.privateInput();
+    auto rw = b.privateInput();
+    auto h = Mimc<Fr>::hash2Gadget(b, lw, rw);
+    b.assertEqual(h, pub);
+    auto cs = b.compile();
+    WitnessCalculator<Fr> calc(b.witnessProgram());
+
+    auto z = calc.compute({Mimc<Fr>::hash2(l, r)}, {l, r});
+    EXPECT_TRUE(cs.isSatisfied(z));
+    auto z_bad = calc.compute({Mimc<Fr>::hash2(l, r) + Fr::one()}, {l, r});
+    EXPECT_FALSE(cs.isSatisfied(z_bad));
+}
+
+TEST(Mimc, BasicHashProperties)
+{
+    // Deterministic, argument-order sensitive, spread out.
+    Fr a = Fr::fromU64(1), b = Fr::fromU64(2);
+    EXPECT_EQ(Mimc<Fr>::hash2(a, b), Mimc<Fr>::hash2(a, b));
+    EXPECT_NE(Mimc<Fr>::hash2(a, b), Mimc<Fr>::hash2(b, a));
+    EXPECT_NE(Mimc<Fr>::hash2(a, b), Mimc<Fr>::hash2(a, a));
+    // Also works over the BLS scalar field.
+    EXPECT_NE(Mimc<FrBls>::hash2(FrBls::fromU64(1), FrBls::fromU64(2)),
+              FrBls::zero());
+}
+
+TEST(Gadgets, BitDecomposeInRange)
+{
+    CircuitBuilder<Fr> b;
+    auto pub = b.publicInput();
+    auto x = b.privateInput();
+    b.assertEqual(x, pub); // bind for the test
+    gadgets::bitDecompose(b, x, 8);
+    auto cs = b.compile();
+    WitnessCalculator<Fr> calc(b.witnessProgram());
+
+    for (u64 v : {0ULL, 1ULL, 200ULL, 255ULL}) {
+        auto z = calc.compute({Fr::fromU64(v)}, {Fr::fromU64(v)});
+        EXPECT_TRUE(cs.isSatisfied(z)) << v;
+    }
+    for (u64 v : {256ULL, 1000ULL}) {
+        auto z = calc.compute({Fr::fromU64(v)}, {Fr::fromU64(v)});
+        EXPECT_FALSE(cs.isSatisfied(z)) << v;
+    }
+}
+
+TEST(Gadgets, MerkleMembership)
+{
+    Rng rng(54);
+    const std::size_t depth = 4;
+    gadgets::MerkleCircuit<Fr> circ(depth);
+    auto cs = circ.builder.compile();
+    WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+
+    Fr leaf = Fr::random(rng);
+    std::vector<Fr> siblings;
+    std::vector<bool> dirs;
+    for (std::size_t i = 0; i < depth; ++i) {
+        siblings.push_back(Fr::random(rng));
+        dirs.push_back(rng.next() & 1);
+    }
+    Fr root = gadgets::MerkleCircuit<Fr>::computeRoot(leaf, siblings, dirs);
+    auto priv =
+        gadgets::MerkleCircuit<Fr>::privateInputs(leaf, siblings, dirs);
+
+    EXPECT_TRUE(cs.isSatisfied(calc.compute({root}, priv)));
+    EXPECT_FALSE(
+        cs.isSatisfied(calc.compute({root + Fr::one()}, priv)));
+
+    // A flipped direction bit changes the root.
+    auto dirs_bad = dirs;
+    dirs_bad[0] = !dirs_bad[0];
+    auto priv_bad =
+        gadgets::MerkleCircuit<Fr>::privateInputs(leaf, siblings, dirs_bad);
+    EXPECT_FALSE(cs.isSatisfied(calc.compute({root}, priv_bad)));
+}
+
+TEST(Gadgets, RangeCircuit)
+{
+    gadgets::RangeCircuit<Fr> circ(16);
+    auto cs = circ.builder.compile();
+    WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+
+    Fr x = Fr::fromU64(12345); // < 2^16
+    auto z = calc.compute({gadgets::RangeCircuit<Fr>::commitment(x)}, {x});
+    EXPECT_TRUE(cs.isSatisfied(z));
+
+    Fr big = Fr::fromU64(1 << 20);
+    auto z_bad = calc.compute(
+        {gadgets::RangeCircuit<Fr>::commitment(big)}, {big});
+    EXPECT_FALSE(cs.isSatisfied(z_bad));
+}
+
+TEST(R1cs, Accessors)
+{
+    ExponentiationCircuit<Fr> circ(10);
+    auto cs = circ.builder.compile();
+    EXPECT_EQ(cs.numConstraints(), 10u);
+    EXPECT_EQ(cs.numPublic(), 1u);
+    EXPECT_EQ(cs.numVars(), circ.builder.numVars());
+    EXPECT_GT(cs.numNonZero(), 0u);
+}
+
+} // namespace
+} // namespace zkp::r1cs

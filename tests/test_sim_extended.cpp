@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Extended hardware-model tests: parameterized cache-geometry sweeps,
+ * prefetcher behaviour, top-down model monotonicity properties, and
+ * trace plumbing under threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/branch.h"
+#include "sim/cache.h"
+#include "sim/counters.h"
+#include "sim/cpu_model.h"
+#include "sim/memtrace.h"
+#include "sim/topdown.h"
+
+namespace zkp::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache geometry sweeps
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::size_t sizeBytes;
+    unsigned assoc;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometrySweep, WorkingSetBoundary)
+{
+    const auto [size, assoc] = GetParam();
+    CacheLevel c({size, assoc, 64});
+
+    // A working set that fits: after one warmup pass, zero misses.
+    const u64 fit_lines = size / 64;
+    for (u64 i = 0; i < fit_lines; ++i)
+        c.access(i * 64);
+    const u64 warm = c.stats().misses;
+    EXPECT_EQ(warm, fit_lines); // compulsory only
+    for (int round = 0; round < 3; ++round)
+        for (u64 i = 0; i < fit_lines; ++i)
+            c.access(i * 64);
+    EXPECT_EQ(c.stats().misses, warm) << "capacity eviction on a "
+                                         "fitting working set";
+
+    // Doubling the footprint with LRU round-robin thrashes.
+    CacheLevel d({size, assoc, 64});
+    for (int round = 0; round < 3; ++round)
+        for (u64 i = 0; i < 2 * fit_lines; ++i)
+            d.access(i * 64);
+    EXPECT_GT(d.stats().missRate(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(Geometry{4096, 1}, Geometry{4096, 4},
+                      Geometry{32768, 8}, Geometry{65536, 16}));
+
+TEST(CacheConflicts, LowAssociativityConflictMisses)
+{
+    // Addresses mapping to one set: a direct-mapped cache thrashes
+    // where an 8-way cache holds them all.
+    CacheConfig direct{64 * 64, 1, 64}; // 64 sets
+    CacheConfig assoc8{64 * 64, 8, 64}; // 8 sets
+    CacheLevel cd(direct), ca(assoc8);
+    for (int round = 0; round < 10; ++round)
+        for (u64 k = 0; k < 4; ++k) {
+            cd.access(k * 64 * 64); // same set in direct-mapped
+            ca.access(k * 8 * 64);  // same set in the 8-way
+        }
+    EXPECT_GT(cd.stats().missRate(), 0.9);
+    EXPECT_LT(ca.stats().missRate(), 0.2);
+}
+
+TEST(Prefetcher, BackwardStreamIsNotPrefetched)
+{
+    // The next-line detector only covers forward streams; a backward
+    // stream misses once per line.
+    auto h = cpuI9_13900K().makeHierarchy();
+    const u64 lines = 50000;
+    for (u64 i = lines; i-- > 0;)
+        h.access(i * 64, 8, false, (lines - i) * 100);
+    EXPECT_GT((double)h.llcLoadMisses(), 0.9 * lines);
+}
+
+TEST(Prefetcher, StrideTwoDefeatsNextLine)
+{
+    auto h = cpuI9_13900K().makeHierarchy();
+    const u64 lines = 50000;
+    for (u64 i = 0; i < lines; ++i)
+        h.access(i * 128, 8, false, i * 100); // every other line
+    EXPECT_GT((double)h.llcLoadMisses(), 0.9 * lines);
+}
+
+// ---------------------------------------------------------------------
+// Top-down model properties
+// ---------------------------------------------------------------------
+
+StageEvents
+baselineEvents()
+{
+    StageEvents ev;
+    ev.counters.compute = 2'000'000;
+    ev.counters.control = 600'000;
+    ev.counters.data = 1'400'000;
+    ev.counters.branches = 300'000;
+    ev.counters.imuls = 500'000;
+    ev.l1Misses = 30'000;
+    ev.l2Misses = 8'000;
+    ev.llcMisses = 1'000;
+    ev.branchEvents = 100'000;
+    ev.branchMispredicts = 2'000;
+    ev.hotCodeUops = 2'000;
+    return ev;
+}
+
+TEST(TopDownProperties, MoreLlcMissesMoreBackend)
+{
+    auto ev = baselineEvents();
+    auto base = classifyTopDown(ev, cpuI9_13900K());
+    ev.llcMisses *= 50;
+    auto missy = classifyTopDown(ev, cpuI9_13900K());
+    EXPECT_GT(missy.backend, base.backend);
+    EXPECT_LT(missy.retiring, base.retiring);
+    EXPECT_GT(missy.totalCycles, base.totalCycles);
+}
+
+TEST(TopDownProperties, MoreMispredictsMoreBadSpec)
+{
+    auto ev = baselineEvents();
+    auto base = classifyTopDown(ev, cpuI5_11400());
+    ev.branchMispredicts = 40'000;
+    auto spec = classifyTopDown(ev, cpuI5_11400());
+    EXPECT_GT(spec.badSpeculation, base.badSpeculation);
+}
+
+TEST(TopDownProperties, BiggerCodeMoreFrontend)
+{
+    auto ev = baselineEvents();
+    auto base = classifyTopDown(ev, cpuI7_8650U());
+    ev.hotCodeUops = 500'000;
+    auto fat = classifyTopDown(ev, cpuI7_8650U());
+    EXPECT_GT(fat.frontend, base.frontend);
+}
+
+TEST(TopDownProperties, WiderMachineRetiresLessShare)
+{
+    // The same event stream on a wider core spends a *smaller*
+    // fraction of slots retiring when dependency chains dominate
+    // (same latency, more idle issue slots).
+    auto ev = baselineEvents();
+    ev.counters.imuls = 2'000'000; // heavily chained
+    auto narrow = classifyTopDown(ev, cpuI7_8650U());
+    auto wide = classifyTopDown(ev, cpuI9_13900K());
+    EXPECT_GT(narrow.totalCycles, wide.totalCycles);
+}
+
+TEST(TopDownProperties, FractionsAlwaysNormalized)
+{
+    // Degenerate inputs keep the fractions a valid distribution.
+    for (const CpuModel* cpu : allCpuModels()) {
+        for (double scale : {0.0, 1.0, 1000.0}) {
+            auto ev = baselineEvents();
+            ev.llcMisses *= scale;
+            ev.branchMispredicts *= scale;
+            ev.hotCodeUops *= (scale + 1);
+            auto r = classifyTopDown(ev, *cpu);
+            EXPECT_NEAR(r.frontend + r.badSpeculation + r.backend +
+                            r.retiring,
+                        1.0, 1e-9);
+            EXPECT_GE(r.frontend, 0);
+            EXPECT_GE(r.badSpeculation, 0);
+            EXPECT_GE(r.backend, 0);
+            EXPECT_GE(r.retiring, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace plumbing
+// ---------------------------------------------------------------------
+
+TEST(TracePlumbing, MultipleSinksAllSeeAccesses)
+{
+    struct Recorder : TraceSink
+    {
+        u64 n = 0;
+        void onAccess(u64, u32, bool, u64) override { ++n; }
+        void onBranch(u32, bool) override { ++n; }
+    } r1, r2;
+    int x = 0;
+    {
+        ScopedTrace scope({&r1, &r2});
+        traceLoad(&x, 4);
+        branchEvent(1, true);
+    }
+    EXPECT_EQ(r1.n, 2u);
+    EXPECT_EQ(r2.n, 2u);
+}
+
+TEST(TracePlumbing, NestedScopesRestore)
+{
+    struct Recorder : TraceSink
+    {
+        u64 n = 0;
+        void onAccess(u64, u32, bool, u64) override { ++n; }
+    } outer, inner;
+    int x = 0;
+    {
+        ScopedTrace a({&outer});
+        traceLoad(&x, 4);
+        {
+            ScopedTrace b({&inner});
+            traceLoad(&x, 4);
+        }
+        traceLoad(&x, 4);
+    }
+    EXPECT_EQ(outer.n, 2u);
+    EXPECT_EQ(inner.n, 1u);
+}
+
+TEST(TracePlumbing, TraceIsPerThread)
+{
+    struct Recorder : TraceSink
+    {
+        std::atomic<u64> n{0};
+        void onAccess(u64, u32, bool, u64) override { ++n; }
+    } rec;
+    int x = 0;
+    ScopedTrace scope({&rec});
+    traceLoad(&x, 4);
+    std::thread other([&] {
+        // No trace installed on this thread.
+        traceLoad(&x, 4);
+    });
+    other.join();
+    EXPECT_EQ(rec.n.load(), 1u);
+}
+
+TEST(BandwidthWindows, PeakAtBurst)
+{
+    auto h = cpuI9_13900K().makeHierarchy(1000);
+    // Two quiet windows around one burst window; use a stride that
+    // defeats the prefetcher so traffic is demand-only.
+    u64 addr = 0;
+    auto touch = [&](u64 icount, int n) {
+        for (int i = 0; i < n; ++i) {
+            h.access(addr, 8, false, icount);
+            addr += 4096;
+        }
+    };
+    touch(100, 2);    // window 0
+    touch(1500, 50);  // window 1: burst
+    touch(2500, 2);   // window 2
+    ASSERT_GE(h.windows().size(), 3u);
+    EXPECT_EQ(h.peakWindowBytes(), 50u * 64u);
+}
+
+} // namespace
+} // namespace zkp::sim

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Serialization, batch verification, and parameterized property
+ * sweeps (TEST_P) over circuit sizes for the snark layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "r1cs/circuits.h"
+#include "snark/serialize.h"
+
+namespace zkp::snark {
+namespace {
+
+using Fr = Bn254::Fr;
+using Scheme = Groth16<Bn254>;
+
+/** One compiled pipeline shared by the tests in this file. */
+struct Fixture
+{
+    r1cs::ExponentiationCircuit<Fr> circ;
+    r1cs::R1cs<Fr> cs;
+    r1cs::WitnessCalculator<Fr> calc;
+    Scheme::Keypair keys;
+
+    explicit Fixture(std::size_t e)
+        : circ(e), cs(circ.builder.compile()),
+          calc(circ.builder.witnessProgram()), keys([&] {
+              Rng rng(5);
+              return Scheme::setup(cs, rng);
+          }())
+    {}
+
+    Scheme::Proof
+    proveFor(const Fr& x, Rng& rng) const
+    {
+        return Scheme::prove(keys.pk, cs,
+                             calc.compute({circ.evaluate(x)}, {x}), rng);
+    }
+};
+
+const Fixture&
+fixture()
+{
+    static const Fixture f(16);
+    return f;
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+TEST(Serialize, ProofRoundTrip)
+{
+    Rng rng(61);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+
+    auto bytes = serializeProof<Bn254>(proof);
+    // 2 compressed G1 (1 + 32) + 1 compressed G2 (1 + 2*32).
+    EXPECT_EQ(bytes.size(), 2 * 33 + 65u);
+
+    auto back = deserializeProof<Bn254>(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->a == proof.a);
+    EXPECT_TRUE(back->b == proof.b);
+    EXPECT_TRUE(back->c == proof.c);
+    EXPECT_TRUE(
+        Scheme::verify(fixture().keys.vk, {fixture().circ.evaluate(x)},
+                       *back));
+}
+
+TEST(Serialize, ProofRoundTripBls)
+{
+    using SchemeB = Groth16<Bls381>;
+    using FrB = Bls381::Fr;
+    r1cs::ExponentiationCircuit<FrB> circ(8);
+    auto cs = circ.builder.compile();
+    r1cs::WitnessCalculator<FrB> calc(circ.builder.witnessProgram());
+    Rng rng(62);
+    auto keys = SchemeB::setup(cs, rng);
+    FrB x = FrB::random(rng);
+    auto proof = SchemeB::prove(keys.pk, cs,
+                                calc.compute({circ.evaluate(x)}, {x}),
+                                rng);
+    auto back =
+        deserializeProof<Bls381>(serializeProof<Bls381>(proof));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(SchemeB::verify(keys.vk, {circ.evaluate(x)}, *back));
+}
+
+TEST(Serialize, RejectsCorruptProof)
+{
+    Rng rng(63);
+    Fr x = Fr::random(rng);
+    auto bytes = serializeProof<Bn254>(fixture().proveFor(x, rng));
+
+    // Truncation.
+    auto trunc = bytes;
+    trunc.pop_back();
+    EXPECT_FALSE(deserializeProof<Bn254>(trunc).has_value());
+
+    // Trailing garbage.
+    auto extra = bytes;
+    extra.push_back(0);
+    EXPECT_FALSE(deserializeProof<Bn254>(extra).has_value());
+
+    // Invalid tag.
+    auto badtag = bytes;
+    badtag[0] = 9;
+    EXPECT_FALSE(deserializeProof<Bn254>(badtag).has_value());
+
+    // Non-canonical field element: set x to the modulus.
+    auto badfield = bytes;
+    auto p = Bn254::G1::Field::kModulus;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (int b = 0; b < 8; ++b)
+            badfield[1 + i * 8 + b] =
+                (std::uint8_t)(p.limbs[i] >> (8 * b));
+    EXPECT_FALSE(deserializeProof<Bn254>(badfield).has_value());
+}
+
+TEST(Serialize, RejectsOffCurveX)
+{
+    // Craft a compressed point whose x has no matching y.
+    using Fq = Bn254::G1::Field;
+    Fq x = Fq::fromU64(5); // 5^3 + 3 = 128; is it a square mod p?
+    Fq y2 = x.squared() * x + Bn254::G1::b();
+    Fq dummy;
+    if (y2.sqrt(dummy)) {
+        // pick another x value that fails
+        x = Fq::fromU64(4); // 64 + 3 = 67
+        y2 = x.squared() * x + Bn254::G1::b();
+    }
+    if (!y2.sqrt(dummy)) {
+        ByteWriter w;
+        w.putU8(kTagEvenY);
+        w.putField(x);
+        ByteReader r(w.bytes());
+        Bn254::G1::Affine out;
+        EXPECT_FALSE(readG1<Bn254::G1>(r, out));
+    }
+}
+
+TEST(Serialize, Fp2SqrtRoundTrip)
+{
+    using Fq2 = Bn254::G2::Field;
+    Rng rng(640);
+    for (int i = 0; i < 12; ++i) {
+        Fq2 a = Fq2::random(rng);
+        Fq2 sq = a.squared();
+        Fq2 root;
+        ASSERT_TRUE(sq.sqrt(root));
+        EXPECT_TRUE(root == a || root == -a);
+    }
+    // Pure-Fq and pure-u elements.
+    Fq2 real{Bn254::G1::Field::fromU64(9), Bn254::G1::Field::zero()};
+    Fq2 root;
+    ASSERT_TRUE(real.sqrt(root));
+    EXPECT_EQ(root.squared(), real);
+    // A known non-residue has no root: a random non-square.
+    int rejected = 0;
+    for (int i = 0; i < 8; ++i) {
+        Fq2 a = Fq2::random(rng);
+        Fq2 r2;
+        if (!a.sqrt(r2))
+            ++rejected;
+        else
+            EXPECT_EQ(r2.squared(), a);
+    }
+    EXPECT_GT(rejected, 0); // ~half of elements are non-residues
+}
+
+TEST(Serialize, RejectsNonSubgroupG2Point)
+{
+    // Find an on-curve G2 point outside the order-r subgroup (the
+    // BN254 twist has a large cofactor, so a random curve point is
+    // essentially never in the subgroup) and check the reader rejects
+    // its encoding.
+    using G2 = Bn254::G2;
+    using Fq2 = G2::Field;
+    using Fq = Bn254::G1::Field;
+    Fq2 x{Fq::fromU64(1), Fq::fromU64(0)};
+    Fq2 y;
+    while (!(x.squared() * x + G2::b()).sqrt(y))
+        x.c0 += Fq::one();
+    G2::Affine p(x, y);
+    ASSERT_TRUE(p.isOnCurve(G2::b()));
+    ASSERT_FALSE(inSubgroup<G2>(p)); // cofactor is nontrivial
+
+    ByteWriter w;
+    writeG2<G2>(w, p);
+    ByteReader r(w.bytes());
+    G2::Affine out;
+    EXPECT_FALSE(readG2<G2>(r, out));
+}
+
+TEST(Serialize, InfinityPoints)
+{
+    ByteWriter w;
+    writeG1<Bn254::G1>(w, Bn254::G1::Affine()); // infinity
+    writeG2<Bn254::G2>(w, Bn254::G2::Affine());
+    ByteReader r(w.bytes());
+    Bn254::G1::Affine p1;
+    Bn254::G2::Affine p2;
+    EXPECT_TRUE(readG1<Bn254::G1>(r, p1));
+    EXPECT_TRUE(readG2<Bn254::G2>(r, p2));
+    EXPECT_TRUE(p1.infinity);
+    EXPECT_TRUE(p2.infinity);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, G1CompressionPreservesParity)
+{
+    Rng rng(64);
+    typename Bn254::G1::Jacobian g{Bn254::G1::generator()};
+    for (u64 k = 1; k <= 12; ++k) {
+        auto p = g.mulScalar(k * 7919).toAffine();
+        ByteWriter w;
+        writeG1<Bn254::G1>(w, p);
+        ByteReader r(w.bytes());
+        Bn254::G1::Affine back;
+        ASSERT_TRUE(readG1<Bn254::G1>(r, back));
+        EXPECT_TRUE(back == p) << k;
+    }
+}
+
+TEST(Serialize, VerifyingKeyRoundTrip)
+{
+    auto bytes = serializeVerifyingKey<Bn254>(fixture().keys.vk);
+    auto back = deserializeVerifyingKey<Bn254>(bytes);
+    ASSERT_TRUE(back.has_value());
+
+    // The restored key verifies a fresh proof.
+    Rng rng(65);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+    EXPECT_TRUE(
+        Scheme::verify(*back, {fixture().circ.evaluate(x)}, proof));
+
+    // Truncations at every byte boundary are rejected.
+    for (std::size_t cut : {std::size_t(0), bytes.size() / 2,
+                            bytes.size() - 1}) {
+        std::vector<std::uint8_t> t(bytes.begin(),
+                                    bytes.begin() + cut);
+        EXPECT_FALSE(deserializeVerifyingKey<Bn254>(t).has_value());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch verification
+// ---------------------------------------------------------------------
+
+TEST(BatchVerify, AcceptsManyValidProofs)
+{
+    Rng rng(66);
+    std::vector<std::vector<Fr>> pubs;
+    std::vector<Scheme::Proof> proofs;
+    for (int i = 0; i < 5; ++i) {
+        Fr x = Fr::random(rng);
+        pubs.push_back({fixture().circ.evaluate(x)});
+        proofs.push_back(fixture().proveFor(x, rng));
+    }
+    EXPECT_TRUE(
+        Scheme::verifyBatch(fixture().keys.vk, pubs, proofs, rng));
+}
+
+TEST(BatchVerify, RejectsOneBadProofAmongMany)
+{
+    Rng rng(67);
+    std::vector<std::vector<Fr>> pubs;
+    std::vector<Scheme::Proof> proofs;
+    for (int i = 0; i < 4; ++i) {
+        Fr x = Fr::random(rng);
+        pubs.push_back({fixture().circ.evaluate(x)});
+        proofs.push_back(fixture().proveFor(x, rng));
+    }
+    // Corrupt one public input.
+    pubs[2][0] += Fr::one();
+    EXPECT_FALSE(
+        Scheme::verifyBatch(fixture().keys.vk, pubs, proofs, rng));
+}
+
+TEST(BatchVerify, EmptyBatchIsVacuouslyTrue)
+{
+    Rng rng(68);
+    EXPECT_TRUE(Scheme::verifyBatch(fixture().keys.vk, {}, {}, rng));
+}
+
+TEST(BatchVerify, SingleProofMatchesPlainVerify)
+{
+    Rng rng(69);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+    Fr y = fixture().circ.evaluate(x);
+    EXPECT_EQ(Scheme::verify(fixture().keys.vk, {y}, proof),
+              Scheme::verifyBatch(fixture().keys.vk, {{y}}, {proof},
+                                  rng));
+    EXPECT_FALSE(Scheme::verifyBatch(fixture().keys.vk,
+                                     {{y + Fr::one()}}, {proof}, rng));
+}
+
+// ---------------------------------------------------------------------
+// Parameterized sweeps over circuit size (TEST_P)
+// ---------------------------------------------------------------------
+
+class Groth16SizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(Groth16SizeSweep, CompletenessAcrossSizes)
+{
+    const std::size_t e = GetParam();
+    r1cs::ExponentiationCircuit<Fr> circ(e);
+    auto cs = circ.builder.compile();
+    ASSERT_EQ(cs.numConstraints(), e);
+    r1cs::WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+
+    Rng rng(100 + (u64)e);
+    auto keys = Scheme::setup(cs, rng);
+    Fr x = Fr::random(rng);
+    Fr y = circ.evaluate(x);
+    auto z = calc.compute({y}, {x});
+    ASSERT_TRUE(cs.isSatisfied(z));
+    auto proof = Scheme::prove(keys.pk, cs, z, rng);
+    EXPECT_TRUE(Scheme::verify(keys.vk, {y}, proof));
+    EXPECT_FALSE(Scheme::verify(keys.vk, {y + Fr::one()}, proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, Groth16SizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 31, 64,
+                                           100, 257));
+
+class WitnessSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(WitnessSizeSweep, SatisfiabilityInvariant)
+{
+    // Property: for every size, the witness the interpreter builds
+    // satisfies the compiled system for 3 random inputs, and a
+    // perturbed internal wire never does.
+    const std::size_t e = GetParam();
+    r1cs::ExponentiationCircuit<Fr> circ(e);
+    auto cs = circ.builder.compile();
+    r1cs::WitnessCalculator<Fr> calc(circ.builder.witnessProgram());
+    Rng rng(200 + (u64)e);
+    for (int round = 0; round < 3; ++round) {
+        Fr x = Fr::random(rng);
+        auto z = calc.compute({circ.evaluate(x)}, {x});
+        EXPECT_TRUE(cs.isSatisfied(z));
+        if (z.size() > 3) {
+            auto z_bad = z;
+            z_bad[3] += Fr::one();
+            EXPECT_FALSE(cs.isSatisfied(z_bad));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WitnessSizeSweep,
+                         ::testing::Values(2, 7, 32, 129, 512));
+
+} // namespace
+} // namespace zkp::snark
