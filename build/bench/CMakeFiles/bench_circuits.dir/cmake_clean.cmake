@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circuits.dir/bench_circuits.cpp.o"
+  "CMakeFiles/bench_circuits.dir/bench_circuits.cpp.o.d"
+  "bench_circuits"
+  "bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

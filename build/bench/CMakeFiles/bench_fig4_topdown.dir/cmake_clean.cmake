@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_topdown.dir/bench_fig4_topdown.cpp.o"
+  "CMakeFiles/bench_fig4_topdown.dir/bench_fig4_topdown.cpp.o.d"
+  "bench_fig4_topdown"
+  "bench_fig4_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_loads_stores.dir/bench_fig5_loads_stores.cpp.o"
+  "CMakeFiles/bench_fig5_loads_stores.dir/bench_fig5_loads_stores.cpp.o.d"
+  "bench_fig5_loads_stores"
+  "bench_fig5_loads_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_loads_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plonk_vs_groth16.dir/bench_plonk_vs_groth16.cpp.o"
+  "CMakeFiles/bench_plonk_vs_groth16.dir/bench_plonk_vs_groth16.cpp.o.d"
+  "bench_plonk_vs_groth16"
+  "bench_plonk_vs_groth16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plonk_vs_groth16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_plonk_vs_groth16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_plonk_vs_groth16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mpki.dir/bench_table2_mpki.cpp.o"
+  "CMakeFiles/bench_table2_mpki.dir/bench_table2_mpki.cpp.o.d"
+  "bench_table2_mpki"
+  "bench_table2_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_functions.dir/bench_table4_functions.cpp.o"
+  "CMakeFiles/bench_table4_functions.dir/bench_table4_functions.cpp.o.d"
+  "bench_table4_functions"
+  "bench_table4_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

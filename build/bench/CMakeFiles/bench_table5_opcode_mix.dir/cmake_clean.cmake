@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_opcode_mix.dir/bench_table5_opcode_mix.cpp.o"
+  "CMakeFiles/bench_table5_opcode_mix.dir/bench_table5_opcode_mix.cpp.o.d"
+  "bench_table5_opcode_mix"
+  "bench_table5_opcode_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_opcode_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_opcode_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_parallelism.dir/bench_table6_parallelism.cpp.o"
+  "CMakeFiles/bench_table6_parallelism.dir/bench_table6_parallelism.cpp.o.d"
+  "bench_table6_parallelism"
+  "bench_table6_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_membership.dir/merkle_membership.cpp.o"
+  "CMakeFiles/merkle_membership.dir/merkle_membership.cpp.o.d"
+  "merkle_membership"
+  "merkle_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

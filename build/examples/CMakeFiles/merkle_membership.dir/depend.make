@@ -1,0 +1,2 @@
+# Empty dependencies file for merkle_membership.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_range.dir/private_range.cpp.o"
+  "CMakeFiles/private_range.dir/private_range.cpp.o.d"
+  "private_range"
+  "private_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_pipeline.dir/profile_pipeline.cpp.o"
+  "CMakeFiles/profile_pipeline.dir/profile_pipeline.cpp.o.d"
+  "profile_pipeline"
+  "profile_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollup_batch.dir/rollup_batch.cpp.o"
+  "CMakeFiles/rollup_batch.dir/rollup_batch.cpp.o.d"
+  "rollup_batch"
+  "rollup_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollup_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;zkp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_merkle_membership "/root/repo/build/examples/merkle_membership")
+set_tests_properties(example_merkle_membership PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;zkp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_private_range "/root/repo/build/examples/private_range")
+set_tests_properties(example_private_range PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;zkp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_pipeline "/root/repo/build/examples/profile_pipeline")
+set_tests_properties(example_profile_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;zkp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rollup_batch "/root/repo/build/examples/rollup_batch")
+set_tests_properties(example_rollup_batch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;zkp_add_example;/root/repo/examples/CMakeLists.txt;0;")

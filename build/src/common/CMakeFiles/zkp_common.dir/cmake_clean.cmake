@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_common.dir/bignum.cpp.o"
+  "CMakeFiles/zkp_common.dir/bignum.cpp.o.d"
+  "CMakeFiles/zkp_common.dir/parallel.cpp.o"
+  "CMakeFiles/zkp_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/zkp_common.dir/table.cpp.o"
+  "CMakeFiles/zkp_common.dir/table.cpp.o.d"
+  "libzkp_common.a"
+  "libzkp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzkp_common.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/zkp_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/zkp_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/calibrate.cpp" "src/core/CMakeFiles/zkp_core.dir/calibrate.cpp.o" "gcc" "src/core/CMakeFiles/zkp_core.dir/calibrate.cpp.o.d"
+  "/root/repo/src/core/scaling_fit.cpp" "src/core/CMakeFiles/zkp_core.dir/scaling_fit.cpp.o" "gcc" "src/core/CMakeFiles/zkp_core.dir/scaling_fit.cpp.o.d"
+  "/root/repo/src/core/stage.cpp" "src/core/CMakeFiles/zkp_core.dir/stage.cpp.o" "gcc" "src/core/CMakeFiles/zkp_core.dir/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zkp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zkp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_core.dir/analysis.cpp.o"
+  "CMakeFiles/zkp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/zkp_core.dir/calibrate.cpp.o"
+  "CMakeFiles/zkp_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/zkp_core.dir/scaling_fit.cpp.o"
+  "CMakeFiles/zkp_core.dir/scaling_fit.cpp.o.d"
+  "CMakeFiles/zkp_core.dir/stage.cpp.o"
+  "CMakeFiles/zkp_core.dir/stage.cpp.o.d"
+  "libzkp_core.a"
+  "libzkp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/zkp_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/zkp_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/zkp_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/zkp_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/zkp_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/zkp_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/topdown.cpp" "src/sim/CMakeFiles/zkp_sim.dir/topdown.cpp.o" "gcc" "src/sim/CMakeFiles/zkp_sim.dir/topdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zkp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_sim.dir/cache.cpp.o"
+  "CMakeFiles/zkp_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/zkp_sim.dir/counters.cpp.o"
+  "CMakeFiles/zkp_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/zkp_sim.dir/cpu_model.cpp.o"
+  "CMakeFiles/zkp_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/zkp_sim.dir/topdown.cpp.o"
+  "CMakeFiles/zkp_sim.dir/topdown.cpp.o.d"
+  "libzkp_sim.a"
+  "libzkp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec_extended.dir/test_ec_extended.cpp.o"
+  "CMakeFiles/test_ec_extended.dir/test_ec_extended.cpp.o.d"
+  "test_ec_extended"
+  "test_ec_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

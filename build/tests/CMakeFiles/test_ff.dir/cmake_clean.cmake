@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ff.dir/test_ff.cpp.o"
+  "CMakeFiles/test_ff.dir/test_ff.cpp.o.d"
+  "test_ff"
+  "test_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ff_extended.dir/test_ff_extended.cpp.o"
+  "CMakeFiles/test_ff_extended.dir/test_ff_extended.cpp.o.d"
+  "test_ff_extended"
+  "test_ff_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ff_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ff_extended.
+# This may be replaced when dependencies are built.

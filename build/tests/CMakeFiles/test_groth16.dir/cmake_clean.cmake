@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groth16.dir/test_groth16.cpp.o"
+  "CMakeFiles/test_groth16.dir/test_groth16.cpp.o.d"
+  "test_groth16"
+  "test_groth16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groth16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

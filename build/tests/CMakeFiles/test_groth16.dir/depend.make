@@ -1,0 +1,2 @@
+# Empty dependencies file for test_groth16.
+# This may be replaced when dependencies are built.

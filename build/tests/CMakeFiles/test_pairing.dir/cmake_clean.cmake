@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairing.dir/test_pairing.cpp.o"
+  "CMakeFiles/test_pairing.dir/test_pairing.cpp.o.d"
+  "test_pairing"
+  "test_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

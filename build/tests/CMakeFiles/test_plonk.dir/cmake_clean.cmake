@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plonk.dir/test_plonk.cpp.o"
+  "CMakeFiles/test_plonk.dir/test_plonk.cpp.o.d"
+  "test_plonk"
+  "test_plonk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plonk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly.dir/test_poly.cpp.o"
+  "CMakeFiles/test_poly.dir/test_poly.cpp.o.d"
+  "test_poly"
+  "test_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

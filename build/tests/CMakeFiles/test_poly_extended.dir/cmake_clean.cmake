@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly_extended.dir/test_poly_extended.cpp.o"
+  "CMakeFiles/test_poly_extended.dir/test_poly_extended.cpp.o.d"
+  "test_poly_extended"
+  "test_poly_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

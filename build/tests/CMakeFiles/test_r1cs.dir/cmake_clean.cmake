@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_r1cs.dir/test_r1cs.cpp.o"
+  "CMakeFiles/test_r1cs.dir/test_r1cs.cpp.o.d"
+  "test_r1cs"
+  "test_r1cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_r1cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_extended.dir/test_sim_extended.cpp.o"
+  "CMakeFiles/test_sim_extended.dir/test_sim_extended.cpp.o.d"
+  "test_sim_extended"
+  "test_sim_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sim_extended.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark_extra.dir/test_snark_extra.cpp.o"
+  "CMakeFiles/test_snark_extra.dir/test_snark_extra.cpp.o.d"
+  "test_snark_extra"
+  "test_snark_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
