@@ -43,17 +43,14 @@ runPipeline(Builder& builder, const std::vector<typename Curve::Fr>& pub,
 
     t.reset();
     auto keys = Scheme::setup(cs, rng);
-    out.setup = t.seconds();
+    out.setup = t.lap();
 
-    t.reset();
     auto z = calc.compute(pub, priv);
-    out.witness = t.seconds();
+    out.witness = t.lap();
 
-    t.reset();
     auto proof = Scheme::prove(keys.pk, cs, z, rng);
-    out.prove = t.seconds();
+    out.prove = t.lap();
 
-    t.reset();
     out.ok = Scheme::verify(keys.vk, pub, proof);
     out.verify = t.seconds();
     return out;

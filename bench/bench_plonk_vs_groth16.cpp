@@ -41,8 +41,7 @@ runCurve()
 
         Timer tg;
         auto gproof = G::prove(gkeys.pk, cs, z, rng);
-        const double groth_prove = tg.seconds();
-        tg.reset();
+        const double groth_prove = tg.lap();
         bool gok = G::verify(gkeys.vk, {y}, gproof);
         const double groth_verify = tg.seconds();
 
@@ -53,8 +52,7 @@ runCurve()
 
         Timer tp;
         auto pproof = P::prove(pkeys.pk, values, {y}, rng);
-        const double plonk_prove = tp.seconds();
-        tp.reset();
+        const double plonk_prove = tp.lap();
         bool pok = P::verify(pkeys.vk, {y}, pproof);
         const double plonk_verify = tp.seconds();
 

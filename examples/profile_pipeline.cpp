@@ -4,11 +4,20 @@
  * Profiles the full pipeline at one size and prints a compact
  * characterization report — the library's primary public API.
  *
- * Run: ./build/examples/profile_pipeline [log2_constraints]
+ * Run: ./build/examples/profile_pipeline [log2_constraints] [threads]
+ *                                        [--json <path>]
+ *
+ * --json <path> additionally writes the machine-readable run report
+ * (one JSON record per instrumented stage execution: stage, curve,
+ * size, threads, seconds, counter deltas, top spans — see
+ * docs/OBSERVABILITY.md). Set ZKP_TRACE=out.trace.json to also
+ * capture a Perfetto-loadable span trace of the whole run.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/table.h"
 #include "core/analysis.h"
@@ -18,12 +27,29 @@ int
 main(int argc, char** argv)
 {
     using namespace zkp;
-    const std::size_t log_n = argc > 1 ? std::atoi(argv[1]) : 11;
+    std::size_t log_n = 11;
+    std::size_t threads = 2;
+    std::string json_path;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (positional == 0) {
+            log_n = (std::size_t)std::atoi(argv[i]);
+            ++positional;
+        } else if (positional == 1) {
+            threads = (std::size_t)std::atoi(argv[i]);
+            ++positional;
+        }
+    }
+    if (threads == 0)
+        threads = 1;
 
     core::SweepConfig cfg;
     cfg.sizes = {std::size_t(1) << log_n};
+    cfg.threads = threads;
     std::printf("profile_pipeline: characterizing the BN254 pipeline at "
-                "2^%zu constraints\n\n", log_n);
+                "2^%zu constraints (%zu threads)\n\n", log_n, threads);
 
     core::StageRunner<snark::Bn254> runner(cfg.sizes[0]);
 
@@ -51,8 +77,17 @@ main(int argc, char** argv)
     std::printf("%s\n", report.render().c_str());
 
     std::printf("hot functions in the proving stage:\n");
-    auto prove = runner.run(core::Stage::Proving);
+    auto prove = runner.run(core::Stage::Proving, cfg.threads);
     for (const auto& f : core::attributeFunctions(prove, 4))
         std::printf("  %-28s %5.1f%%\n", f.function.c_str(), f.pct);
+
+    if (!json_path.empty()) {
+        if (core::writeRunReport(json_path))
+            std::printf("\nrun report written to %s\n",
+                        json_path.c_str());
+        else
+            std::printf("\n!! failed to write run report to %s\n",
+                        json_path.c_str());
+    }
     return 0;
 }

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace zkp {
 
 /**
@@ -72,6 +74,8 @@ parallelFor(std::size_t n, std::size_t threads, Fn&& fn)
         }
     } region_timer;
 
+    ZKP_TRACE_SCOPE("parallel_for", "n", (obs::u64)n);
+
     if (threads <= 1 || n <= 1) {
         fn(0, 0, n);
         return;
@@ -87,6 +91,11 @@ parallelFor(std::size_t n, std::size_t threads, Fn&& fn)
         if (begin >= end)
             break;
         workers.emplace_back([&fn, t, begin, end] {
+            // Pin the span tracer to a stable per-worker lane so the
+            // chunk (and everything the chunk calls) renders as one
+            // Perfetto track per worker slot.
+            obs::ScopedWorkerLane lane((obs::u32)t);
+            ZKP_TRACE_SCOPE("worker", "items", (obs::u64)(end - begin));
             fn(t, begin, end);
             if (const auto& hook = workerDoneHook())
                 hook();

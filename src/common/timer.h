@@ -30,6 +30,20 @@ class Timer
     /** Elapsed nanoseconds. */
     double nanos() const { return seconds() * 1e9; }
 
+    /**
+     * Elapsed seconds, then restart: the common "read the split and
+     * start timing the next phase" idiom as one call.
+     */
+    double
+    lap()
+    {
+        auto now = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(now - start_).count();
+        start_ = now;
+        return s;
+    }
+
   private:
     std::chrono::steady_clock::time_point start_;
 };

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/report.h"
+
 namespace zkp::core {
+
+bool
+writeRunReport(const std::string& path)
+{
+    return obs::writeRunReport(path);
+}
 
 double
 stageBandwidthConcurrency(Stage s, const sim::CpuModel& cpu)

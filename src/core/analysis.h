@@ -27,6 +27,14 @@
 
 namespace zkp::core {
 
+/**
+ * Write the run report accumulated by every StageRunner::run() so far
+ * (one JSON record per instrumented stage execution, with counter
+ * deltas and per-kernel span attribution — see obs/report.h) to
+ * @p path. Returns false on I/O failure.
+ */
+bool writeRunReport(const std::string& path);
+
 /** Common sweep parameters. */
 struct SweepConfig
 {

@@ -21,11 +21,31 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/stage.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "r1cs/circuits.h"
 #include "sim/memtrace.h"
 #include "snark/groth16.h"
 
 namespace zkp::core {
+
+/** Flatten a counter delta into the run report's generic pairs. */
+inline std::vector<std::pair<std::string, double>>
+counterPairs(const sim::Counters& c)
+{
+    return {
+        {"instructions", (double)c.instructions()},
+        {"compute", (double)c.compute},
+        {"control", (double)c.control},
+        {"data", (double)c.data},
+        {"loads", (double)c.loads},
+        {"stores", (double)c.stores},
+        {"branches", (double)c.branches},
+        {"imuls", (double)c.imuls},
+        {"alloc_bytes", (double)c.allocBytes},
+        {"memcpy_bytes", (double)c.memcpyBytes},
+    };
+}
 
 /** Difference of two counter snapshots (after - before). */
 inline sim::Counters
@@ -88,13 +108,23 @@ class StageRunner
     run(Stage s, std::size_t threads = 1,
         std::vector<sim::TraceSink*> sinks = {}, sim::u32 sample_mask = 0)
     {
-        ensurePrerequisites(s, threads);
+        {
+            ZKP_TRACE_SCOPE("prerequisites");
+            ensurePrerequisites(s, threads);
+        }
+
+        // Span totals before the stage, so the report can attribute
+        // only this run's kernel time (tracing enabled only).
+        std::vector<obs::SpanStat> spans_before;
+        if (obs::tracingEnabled())
+            spans_before = obs::spanAggregates();
 
         sim::drainWorkerCounters();
         const sim::Counters before = sim::counters();
         Timer timer;
         {
             sim::ScopedTrace trace(std::move(sinks), sample_mask);
+            ZKP_TRACE_SCOPE(stageName(s));
             execute(s, threads);
         }
         const double seconds = timer.seconds();
@@ -103,6 +133,7 @@ class StageRunner
         StageRun out;
         out.seconds = seconds;
         out.counters = countersDelta(before, sim::counters());
+        reportRun(s, threads, out, spans_before);
         return out;
     }
 
@@ -118,6 +149,38 @@ class StageRunner
     }
 
   private:
+    /** Append this run to the process-wide run report (obs/report.h). */
+    void
+    reportRun(Stage s, std::size_t threads, const StageRun& run,
+              const std::vector<obs::SpanStat>& spans_before) const
+    {
+        obs::StageReport rep;
+        rep.stage = stageName(s);
+        rep.curve = Curve::kName;
+        rep.constraints = constraints_;
+        rep.threads = threads;
+        rep.seconds = run.seconds;
+        rep.counters = counterPairs(run.counters);
+        if (obs::tracingEnabled()) {
+            for (const obs::SpanStat& after : obs::spanAggregates()) {
+                obs::u64 prev_count = 0, prev_ns = 0;
+                for (const obs::SpanStat& b : spans_before) {
+                    if (b.name == after.name) {
+                        prev_count = b.count;
+                        prev_ns = b.totalNs;
+                        break;
+                    }
+                }
+                if (after.count > prev_count) {
+                    rep.topSpans.push_back(
+                        {after.name, after.count - prev_count,
+                         (double)(after.totalNs - prev_ns) / 1e9});
+                }
+            }
+        }
+        obs::recordStageReport(std::move(rep));
+    }
+
     void
     ensurePrerequisites(Stage s, std::size_t threads)
     {

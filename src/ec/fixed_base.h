@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "ec/curve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/counters.h"
 #include "sim/memtrace.h"
 
@@ -45,6 +47,8 @@ class FixedBaseTable
     /** Precompute the table for @p base. */
     explicit FixedBaseTable(const Point& base)
     {
+        ZKP_TRACE_SCOPE("fixed_base_table_build", "entries",
+                        (obs::u64)(kWindows * kEntriesPerWindow));
         std::vector<Point> jac;
         jac.reserve(kWindows * kEntriesPerWindow);
         Point window_base = base;
@@ -60,12 +64,16 @@ class FixedBaseTable
         }
         table_ = batchToAffine(jac);
         sim::countAlloc(table_.size() * sizeof(Affine));
+        obs::gauge("fixed_base.table_bytes")
+            .set((double)footprintBytes());
     }
 
     /** base * k via table lookups (one mixed add per window). */
     Point
     mul(const ScalarRepr& k) const
     {
+        static obs::Counter& muls = obs::counter("fixed_base.muls");
+        muls.add();
         Point acc = Point::infinity();
         for (unsigned w = 0; w < kWindows; ++w) {
             sim::count(sim::PrimOp::MsmWindow);

@@ -21,6 +21,8 @@
 
 #include "common/parallel.h"
 #include "ec/curve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/counters.h"
 #include "sim/memtrace.h"
 
@@ -60,6 +62,7 @@ msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
     if (n == 0)
         return Point::infinity();
 
+    ZKP_TRACE_SCOPE("msm_chunk", "n", (obs::u64)n);
     const unsigned c = msmWindowBits(n);
     const unsigned scalar_bits = ScalarRepr::kBits;
     const unsigned windows = (scalar_bits + c - 1) / c;
@@ -124,6 +127,11 @@ msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
 {
     if (n == 0)
         return Point::infinity();
+    ZKP_TRACE_SCOPE("msm", "n", (obs::u64)n);
+    static obs::Counter& calls = obs::counter("msm.calls");
+    static obs::Histogram& sizes = obs::histogram("msm.points");
+    calls.add();
+    sizes.record(n);
     // Chunking below ~256 points per worker hurts Pippenger; the
     // single-worker path still routes through parallelFor so the
     // work/span instrumentation sees MSM as parallelizable work.

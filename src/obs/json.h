@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Minimal JSON writer used by the observability exporters (trace,
+ * metrics, run report). Append-only, no DOM: callers open and close
+ * objects/arrays in order and the writer tracks where commas go.
+ *
+ * Deliberately dependency-free so zkp_obs stays at the bottom of the
+ * library's layering (common links against obs, not the other way
+ * around).
+ */
+
+#ifndef ZKP_OBS_JSON_H
+#define ZKP_OBS_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace zkp::obs {
+
+/** Streaming JSON document builder. */
+class JsonWriter
+{
+  public:
+    /** The document rendered so far (valid once all scopes close). */
+    const std::string& str() const { return out_; }
+
+    std::string take() { return std::move(out_); }
+
+    JsonWriter&
+    beginObject()
+    {
+        prefix();
+        out_ += '{';
+        first_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter&
+    endObject()
+    {
+        first_.pop_back();
+        out_ += '}';
+        return *this;
+    }
+
+    JsonWriter&
+    beginArray()
+    {
+        prefix();
+        out_ += '[';
+        first_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter&
+    endArray()
+    {
+        first_.pop_back();
+        out_ += ']';
+        return *this;
+    }
+
+    /** Object key; must be followed by exactly one value/scope. */
+    JsonWriter&
+    key(const std::string& k)
+    {
+        prefix();
+        appendEscaped(k);
+        out_ += ':';
+        pendingKey_ = true;
+        return *this;
+    }
+
+    JsonWriter&
+    value(const std::string& v)
+    {
+        prefix();
+        appendEscaped(v);
+        return *this;
+    }
+
+    JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+    JsonWriter&
+    value(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        prefix();
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter&
+    value(std::uint64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter&
+    value(std::int64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter&
+    value(bool v)
+    {
+        prefix();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+  private:
+    /** Emit a separating comma unless this is a key's value or the
+     *  first element of the enclosing scope. */
+    void
+    prefix()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ',';
+            first_.back() = false;
+        }
+    }
+
+    void
+    appendEscaped(const std::string& s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ += "\\\"";
+                break;
+              case '\\':
+                out_ += "\\\\";
+                break;
+              case '\n':
+                out_ += "\\n";
+                break;
+              case '\r':
+                out_ += "\\r";
+                break;
+              case '\t':
+                out_ += "\\t";
+                break;
+              default:
+                if ((unsigned char)c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> first_;
+    bool pendingKey_ = false;
+};
+
+} // namespace zkp::obs
+
+#endif // ZKP_OBS_JSON_H

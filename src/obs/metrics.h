@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Named metrics registry: counters, gauges and log-scale histograms.
+ *
+ * Instruments are process-global, created on first use and looked up
+ * by name. Kernels cache the reference in a function-local static so
+ * the hot path is a single relaxed atomic add:
+ *
+ *   static obs::Counter& calls = obs::counter("msm.calls");
+ *   calls.add();
+ *
+ * All instruments are thread-safe: worker threads spawned by
+ * parallelFor update them directly and the totals merge by virtue of
+ * atomicity (no per-thread staging to drain). Export to JSON
+ * (metricsJson) or CSV (metricsCsv); the run-report writer embeds a
+ * snapshot per stage run.
+ */
+
+#ifndef ZKP_OBS_METRICS_H
+#define ZKP_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zkp::obs {
+
+using u64 = std::uint64_t;
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void
+    add(u64 delta = 1)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<u64> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Log-scale (powers of two) histogram for long-tailed size
+ * distributions: MSM sizes, NTT lengths, allocation bytes. Bucket i
+ * holds values v with 2^(i-1) < v <= ... — concretely, bucket 0 holds
+ * v == 0 and v == 1, bucket i >= 1 holds 2^i <= v < 2^(i+1).
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    /** Bucket index for @p v. */
+    static unsigned
+    bucketOf(u64 v)
+    {
+        unsigned b = 0;
+        while (v > 1) {
+            v >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static u64
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : u64(1) << i;
+    }
+
+    void
+    record(u64 v)
+    {
+        buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        atomicMin(min_, v);
+        atomicMax(max_, v);
+    }
+
+    u64 count() const { return count_.load(std::memory_order_relaxed); }
+    u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    u64
+    min() const
+    {
+        return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+    }
+
+    u64
+    max() const
+    {
+        return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+    }
+
+    u64
+    bucketCount(unsigned i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        for (auto& b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        min_.store(~u64(0), std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static void
+    atomicMin(std::atomic<u64>& slot, u64 v)
+    {
+        u64 cur = slot.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    static void
+    atomicMax(std::atomic<u64>& slot, u64 v)
+    {
+        u64 cur = slot.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    std::array<std::atomic<u64>, kBuckets> buckets_{};
+    std::atomic<u64> count_{0};
+    std::atomic<u64> sum_{0};
+    std::atomic<u64> min_{~u64(0)};
+    std::atomic<u64> max_{0};
+};
+
+/** Find-or-create by name. References stay valid for process life. */
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/** Zero every registered instrument (registrations persist). */
+void resetMetrics();
+
+/** Name-sorted snapshot of all counters, for report embedding. */
+std::vector<std::pair<std::string, u64>> counterSnapshot();
+
+/** Render the whole registry as a JSON document. */
+std::string metricsJson();
+
+/** Render counters and gauges as "kind,name,value" CSV lines;
+ *  histograms add one line per occupied bucket. */
+std::string metricsCsv();
+
+/** Write metricsJson() to @p path. Returns false on I/O failure. */
+bool writeMetrics(const std::string& path);
+
+} // namespace zkp::obs
+
+#endif // ZKP_OBS_METRICS_H

@@ -1,0 +1,110 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace zkp::obs {
+
+namespace {
+
+std::mutex& reportMutex()
+{
+    static std::mutex& m = *new std::mutex;
+    return m;
+}
+
+std::vector<StageReport>& reports()
+{
+    // Leaked on purpose: the ZKP_REPORT atexit hook may run after
+    // ordinary static destructors, so this storage must never die.
+    static std::vector<StageReport>& r = *new std::vector<StageReport>;
+    return r;
+}
+
+} // namespace
+
+void
+recordStageReport(StageReport report)
+{
+    std::lock_guard<std::mutex> g(reportMutex());
+    reports().push_back(std::move(report));
+}
+
+std::vector<StageReport>
+stageReports()
+{
+    std::lock_guard<std::mutex> g(reportMutex());
+    return reports();
+}
+
+void
+clearStageReports()
+{
+    std::lock_guard<std::mutex> g(reportMutex());
+    reports().clear();
+}
+
+std::string
+runReportJson()
+{
+    const std::vector<StageReport> snapshot = stageReports();
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("zkperf-run-report/1");
+
+    w.key("stages").beginArray();
+    for (const StageReport& r : snapshot) {
+        w.beginObject();
+        w.key("stage").value(r.stage);
+        w.key("curve").value(r.curve);
+        w.key("constraints").value((std::uint64_t)r.constraints);
+        w.key("threads").value((std::uint64_t)r.threads);
+        w.key("seconds").value(r.seconds);
+        w.key("counters").beginObject();
+        for (const auto& [name, value] : r.counters)
+            w.key(name).value(value);
+        w.endObject();
+        w.key("top_spans").beginArray();
+        for (const KernelStat& k : r.topSpans) {
+            w.beginObject();
+            w.key("name").value(k.name);
+            w.key("count").value(k.count);
+            w.key("seconds").value(k.seconds);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    // Registry snapshot: cumulative, not per stage — the per-stage
+    // deltas live in the counters of each record above.
+    w.key("metrics");
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto& [name, value] : counterSnapshot())
+        w.key(name).value(value);
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    return w.take();
+}
+
+bool
+writeRunReport(const std::string& path)
+{
+    const std::string json = runReportJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace zkp::obs

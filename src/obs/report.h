@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Run reports: one machine-readable record per instrumented stage
+ * execution (StageRunner::run), accumulated process-wide and
+ * serialized to a single JSON document.
+ *
+ * A record carries the stage identity (stage, curve, constraint
+ * count, threads), its wall time, the instrumented counter deltas
+ * (passed in as generic name/value pairs so obs does not depend on
+ * the sim layer) and — when tracing is active — the top spans by
+ * total time, which is the per-kernel attribution the paper's Table
+ * IV reports per stage.
+ *
+ * Activation: core::StageRunner records automatically; write the
+ * document with writeRunReport(path), the ZKP_REPORT=path environment
+ * variable (flushed at exit), or profile_pipeline --json <path>.
+ */
+
+#ifndef ZKP_OBS_REPORT_H
+#define ZKP_OBS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zkp::obs {
+
+/** Per-kernel time attribution entry (from span aggregates). */
+struct KernelStat
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0;
+};
+
+/** One instrumented stage execution. */
+struct StageReport
+{
+    std::string stage;
+    std::string curve;
+    std::size_t constraints = 0;
+    std::size_t threads = 0;
+    double seconds = 0;
+    /// Instrumented event-counter deltas for this run (name, value).
+    std::vector<std::pair<std::string, double>> counters;
+    /// Spans recorded during this run, heaviest first (tracing only).
+    std::vector<KernelStat> topSpans;
+};
+
+/** Append one record to the process-wide report. Thread-safe. */
+void recordStageReport(StageReport report);
+
+/** Snapshot of every record accumulated so far. */
+std::vector<StageReport> stageReports();
+
+/** Drop all accumulated records. */
+void clearStageReports();
+
+/**
+ * Render the accumulated records plus a metrics-registry snapshot as
+ * one JSON document: {"schema":…, "stages":[…], "metrics":{…}}.
+ */
+std::string runReportJson();
+
+/** Write runReportJson() to @p path. Returns false on I/O failure. */
+bool writeRunReport(const std::string& path);
+
+} // namespace zkp::obs
+
+#endif // ZKP_OBS_REPORT_H

@@ -25,6 +25,8 @@
 #include "common/bignum.h"
 #include "ec/groups.h"
 #include "ff/fp12.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zkp::pairing {
 
@@ -129,6 +131,10 @@ class Engine
     static Fq12
     millerLoop(const G1Affine& p, const G2Affine& q)
     {
+        ZKP_TRACE_SCOPE("pairing_miller_loop");
+        static obs::Counter& loops =
+            obs::counter("pairing.miller_loops");
+        loops.add();
         if (p.infinity || q.infinity)
             return Fq12::one();
 
@@ -166,6 +172,9 @@ class Engine
     static Fq12
     finalExponentiation(const Fq12& f)
     {
+        ZKP_TRACE_SCOPE("pairing_final_exp");
+        static obs::Counter& exps = obs::counter("pairing.final_exps");
+        exps.add();
         // Easy part: f^((p^6 - 1)(p^2 + 1)).
         Fq12 g = f.conjugate() * f.inverse();
         g = g.frobenius(2) * g;
@@ -178,6 +187,7 @@ class Engine
     static Fq12
     pairing(const G1Affine& p, const G2Affine& q)
     {
+        ZKP_TRACE_SCOPE("pairing");
         return finalExponentiation(millerLoop(p, q));
     }
 
@@ -188,6 +198,7 @@ class Engine
     static Fq12
     pairingProduct(const std::vector<std::pair<G1Affine, G2Affine>>& pairs)
     {
+        ZKP_TRACE_SCOPE("pairing", "pairs", (obs::u64)pairs.size());
         Fq12 acc = Fq12::one();
         for (const auto& [p, q] : pairs)
             acc *= millerLoop(p, q);

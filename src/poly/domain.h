@@ -24,6 +24,8 @@
 
 #include "common/parallel.h"
 #include "ff/fp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/counters.h"
 #include "sim/memtrace.h"
 
@@ -140,6 +142,7 @@ class Domain
     void
     intt(std::vector<Fr>& a, std::size_t threads = 1) const
     {
+        ZKP_TRACE_SCOPE("intt", "n", (obs::u64)size_);
         transform(a, omegaInv_, threads);
         parallelFor(a.size(), threads,
                     [&](std::size_t, std::size_t b, std::size_t e) {
@@ -152,6 +155,7 @@ class Domain
     void
     cosetNtt(std::vector<Fr>& a, std::size_t threads = 1) const
     {
+        ZKP_TRACE_SCOPE("coset_ntt", "n", (obs::u64)size_);
         scaleByPowers(a, shift_, threads);
         transform(a, omega_, threads);
     }
@@ -160,6 +164,7 @@ class Domain
     void
     cosetIntt(std::vector<Fr>& a, std::size_t threads = 1) const
     {
+        ZKP_TRACE_SCOPE("coset_intt", "n", (obs::u64)size_);
         intt(a, threads);
         scaleByPowers(a, shiftInv_, threads);
     }
@@ -202,6 +207,13 @@ class Domain
         const std::size_t n = size_;
         if (n == 1)
             return;
+
+        ZKP_TRACE_SCOPE("ntt", "n", (obs::u64)n);
+        static obs::Counter& transforms = obs::counter("ntt.transforms");
+        static obs::Counter& butterflies =
+            obs::counter("ntt.butterflies");
+        transforms.add();
+        butterflies.add((obs::u64)(n / 2) * log2n_);
 
         // Bit-reversal permutation.
         for (std::size_t i = 1, j = 0; i < n; ++i) {

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "r1cs/r1cs.h"
 
 namespace zkp::r1cs {
@@ -184,6 +186,11 @@ class CircuitBuilder
     R1cs<Fr>
     compile(std::size_t threads = 1) const
     {
+        ZKP_TRACE_SCOPE("r1cs_compile", "constraints",
+                        (obs::u64)constraints_.size());
+        static obs::Counter& compiled =
+            obs::counter("compile.constraints");
+        compiled.add(constraints_.size());
         std::vector<Constraint<Fr>> rows(constraints_.size());
         sim::countAlloc(constraints_.size() * sizeof(Constraint<Fr>));
         parallelFor(constraints_.size(), threads,

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "r1cs/circuit.h"
 
 namespace zkp::r1cs {
@@ -58,6 +60,11 @@ class WitnessCalculator
     {
         assert(public_inputs.size() == program_.numPublic);
         assert(private_inputs.size() == program_.numPrivate);
+
+        ZKP_TRACE_SCOPE("witness_eval", "gates",
+                        (obs::u64)program_.ops.size());
+        static obs::Counter& gates = obs::counter("witness.gates");
+        gates.add(program_.ops.size());
 
         std::vector<Fr> z(program_.numVars, Fr::zero());
         sim::countAlloc(z.size() * sizeof(Fr));

@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "ec/fixed_base.h"
 #include "ec/msm.h"
+#include "obs/trace.h"
 #include "poly/domain.h"
 #include "r1cs/r1cs.h"
 #include "snark/curve.h"
@@ -125,6 +126,8 @@ class Groth16
     static Keypair
     setup(const R1cs& cs, Rng& rng, std::size_t threads = 1)
     {
+        ZKP_TRACE_SCOPE("groth16_setup", "constraints",
+                        (obs::u64)cs.numConstraints());
         const std::size_t m = domainSizeFor(cs);
         poly::Domain<Fr> domain(m);
 
@@ -234,6 +237,8 @@ class Groth16
           Rng& rng, std::size_t threads = 1)
     {
         assert(z.size() == cs.numVars());
+        ZKP_TRACE_SCOPE("prove", "constraints",
+                        (obs::u64)cs.numConstraints());
         const std::size_t m = pk.domainSize;
         poly::Domain<Fr> domain(m);
 
@@ -326,6 +331,8 @@ class Groth16
     {
         assert(public_inputs.size() + 1 == vk.ic.size());
 
+        ZKP_TRACE_SCOPE("verify");
+
         // vk_x = ic[0] + sum pub_i * ic[i+1] (a small MSM).
         std::vector<FrRepr> repr(public_inputs.size());
         for (std::size_t i = 0; i < public_inputs.size(); ++i)
@@ -335,6 +342,7 @@ class Groth16
         vkx += G1Jac{vk.ic[0]};
         const G1Affine vkx_aff = vkx.toAffine();
 
+        ZKP_TRACE_SCOPE("pairing", "pairs", 3);
         const Fq12 lhs =
             Engine::finalExponentiation(Engine::millerLoop(proof.a,
                                                            proof.b));
@@ -367,6 +375,9 @@ class Groth16
         assert(public_inputs.size() == proofs.size());
         if (proofs.empty())
             return true;
+
+        ZKP_TRACE_SCOPE("verify_batch", "proofs",
+                        (obs::u64)proofs.size());
 
         std::vector<std::pair<G1Affine, G2Affine>> pairs;
         pairs.reserve(proofs.size() + 2);
@@ -451,6 +462,8 @@ class Groth16
     encodeAll(const Table& table, const std::vector<Fr>& scalars,
               std::size_t threads)
     {
+        ZKP_TRACE_SCOPE("fixed_base_encode", "n",
+                        (obs::u64)scalars.size());
         using Jac = decltype(table.mul(std::declval<FrRepr>()));
         std::vector<Jac> out(scalars.size());
         sim::countAlloc(out.size() * sizeof(Jac));

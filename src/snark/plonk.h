@@ -28,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "poly/domain.h"
 #include "snark/kzg.h"
 #include "snark/transcript.h"
@@ -196,6 +197,8 @@ class Plonk
     setup(const PlonkBuilder<Fr>& builder, Rng& rng,
           std::size_t threads = 1)
     {
+        ZKP_TRACE_SCOPE("plonk_setup", "gates",
+                        (obs::u64)builder.numGates());
         const std::size_t gates = builder.numGates();
         std::size_t n = 2;
         while (n < gates)
@@ -336,6 +339,7 @@ class Plonk
           const std::vector<Fr>& public_inputs, Rng& rng,
           std::size_t threads = 1)
     {
+        ZKP_TRACE_SCOPE("plonk_prove", "n", (obs::u64)pk.n);
         const std::size_t n = pk.n;
         const std::size_t ext = extendedSize(n);
         poly::Domain<Fr> domain(n);
@@ -512,6 +516,7 @@ class Plonk
     verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
            const Proof& proof)
     {
+        ZKP_TRACE_SCOPE("plonk_verify");
         if (public_inputs.size() != vk.numPublic)
             return false;
         const std::size_t n = vk.n;

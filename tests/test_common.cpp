@@ -13,6 +13,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "common/uint.h"
 
 namespace zkp {
@@ -203,6 +204,21 @@ TEST(ParallelTest, MoreThreadsThanWork)
         total += (int)(e - b);
     });
     EXPECT_EQ(total.load(), 3);
+}
+
+TEST(TimerTest, LapReturnsElapsedAndResets)
+{
+    Timer t;
+    volatile unsigned sink = 0;
+    for (unsigned i = 0; i < 5000000; ++i)
+        sink += i;
+    const double first = t.lap();
+    EXPECT_GT(first, 0.0);
+    // lap() restarted the clock: an immediate reading excludes the
+    // milliseconds of work measured above.
+    const double second = t.seconds();
+    EXPECT_GE(second, 0.0);
+    EXPECT_LT(second, first);
 }
 
 TEST(TableTest, RenderAlignsColumns)

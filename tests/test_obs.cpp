@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs/): span nesting and
+ * thread-lane correctness, histogram bucketing, Chrome/Perfetto trace
+ * JSON shape, metrics surviving parallelFor worker merges, run
+ * reports, and the zero-recording disabled path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "snark/curve.h"
+
+namespace zkp {
+namespace {
+
+// ------------------------------------------------------------------
+// A strict little JSON parser, enough to certify exporter output.
+// ------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& s)
+        : p_(s.c_str()), end_(s.c_str() + s.size())
+    {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return p_ == end_;
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (p_ >= end_)
+            return false;
+        switch (*p_) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++p_; // '{'
+        skipWs();
+        if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (p_ >= end_ || *p_ != ':')
+                return false;
+            ++p_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != '}')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++p_; // '['
+        skipWs();
+        if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != ']')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p_ >= end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ < end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return false;
+            }
+            ++p_;
+        }
+        if (p_ >= end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char* start = p_;
+        if (p_ < end_ && (*p_ == '-' || *p_ == '+'))
+            ++p_;
+        bool digits = false;
+        while (p_ < end_ &&
+               (std::isdigit((unsigned char)*p_) || *p_ == '.' ||
+                *p_ == 'e' || *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+            if (std::isdigit((unsigned char)*p_))
+                digits = true;
+            ++p_;
+        }
+        return digits && p_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t len = std::strlen(word);
+        if ((std::size_t)(end_ - p_) < len ||
+            std::strncmp(p_, word, len) != 0)
+            return false;
+        p_ += len;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ < end_ && std::isspace((unsigned char)*p_))
+            ++p_;
+    }
+
+    const char* p_;
+    const char* end_;
+};
+
+void
+spinWork()
+{
+    volatile unsigned sink = 0;
+    for (unsigned i = 0; i < 2000; ++i)
+        sink += i;
+}
+
+std::vector<obs::SpanEvent>
+spansNamed(const std::vector<obs::SpanEvent>& all, const char* name)
+{
+    std::vector<obs::SpanEvent> out;
+    for (const auto& ev : all)
+        if (std::strcmp(ev.name, name) == 0)
+            out.push_back(ev);
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Span tracer
+// ------------------------------------------------------------------
+
+TEST(TraceTest, SpanNestingDepthAndContainment)
+{
+    obs::stopTracing();
+    obs::startTracing("");
+    {
+        ZKP_TRACE_SCOPE("obs_outer");
+        spinWork();
+        {
+            ZKP_TRACE_SCOPE("obs_inner", "n", 42);
+            spinWork();
+        }
+        spinWork();
+    }
+    obs::stopTracing();
+
+    auto spans = obs::collectedSpans();
+    auto outer = spansNamed(spans, "obs_outer");
+    auto inner = spansNamed(spans, "obs_inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+
+    EXPECT_EQ(outer[0].depth, 0u);
+    EXPECT_EQ(inner[0].depth, 1u);
+    EXPECT_EQ(outer[0].tid, inner[0].tid);
+    // Containment: inner starts after outer and ends before it.
+    EXPECT_GE(inner[0].startNs, outer[0].startNs);
+    EXPECT_LE(inner[0].startNs + inner[0].durNs,
+              outer[0].startNs + outer[0].durNs);
+    // Argument round trip.
+    ASSERT_NE(inner[0].argKey, nullptr);
+    EXPECT_STREQ(inner[0].argKey, "n");
+    EXPECT_EQ(inner[0].argVal, 42u);
+}
+
+TEST(TraceTest, WorkerThreadLanes)
+{
+    obs::stopTracing();
+    obs::startTracing("");
+    constexpr std::size_t kThreads = 4;
+    parallelFor(4096, kThreads,
+                [&](std::size_t, std::size_t, std::size_t) {
+                    ZKP_TRACE_SCOPE("obs_chunk");
+                    spinWork();
+                });
+    obs::stopTracing();
+
+    auto spans = obs::collectedSpans();
+    auto workers = spansNamed(spans, "worker");
+    ASSERT_EQ(workers.size(), kThreads);
+
+    std::vector<bool> seen(kThreads, false);
+    for (const auto& w : workers) {
+        ASSERT_GE(w.tid, obs::kWorkerLaneBase);
+        ASSERT_LT(w.tid, obs::kWorkerLaneBase + kThreads);
+        seen[w.tid - obs::kWorkerLaneBase] = true;
+    }
+    for (std::size_t t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(seen[t]) << "no span on worker lane " << t;
+
+    // The user chunk span sits inside the worker span on its lane.
+    auto chunks = spansNamed(spans, "obs_chunk");
+    ASSERT_EQ(chunks.size(), kThreads);
+    for (const auto& c : chunks) {
+        EXPECT_GE(c.tid, obs::kWorkerLaneBase);
+        EXPECT_EQ(c.depth, 1u);
+    }
+
+    // The orchestrating parallel_for span stays on the calling lane.
+    auto pf = spansNamed(spans, "parallel_for");
+    ASSERT_GE(pf.size(), 1u);
+    EXPECT_LT(pf[0].tid, obs::kWorkerLaneBase);
+}
+
+TEST(TraceTest, DisabledPathRecordsNothing)
+{
+    obs::stopTracing();
+    obs::clearTrace();
+    ASSERT_FALSE(obs::tracingEnabled());
+    {
+        ZKP_TRACE_SCOPE("obs_ghost");
+        parallelFor(256, 3, [&](std::size_t, std::size_t, std::size_t) {
+            ZKP_TRACE_SCOPE("obs_ghost_chunk");
+            spinWork();
+        });
+    }
+    EXPECT_TRUE(obs::collectedSpans().empty());
+    EXPECT_TRUE(obs::spanAggregates().empty());
+    EXPECT_EQ(obs::droppedSpans(), 0u);
+}
+
+TEST(TraceTest, TraceJsonIsValidAndPerfettoShaped)
+{
+    obs::stopTracing();
+    obs::startTracing("");
+    {
+        ZKP_TRACE_SCOPE("obs_json_span", "bytes", 128);
+        spinWork();
+    }
+    parallelFor(1024, 2, [&](std::size_t, std::size_t, std::size_t) {
+        spinWork();
+    });
+    obs::stopTracing();
+
+    const std::string json = obs::traceJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+
+    // Chrome trace-event schema essentials.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"obs_json_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"bytes\":128}"), std::string::npos);
+    // Lane labels for Perfetto.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"worker-0\""), std::string::npos);
+}
+
+TEST(TraceTest, SpanAggregatesSumCounts)
+{
+    obs::stopTracing();
+    obs::startTracing("");
+    for (int i = 0; i < 5; ++i) {
+        ZKP_TRACE_SCOPE("obs_agg");
+        spinWork();
+    }
+    obs::stopTracing();
+
+    bool found = false;
+    for (const auto& s : obs::spanAggregates()) {
+        if (std::strcmp(s.name, "obs_agg") == 0) {
+            found = true;
+            EXPECT_EQ(s.count, 5u);
+            EXPECT_GT(s.totalNs, 0u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------------------
+// Metrics
+// ------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketing)
+{
+    EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1), 0u);
+    EXPECT_EQ(obs::Histogram::bucketOf(2), 1u);
+    EXPECT_EQ(obs::Histogram::bucketOf(3), 1u);
+    EXPECT_EQ(obs::Histogram::bucketOf(4), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(7), 2u);
+    EXPECT_EQ(obs::Histogram::bucketOf(8), 3u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1023), 9u);
+    EXPECT_EQ(obs::Histogram::bucketOf(1024), 10u);
+    EXPECT_EQ(obs::Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketLow(10), 1024u);
+
+    obs::Histogram h;
+    for (obs::u64 v : {0ull, 1ull, 2ull, 3ull, 1024ull, 1500ull})
+        h.record(v);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1024 + 1500);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1500u);
+    EXPECT_EQ(h.bucketCount(0), 2u);  // 0, 1
+    EXPECT_EQ(h.bucketCount(1), 2u);  // 2, 3
+    EXPECT_EQ(h.bucketCount(10), 2u); // 1024, 1500
+    EXPECT_EQ(h.bucketCount(5), 0u);
+}
+
+TEST(MetricsTest, CountersSurviveParallelForMerges)
+{
+    obs::Counter& c = obs::counter("test.obs.parallel_adds");
+    obs::Histogram& h = obs::histogram("test.obs.parallel_hist");
+    c.reset();
+    h.reset();
+
+    constexpr std::size_t kN = 10000;
+    parallelFor(kN, 8,
+                [&](std::size_t, std::size_t b, std::size_t e) {
+                    for (std::size_t i = b; i < e; ++i) {
+                        c.add();
+                        h.record(i);
+                    }
+                });
+
+    // No drain step: instruments are atomic, worker updates land
+    // directly in the shared registry.
+    EXPECT_EQ(c.value(), kN);
+    EXPECT_EQ(h.count(), kN);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), kN - 1);
+}
+
+TEST(MetricsTest, RegistryFindOrCreateIsStable)
+{
+    obs::Counter& a = obs::counter("test.obs.same_name");
+    obs::Counter& b = obs::counter("test.obs.same_name");
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsTest, JsonAndCsvExport)
+{
+    obs::counter("test.obs.export_counter").add(7);
+    obs::gauge("test.obs.export_gauge").set(2.5);
+    obs::histogram("test.obs.export_hist").record(100);
+
+    const std::string json = obs::metricsJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"test.obs.export_counter\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.obs.export_gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.obs.export_hist\""), std::string::npos);
+
+    const std::string csv = obs::metricsCsv();
+    EXPECT_NE(csv.find("counter,test.obs.export_counter,value,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("gauge,test.obs.export_gauge,value,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("histogram,test.obs.export_hist,count,"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Run reports (StageRunner integration)
+// ------------------------------------------------------------------
+
+TEST(ReportTest, StageRunnerEmitsRecordsWithKernelAttribution)
+{
+    obs::stopTracing();
+    obs::clearStageReports();
+    obs::startTracing("");
+
+    core::StageRunner<snark::Bn254> runner(64);
+    runner.run(core::Stage::Compile, 2);
+    runner.run(core::Stage::Proving, 2);
+
+    obs::stopTracing();
+
+    auto reports = obs::stageReports();
+    ASSERT_GE(reports.size(), 2u);
+
+    const obs::StageReport* prove = nullptr;
+    for (const auto& r : reports)
+        if (r.stage == "proving")
+            prove = &r;
+    ASSERT_NE(prove, nullptr);
+
+    EXPECT_EQ(prove->curve, "BN128");
+    EXPECT_EQ(prove->constraints, 64u);
+    EXPECT_EQ(prove->threads, 2u);
+    EXPECT_GT(prove->seconds, 0.0);
+    ASSERT_FALSE(prove->counters.empty());
+    EXPECT_EQ(prove->counters[0].first, "instructions");
+    EXPECT_GT(prove->counters[0].second, 0.0);
+
+    // Tracing was live: the proving record must attribute kernel time.
+    ASSERT_FALSE(prove->topSpans.empty());
+    bool has_msm = false, has_ntt = false;
+    for (const auto& k : prove->topSpans) {
+        if (k.name == "msm")
+            has_msm = true;
+        if (k.name == "ntt")
+            has_ntt = true;
+    }
+    EXPECT_TRUE(has_msm);
+    EXPECT_TRUE(has_ntt);
+
+    const std::string json = obs::runReportJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"stage\":\"proving\""), std::string::npos);
+    EXPECT_NE(json.find("\"top_spans\""), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+
+    obs::clearStageReports();
+}
+
+} // namespace
+} // namespace zkp
