@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "ec/fixed_base.h"
 #include "ec/msm.h"
@@ -219,6 +222,120 @@ BM_WitnessInterpreter(benchmark::State& state)
     state.SetItemsProcessed((long)(state.iterations() * n));
 }
 BENCHMARK(BM_WitnessInterpreter)->Arg(1 << 10)->Arg(1 << 14);
+
+/**
+ * Fork-join region overhead on the persistent pool: a near-empty body
+ * isolates the cost of entering/leaving a parallelFor region. The NTT
+ * opens one region per butterfly level, so this overhead multiplies by
+ * ~log2(n) x transforms-per-prove.
+ */
+void
+BM_ParallelRegionPool(benchmark::State& state)
+{
+    const std::size_t threads = (std::size_t)state.range(0);
+    // Warm the pool so lazy worker start is not measured.
+    parallelFor(1024, threads,
+                [](std::size_t, std::size_t, std::size_t) {});
+    std::vector<u64> out(threads, 0);
+    for (auto _ : state) {
+        parallelFor(1024, threads,
+                    [&](std::size_t slot, std::size_t b, std::size_t e) {
+                        out[slot] += e - b;
+                    });
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ParallelRegionPool)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * The same region executed by spawning fresh std::threads, replicating
+ * the pre-pool parallelFor: the gap to BM_ParallelRegionPool is the
+ * per-region spawn/join cost the pool eliminates.
+ */
+void
+BM_ParallelRegionSpawn(benchmark::State& state)
+{
+    const std::size_t threads = (std::size_t)state.range(0);
+    std::vector<u64> out(threads, 0);
+    for (auto _ : state) {
+        const std::size_t n = 1024;
+        const std::size_t per = (n + threads - 1) / threads;
+        std::vector<std::thread> ts;
+        for (std::size_t t = 0; t < threads; ++t) {
+            const std::size_t b = t * per;
+            const std::size_t e = b + per < n ? b + per : n;
+            ts.emplace_back([&, t, b, e] { out[t] += e - b; });
+        }
+        for (auto& t : ts)
+            t.join();
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ParallelRegionSpawn)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * MSM digit extraction, limb-level: the production path — bias once,
+ * then each window digit is one two-limb shift/mask read.
+ */
+void
+BM_MsmDigitsLimb(benchmark::State& state)
+{
+    using Repr = ff::bn254::Fr::Repr;
+    Rng rng(10);
+    const std::size_t n = 1024;
+    const unsigned c = 13;
+    const unsigned windows = ec::msmSignedWindows<Repr>(c);
+    std::vector<Repr> scalars(n);
+    for (auto& s : scalars)
+        s = ff::bn254::Fr::random(rng).toBigInt();
+    for (auto _ : state) {
+        const auto biased = ec::msmBiasScalars(scalars.data(), n, c);
+        long acc = 0;
+        const long half = 1L << (c - 1);
+        for (unsigned w = 0; w < windows; ++w)
+            for (std::size_t i = 0; i < n; ++i)
+                acc += (long)biased[i].bits((std::size_t)w * c, c) -
+                       half;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed((long)(state.iterations() * n * windows));
+}
+BENCHMARK(BM_MsmDigitsLimb);
+
+/**
+ * MSM digit extraction, bit-by-bit: the seed kernel's inner loop
+ * (c single-bit reads OR-ed together per window digit), kept as the
+ * ablation baseline for the limb-level read.
+ */
+void
+BM_MsmDigitsPerBit(benchmark::State& state)
+{
+    using Repr = ff::bn254::Fr::Repr;
+    Rng rng(10);
+    const std::size_t n = 1024;
+    const unsigned c = 13;
+    const unsigned windows = (unsigned)((Repr::kBits + c - 1) / c);
+    std::vector<Repr> scalars(n);
+    for (auto& s : scalars)
+        s = ff::bn254::Fr::random(rng).toBigInt();
+    for (auto _ : state) {
+        long acc = 0;
+        for (unsigned w = 0; w < windows; ++w) {
+            for (std::size_t i = 0; i < n; ++i) {
+                u64 digit = 0;
+                for (unsigned b = 0; b < c; ++b) {
+                    const std::size_t pos = (std::size_t)w * c + b;
+                    if (pos < Repr::kBits && scalars[i].bit(pos))
+                        digit |= u64(1) << b;
+                }
+                acc += (long)digit;
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed((long)(state.iterations() * n * windows));
+}
+BENCHMARK(BM_MsmDigitsPerBit);
 
 void
 BM_MimcHash(benchmark::State& state)

@@ -2,11 +2,15 @@
  * @file
  * Fork-join parallel helpers used by the threaded stage implementations.
  *
- * The scalability analysis (paper §III-D) measures each pipeline stage at
- * thread counts 1..32, so the thread count is always an explicit argument
- * rather than a global pool size. Workers are plain std::threads; the
- * per-thread perf counters of workers are merged into the caller by the
- * sim layer (see sim/counters.h) via the onWorkerDone hook.
+ * The scalability analysis (paper §III-D) measures each pipeline stage
+ * at thread counts 1..32, so the thread count is always an explicit
+ * argument rather than a global pool size. Regions execute on the
+ * persistent ThreadPool (common/thread_pool.h): workers are spawned
+ * once and parked between regions, so entering a region costs a
+ * condvar wake instead of a std::thread spawn/join — this matters for
+ * the NTT, which opens a region per butterfly level. The per-thread
+ * perf counters of workers are merged into the caller by the sim layer
+ * (see sim/counters.h) via the onWorkerDone hook.
  */
 
 #ifndef ZKP_COMMON_PARALLEL_H
@@ -15,17 +19,17 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+#include <type_traits>
 
+#include "common/thread_pool.h"
 #include "obs/trace.h"
 
 namespace zkp {
 
 /**
- * Hook invoked in each worker thread after its chunk completes, while
- * still on the worker thread. The sim layer installs a counter-merging
- * callback here; it defaults to a no-op.
+ * Hook invoked in each worker thread after its region participation
+ * completes, while still on the worker thread. The sim layer installs
+ * a counter-merging callback here; it defaults to a no-op.
  */
 using WorkerDoneHook = std::function<void()>;
 
@@ -50,13 +54,23 @@ void resetParallelWorkSeconds();
 void addParallelWorkSeconds(double s);
 
 /**
- * Run fn(thread_index, begin, end) on @p threads threads over [0, n),
- * splitting the range into contiguous chunks. Runs inline when
- * threads <= 1. Joins before returning.
+ * Run fn(slot, begin, end) over [0, n) on @p threads pool workers.
+ *
+ * The range is cut into chunks which workers claim through an atomic
+ * cursor, so fn MAY BE INVOKED SEVERAL TIMES per worker slot with
+ * disjoint subranges — per-slot state must be accumulated
+ * (`out[slot] += ...`), never assigned. slot is in [0, threads) and
+ * identifies the worker (its obs trace lane and its sim counter
+ * thread), not the chunk.
+ *
+ * Runs inline as fn(0, 0, n) when threads <= 1, when n <= 1, or when
+ * called from inside a pool worker (nested regions never re-enter the
+ * pool). Joins before returning: all worker writes are visible to the
+ * caller afterwards.
  *
  * @param n total iteration count
- * @param threads number of worker threads to use
- * @param fn callable (std::size_t tid, std::size_t begin, std::size_t end)
+ * @param threads number of worker slots to use
+ * @param fn callable (std::size_t slot, std::size_t begin, std::size_t end)
  */
 template <typename Fn>
 void
@@ -76,33 +90,18 @@ parallelFor(std::size_t n, std::size_t threads, Fn&& fn)
 
     ZKP_TRACE_SCOPE("parallel_for", "n", (obs::u64)n);
 
-    if (threads <= 1 || n <= 1) {
+    if (threads <= 1 || n <= 1 || ThreadPool::onWorkerThread()) {
         fn(0, 0, n);
         return;
     }
     if (threads > n)
         threads = n;
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    std::size_t chunk = (n + threads - 1) / threads;
-    for (std::size_t t = 0; t < threads; ++t) {
-        std::size_t begin = t * chunk;
-        std::size_t end = begin + chunk < n ? begin + chunk : n;
-        if (begin >= end)
-            break;
-        workers.emplace_back([&fn, t, begin, end] {
-            // Pin the span tracer to a stable per-worker lane so the
-            // chunk (and everything the chunk calls) renders as one
-            // Perfetto track per worker slot.
-            obs::ScopedWorkerLane lane((obs::u32)t);
-            ZKP_TRACE_SCOPE("worker", "items", (obs::u64)(end - begin));
-            fn(t, begin, end);
-            if (const auto& hook = workerDoneHook())
-                hook();
-        });
-    }
-    for (auto& w : workers)
-        w.join();
+    const auto thunk = [](void* ctx, std::size_t slot, std::size_t begin,
+                          std::size_t end) {
+        (*static_cast<std::remove_reference_t<Fn>*>(ctx))(slot, begin,
+                                                          end);
+    };
+    ThreadPool::instance().run(n, threads, thunk, &fn);
 }
 
 } // namespace zkp

@@ -159,6 +159,27 @@ struct BigInt
         return (limbs[i / 64] >> (i % 64)) & 1;
     }
 
+    /**
+     * Extract @p count bits (1..64) starting at bit @p pos as a u64,
+     * reading at most two limbs (the window may straddle a limb
+     * boundary). Bits at or beyond kBits read as zero, so callers may
+     * ask for windows past the top of the integer.
+     */
+    constexpr u64
+    bits(std::size_t pos, unsigned count) const
+    {
+        if (pos >= 64 * N)
+            return 0;
+        const std::size_t limb = pos / 64;
+        const unsigned off = (unsigned)(pos % 64);
+        u64 v = limbs[limb] >> off;
+        if (off + count > 64 && limb + 1 < N)
+            v |= limbs[limb + 1] << (64 - off);
+        if (count < 64)
+            v &= (u64(1) << count) - 1;
+        return v;
+    }
+
     /** Index of the highest set bit plus one; 0 for zero. */
     constexpr std::size_t
     bitLength() const

@@ -1,12 +1,35 @@
 /**
  * @file
- * Multi-scalar multiplication (Pippenger's bucket method).
+ * Multi-scalar multiplication (Pippenger's bucket method with signed
+ * windows).
  *
  * MSM is the dominant kernel of the setup and proving stages; the
- * paper's related work (PipeZK, DistMSM) accelerates exactly this
- * computation. The implementation is instrumented: scalar and base
- * reads and bucket updates report their addresses to the memory-trace
- * sinks, window extraction reports its instruction signature, and the
+ * paper's related work (PipeZK, DistMSM, ZKProphet, SZKP) accelerates
+ * exactly this computation, and identifies digit extraction and bucket
+ * accumulation as the levers that matter. Two of those levers are
+ * applied here:
+ *
+ *  - window digits are read straight out of the scalar's 64-bit limbs
+ *    (one shift/mask touching at most two limbs) instead of being
+ *    assembled bit by bit;
+ *  - windows are SIGNED: digits lie in [-2^(c-1), 2^(c-1)), so a
+ *    window of width c needs 2^(c-1) buckets instead of 2^c - 1 —
+ *    negative digits subtract the point, and point negation is one
+ *    field negation. Digits come from the BIAS trick: adding
+ *    2^(c-1) at every window position once per scalar makes each
+ *    digit an independent O(1) limb read minus 2^(c-1), with no
+ *    carry chain to walk (s = sum_w (y_w - 2^(c-1)) * 2^(wc) where
+ *    y_w are the plain unsigned windows of s + bias).
+ *
+ * Two parallel decompositions are provided: input chunking (each
+ * worker runs a full signed Pippenger over a slice of the points) and
+ * per-window parallelization (each worker owns whole windows across
+ * all points; the per-window sums combine with c doublings per window
+ * at the end). msm() picks between them by size.
+ *
+ * The implementation is instrumented: scalar and base reads and bucket
+ * updates report their addresses to the memory-trace sinks, window
+ * extraction reports its instruction signature, and the
  * bucket-occupancy branch feeds the branch-predictor model.
  *
  * A naive double-and-add variant is kept alongside as the ablation
@@ -48,8 +71,103 @@ msmWindowBits(std::size_t n)
     return c > 16 ? 16 : c;
 }
 
+/** Signed-window count for width @p c: the windows of the biased
+ *  scalar need one window of headroom past kBits, so arbitrary (even
+ *  non-reduced) kBits-wide scalars are handled exactly. */
+template <typename ScalarRepr>
+constexpr unsigned
+msmSignedWindows(unsigned c)
+{
+    return (unsigned)(ScalarRepr::kBits / c + 1);
+}
+
+/** One-limb-wider integer holding a bias-shifted scalar. */
+template <typename ScalarRepr>
+using MsmBiased = BigInt<ScalarRepr::kLimbs + 1>;
+
+/** The bias 2^(c-1) * (1 + 2^c + 2^2c + ...): adds 2^(c-1) to every
+ *  window so signed digits become independent unsigned limb reads. */
+template <typename ScalarRepr>
+MsmBiased<ScalarRepr>
+msmBias(unsigned c)
+{
+    MsmBiased<ScalarRepr> bias;
+    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
+    for (unsigned w = 0; w < windows; ++w) {
+        const std::size_t pos = (std::size_t)w * c + c - 1;
+        bias.limbs[pos / 64] |= u64(1) << (pos % 64);
+    }
+    return bias;
+}
+
+/** Stage @p scalars[0..n) into their bias-shifted form. */
+template <typename ScalarRepr>
+std::vector<MsmBiased<ScalarRepr>>
+msmBiasScalars(const ScalarRepr* scalars, std::size_t n, unsigned c)
+{
+    const auto bias = msmBias<ScalarRepr>(c);
+    std::vector<MsmBiased<ScalarRepr>> biased(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        biased[i] = zeroExtend<ScalarRepr::kLimbs + 1>(scalars[i]);
+        biased[i].addInPlace(bias);
+    }
+    return biased;
+}
+
 /**
- * Serial Pippenger MSM over one chunk:
+ * Accumulate the signed-window contribution of window @p w over
+ * points[0..n) into @p buckets (bucket j holds digit magnitude j + 1),
+ * then fold the buckets into the window sum via the running-sum trick.
+ * @p buckets must hold 2^(c-1) entries; they are reset here.
+ *
+ * @p scalars is the original scalar array — it anchors the traced
+ * access stream (element size and stride match the seed kernel);
+ * @p biased is the staged bias-shifted copy the digits are read from.
+ */
+template <typename Point, typename Affine, typename ScalarRepr>
+Point
+msmWindowSum(const Affine* points, const ScalarRepr* scalars,
+             const MsmBiased<ScalarRepr>* biased, std::size_t n,
+             unsigned w, unsigned c, std::vector<Point>& buckets)
+{
+    const long half = (long)(1L << (c - 1));
+    for (auto& b : buckets)
+        b = Point::infinity();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::count(sim::PrimOp::MsmWindow);
+        sim::traceLoad(&scalars[i], sizeof(ScalarRepr));
+
+        // Limb-level digit read: one shift/mask touching at most two
+        // limbs, then recentering by the window bias.
+        const long d =
+            (long)biased[i].bits((std::size_t)w * c, c) - half;
+        sim::branchEvent(kBranchMsmBucketNonZero, d != 0);
+        if (d == 0)
+            continue;
+
+        sim::traceLoad(&points[i], sizeof(Affine));
+        const std::size_t idx = (std::size_t)(d > 0 ? d : -d) - 1;
+        Point& bucket = buckets[idx];
+        sim::branchEvent(kBranchMsmBucketOccupied, !bucket.isInfinity());
+        bucket = d > 0 ? bucket.addMixed(points[i])
+                       : bucket.addMixed(points[i].negated());
+        sim::traceStore(&bucket, sizeof(Point));
+    }
+
+    // Running-sum over the buckets: sum_j (j + 1) * bucket_j.
+    Point running = Point::infinity();
+    Point window_sum = Point::infinity();
+    for (std::size_t j = buckets.size(); j-- > 0;) {
+        sim::traceLoad(&buckets[j], sizeof(Point));
+        running += buckets[j];
+        window_sum += running;
+    }
+    return window_sum;
+}
+
+/**
+ * Serial signed-window Pippenger MSM over one chunk:
  * result = sum_i scalars[i] * points[i].
  *
  * @tparam Point Jacobian point type
@@ -64,61 +182,88 @@ msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
 
     ZKP_TRACE_SCOPE("msm_chunk", "n", (obs::u64)n);
     const unsigned c = msmWindowBits(n);
-    const unsigned scalar_bits = ScalarRepr::kBits;
-    const unsigned windows = (scalar_bits + c - 1) / c;
-    const std::size_t nbuckets = (std::size_t(1) << c) - 1;
+    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
+    const auto biased = msmBiasScalars(scalars, n, c);
+    std::vector<Point> buckets(std::size_t(1) << (c - 1));
 
     Point result = Point::infinity();
-    std::vector<Point> buckets(nbuckets);
-
     for (unsigned w = windows; w-- > 0;) {
         // Shift the accumulated result left by one window.
         if (w + 1 != windows) {
             for (unsigned i = 0; i < c; ++i)
                 result = result.doubled();
         }
-
-        for (auto& b : buckets)
-            b = Point::infinity();
-
-        for (std::size_t i = 0; i < n; ++i) {
-            sim::count(sim::PrimOp::MsmWindow);
-            sim::traceLoad(&scalars[i], sizeof(ScalarRepr));
-
-            // Extract window bits [w*c, w*c + c).
-            const unsigned lo = w * c;
-            std::size_t slice = 0;
-            for (unsigned b = 0; b < c && lo + b < scalar_bits; ++b)
-                slice |= (std::size_t)scalars[i].bit(lo + b) << b;
-
-            sim::branchEvent(kBranchMsmBucketNonZero, slice != 0);
-            if (slice == 0)
-                continue;
-
-            sim::traceLoad(&points[i], sizeof(Affine));
-            Point& bucket = buckets[slice - 1];
-            sim::branchEvent(kBranchMsmBucketOccupied,
-                             !bucket.isInfinity());
-            bucket = bucket.addMixed(points[i]);
-            sim::traceStore(&bucket, sizeof(Point));
-        }
-
-        // Running-sum over the buckets: sum_j j * bucket_j.
-        Point running = Point::infinity();
-        Point window_sum = Point::infinity();
-        for (std::size_t j = nbuckets; j-- > 0;) {
-            sim::traceLoad(&buckets[j], sizeof(Point));
-            running += buckets[j];
-            window_sum += running;
-        }
-        result += window_sum;
+        result += msmWindowSum<Point>(points, scalars, biased.data(), n,
+                                      w, c, buckets);
     }
     return result;
 }
 
 /**
- * Multi-threaded MSM: chunks the input across @p threads workers and
- * adds the partial sums.
+ * Window-parallel MSM: worker slots own whole windows across ALL
+ * points (no partial-sum merge per slot, no bucket contention), and
+ * the per-window sums combine serially with c doublings per window.
+ * Preferable for large n, where each window is a substantial, equal
+ * unit of work.
+ */
+template <typename Point, typename Affine, typename ScalarRepr>
+Point
+msmWindowParallel(const Affine* points, const ScalarRepr* scalars,
+                  std::size_t n, std::size_t threads)
+{
+    if (n == 0)
+        return Point::infinity();
+
+    ZKP_TRACE_SCOPE("msm_windows", "n", (obs::u64)n);
+    const unsigned c = msmWindowBits(n);
+    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
+    std::vector<Point> window_sums(windows, Point::infinity());
+
+    // Stage the biased scalars once; every window worker reads them.
+    std::vector<MsmBiased<ScalarRepr>> biased(n);
+    {
+        const auto bias = msmBias<ScalarRepr>(c);
+        parallelFor(n, threads,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                            biased[i] =
+                                zeroExtend<ScalarRepr::kLimbs + 1>(
+                                    scalars[i]);
+                            biased[i].addInPlace(bias);
+                        }
+                    });
+    }
+
+    parallelFor(windows, threads,
+                [&](std::size_t, std::size_t wb, std::size_t we) {
+                    std::vector<Point> buckets(std::size_t(1)
+                                               << (c - 1));
+                    for (std::size_t w = wb; w < we; ++w)
+                        window_sums[w] = msmWindowSum<Point>(
+                            points, scalars, biased.data(), n,
+                            (unsigned)w, c, buckets);
+                });
+
+    Point result = Point::infinity();
+    for (unsigned w = windows; w-- > 0;) {
+        if (w + 1 != windows) {
+            for (unsigned i = 0; i < c; ++i)
+                result = result.doubled();
+        }
+        result += window_sums[w];
+    }
+    return result;
+}
+
+/** Below this point count, chunking the input beats window
+ *  parallelism (the per-chunk Pippenger overhead is negligible and
+ *  chunk slices stay cache-resident). */
+constexpr std::size_t kMsmWindowParallelMin = 4096;
+
+/**
+ * Multi-threaded MSM. For large inputs the windows are distributed
+ * across @p threads workers; otherwise the input is chunked and the
+ * per-chunk partial sums added.
  */
 template <typename Point, typename Affine, typename ScalarRepr>
 Point
@@ -137,11 +282,24 @@ msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
     // work/span instrumentation sees MSM as parallelizable work.
     const std::size_t workers =
         (threads <= 1 || n < 256) ? 1 : threads;
+
+    if (workers > 1 && n >= kMsmWindowParallelMin)
+        return msmWindowParallel<Point>(points, scalars, n, workers);
+
+    // Input chunking: one tile per worker slot; a slot may claim
+    // several tiles (pool load balancing), so partials accumulate.
+    const std::size_t tiles = workers;
+    const std::size_t per = (n + tiles - 1) / tiles;
     std::vector<Point> partial(workers, Point::infinity());
-    parallelFor(n, workers,
-                [&](std::size_t tid, std::size_t b, std::size_t e) {
-                    partial[tid] =
-                        msmSerial<Point>(points + b, scalars + b, e - b);
+    parallelFor(tiles, workers,
+                [&](std::size_t slot, std::size_t tb, std::size_t te) {
+                    for (std::size_t t = tb; t < te; ++t) {
+                        const std::size_t b = t * per;
+                        const std::size_t e = b + per < n ? b + per : n;
+                        if (b < e)
+                            partial[slot] += msmSerial<Point>(
+                                points + b, scalars + b, e - b);
+                    }
                 });
     Point result = Point::infinity();
     for (const auto& p : partial)
@@ -173,7 +331,7 @@ msmField(const std::vector<typename Group::Affine>& points,
     for (std::size_t i = 0; i < scalars.size(); ++i)
         repr[i] = scalars[i].toBigInt();
     return msm<typename Group::Jacobian>(points.data(), repr.data(),
-                                         points.size());
+                                         points.size(), threads);
 }
 
 } // namespace zkp::ec

@@ -20,6 +20,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/parallel.h"
@@ -135,7 +137,7 @@ class Domain
     void
     ntt(std::vector<Fr>& a, std::size_t threads = 1) const
     {
-        transform(a, omega_, threads);
+        transform(a, kForward, threads);
     }
 
     /** In-place inverse NTT: evaluations -> coefficients. */
@@ -143,7 +145,7 @@ class Domain
     intt(std::vector<Fr>& a, std::size_t threads = 1) const
     {
         ZKP_TRACE_SCOPE("intt", "n", (obs::u64)size_);
-        transform(a, omegaInv_, threads);
+        transform(a, kInverse, threads);
         parallelFor(a.size(), threads,
                     [&](std::size_t, std::size_t b, std::size_t e) {
                         for (std::size_t i = b; i < e; ++i)
@@ -157,7 +159,7 @@ class Domain
     {
         ZKP_TRACE_SCOPE("coset_ntt", "n", (obs::u64)size_);
         scaleByPowers(a, shift_, threads);
-        transform(a, omega_, threads);
+        transform(a, kForward, threads);
     }
 
     /** Evaluations on the coset -> coefficients. */
@@ -199,9 +201,71 @@ class Domain
     }
 
   private:
+    enum Direction
+    {
+        kForward,
+        kInverse
+    };
+
+    /**
+     * Per-domain twiddle cache: omega^k (and omega^-k) for k < n/2,
+     * built once on first transform and reused by every subsequent
+     * transform on this domain — a prove runs 7 transforms, and the
+     * old per-level rebuild put ~n serial multiplies per transform
+     * inside the timed region. Level len reads its twiddles at stride
+     * n/len: tw[k * n/len] == (omega^(n/len))^k.
+     *
+     * Heap-allocated and shared so Domain stays copyable (copies
+     * legitimately share: same omega, same tables).
+     */
+    struct TwiddleCache
+    {
+        std::once_flag once;
+        std::vector<Fr> fwd;
+        std::vector<Fr> inv;
+    };
+
+    const std::vector<Fr>&
+    twiddles(Direction dir, std::size_t threads) const
+    {
+        std::call_once(cache_->once, [&] {
+            const std::size_t half = size_ / 2;
+            cache_->fwd.resize(half);
+            cache_->inv.resize(half);
+            sim::countAlloc(2 * half * sizeof(Fr));
+            auto fill = [&](std::vector<Fr>& out, const Fr& base) {
+                parallelFor(out.size(), threads,
+                            [&](std::size_t, std::size_t b,
+                                std::size_t e) {
+                                Fr w = base.pow((u64)b);
+                                for (std::size_t i = b; i < e; ++i) {
+                                    out[i] = w;
+                                    w *= base;
+                                }
+                            });
+            };
+            fill(cache_->fwd, omega_);
+            fill(cache_->inv, omegaInv_);
+        });
+        return dir == kForward ? cache_->fwd : cache_->inv;
+    }
+
+    /** Reverse the low @p bits of @p x. */
+    static std::size_t
+    reverseBits(std::size_t x, std::size_t bits)
+    {
+        std::size_t r = 0;
+        for (std::size_t i = 0; i < bits; ++i) {
+            r = (r << 1) | (x & 1);
+            x >>= 1;
+        }
+        return r;
+    }
+
     /** Iterative radix-2 Cooley-Tukey with bit-reversal permutation. */
     void
-    transform(std::vector<Fr>& a, const Fr& root, std::size_t threads) const
+    transform(std::vector<Fr>& a, Direction dir,
+              std::size_t threads) const
     {
         assert(a.size() == size_);
         const std::size_t n = size_;
@@ -215,30 +279,24 @@ class Domain
         transforms.add();
         butterflies.add((obs::u64)(n / 2) * log2n_);
 
-        // Bit-reversal permutation.
-        for (std::size_t i = 1, j = 0; i < n; ++i) {
-            std::size_t bit = n >> 1;
-            for (; j & bit; bit >>= 1)
-                j ^= bit;
-            j ^= bit;
-            if (i < j)
-                std::swap(a[i], a[j]);
-        }
+        const std::vector<Fr>& tw = twiddles(dir, threads);
 
-        // Per-level twiddle tables.
+        // Bit-reversal permutation: each index pairs with its
+        // reversal exactly once (i < j), so pairs are disjoint and the
+        // permutation parallelizes without synchronization.
+        const std::size_t log2n = log2n_;
+        parallelFor(n, threads,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                            const std::size_t j = reverseBits(i, log2n);
+                            if (i < j)
+                                std::swap(a[i], a[j]);
+                        }
+                    });
+
         for (std::size_t len = 2; len <= n; len <<= 1) {
-            Fr wlen = root;
-            for (std::size_t l = len; l < n; l <<= 1)
-                wlen = wlen.squared();
-
             const std::size_t half = len >> 1;
-            std::vector<Fr> tw(half);
-            Fr w = Fr::one();
-            for (std::size_t k = 0; k < half; ++k) {
-                tw[k] = w;
-                w *= wlen;
-            }
-
+            const std::size_t stride = n / len;
             const std::size_t blocks = n / len;
             parallelFor(blocks, threads,
                         [&](std::size_t, std::size_t bb, std::size_t be) {
@@ -251,7 +309,7 @@ class Domain
                         sim::traceLoad(&lo, sizeof(Fr));
                         sim::traceLoad(&hi, sizeof(Fr));
                         Fr u = lo;
-                        Fr v = hi * tw[k];
+                        Fr v = hi * tw[k * stride];
                         lo = u + v;
                         hi = u - v;
                         sim::traceStore(&lo, sizeof(Fr));
@@ -262,7 +320,9 @@ class Domain
         }
     }
 
-    /** a[i] *= s^i. */
+    /** a[i] *= s^i. The one pow() per claimed chunk re-anchors the
+     *  running power; the serial tail multiply per element is the
+     *  dominant (and unavoidable) cost. */
     void
     scaleByPowers(std::vector<Fr>& a, const Fr& s,
                   std::size_t threads) const
@@ -280,6 +340,8 @@ class Domain
     std::size_t size_;
     std::size_t log2n_ = 0;
     Fr omega_, omegaInv_, sizeInv_, shift_, shiftInv_;
+    mutable std::shared_ptr<TwiddleCache> cache_ =
+        std::make_shared<TwiddleCache>();
 };
 
 } // namespace zkp::poly

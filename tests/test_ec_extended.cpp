@@ -194,5 +194,130 @@ TEST(BatchToAffineExtended, AllInfinity)
         EXPECT_TRUE(a.infinity);
 }
 
+// --- Signed-window MSM vs naive on adversarial scalars ---------------
+//
+// The signed-digit decomposition (bias trick, msm.h) must be exact for
+// every representable scalar, including values that are NOT reduced
+// mod r: zero, r - 1, all-ones 2^256 - 1, and single set bits at limb
+// boundaries — the cases that stress digit recentering, the headroom
+// window, and the limb-straddling window read.
+
+std::vector<Fr::Repr>
+adversarialScalars()
+{
+    std::vector<Fr::Repr> out;
+    out.push_back(Fr::Repr(0));
+    out.push_back(Fr::Repr(1));
+    auto rm1 = Fr::kModulus;
+    rm1.subInPlace(Fr::Repr(1));
+    out.push_back(rm1); // r - 1: largest reduced scalar
+    Fr::Repr ones;
+    for (std::size_t i = 0; i < Fr::Repr::kLimbs; ++i)
+        ones.limbs[i] = ~u64(0);
+    out.push_back(ones); // 2^256 - 1: non-reduced, max headroom
+    for (std::size_t b : {0, 63, 64, 127, 128, 255}) {
+        Fr::Repr one_bit;
+        one_bit.limbs[b / 64] = u64(1) << (b % 64);
+        out.push_back(one_bit);
+    }
+    return out;
+}
+
+TEST(MsmSignedWindows, AdversarialScalarsMatchNaive)
+{
+    Rng rng(601);
+    Jac g{G1::generator()};
+    const auto special = adversarialScalars();
+
+    // Pad with random scalars so n clears the Pippenger path (the
+    // heuristic falls back to tiny windows below 32 points).
+    std::vector<G1::Affine> pts;
+    std::vector<Fr::Repr> scalars;
+    for (std::size_t i = 0; i < special.size(); ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(4096) + 1).toAffine());
+        scalars.push_back(special[i]);
+    }
+    while (scalars.size() < 48) {
+        pts.push_back(g.mulScalar(rng.nextBelow(4096) + 1).toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    const std::size_t n = scalars.size();
+
+    const auto naive = msmNaive<Jac>(pts.data(), scalars.data(), n);
+    for (std::size_t threads = 1; threads <= 4; ++threads)
+        EXPECT_EQ(msm<Jac>(pts.data(), scalars.data(), n, threads),
+                  naive)
+            << "threads = " << threads;
+}
+
+TEST(MsmSignedWindows, SingleAdversarialScalarExactness)
+{
+    // Each adversarial scalar alone against one point: any digit
+    // decoding error shows up undiluted.
+    Jac g{G1::generator()};
+    const auto pt = g.mulScalar((u64)97).toAffine();
+    for (const auto& s : adversarialScalars()) {
+        std::vector<G1::Affine> pts(33, pt);
+        std::vector<Fr::Repr> scalars(33, Fr::Repr(0));
+        scalars[17] = s;
+        EXPECT_EQ(msm<Jac>(pts.data(), scalars.data(), pts.size()),
+                  msmNaive<Jac>(pts.data(), scalars.data(), pts.size()))
+            << "scalar " << s.toHex();
+    }
+}
+
+TEST(MsmSignedWindows, WindowParallelMatchesNaive)
+{
+    // Direct coverage of the per-window decomposition (msm() only
+    // routes there above kMsmWindowParallelMin points).
+    Rng rng(603);
+    Jac g{G1::generator()};
+    const auto special = adversarialScalars();
+    std::vector<G1::Affine> pts;
+    std::vector<Fr::Repr> scalars;
+    for (std::size_t i = 0; i < 64; ++i) {
+        pts.push_back(g.mulScalar(rng.nextBelow(8192) + 1).toAffine());
+        scalars.push_back(i < special.size()
+                              ? special[i]
+                              : Fr::random(rng).toBigInt());
+    }
+    const auto naive = msmNaive<Jac>(pts.data(), scalars.data(),
+                                     scalars.size());
+    for (std::size_t threads : {1, 2, 4})
+        EXPECT_EQ(msmWindowParallel<Jac>(pts.data(), scalars.data(),
+                                         scalars.size(), threads),
+                  naive)
+            << "threads = " << threads;
+}
+
+TEST(MsmSignedWindows, BiasDigitsReconstructScalar)
+{
+    // Decode every signed digit of the biased form and rebuild the
+    // scalar as an integer: sum_w d_w * 2^(wc) over a 320-bit
+    // accumulator must give back the original 256-bit value.
+    for (unsigned c : {2u, 5u, 13u, 16u}) {
+        for (const auto& s : adversarialScalars()) {
+            const unsigned windows = msmSignedWindows<Fr::Repr>(c);
+            const auto biased = msmBiasScalars(&s, 1, c);
+            const long half = (long)(1L << (c - 1));
+            BigInt<5> acc;
+            for (unsigned w = windows; w-- > 0;) {
+                for (unsigned i = 0; i < c; ++i)
+                    acc.shl1InPlace();
+                const long d =
+                    (long)biased[0].bits((std::size_t)w * c, c) - half;
+                BigInt<5> mag((u64)(d < 0 ? -d : d));
+                if (d >= 0)
+                    acc.addInPlace(mag);
+                else
+                    acc.subInPlace(mag);
+            }
+            EXPECT_EQ(truncate<4>(acc), s)
+                << "c = " << c << ", scalar " << s.toHex();
+            EXPECT_EQ(acc.limbs[4], 0u);
+        }
+    }
+}
+
 } // namespace
 } // namespace zkp::ec
