@@ -57,6 +57,23 @@ class Rng
         return bound ? next() % bound : 0;
     }
 
+    /** Fair coin. */
+    bool nextBool() { return next() & 1; }
+
+    /**
+     * Derive an independent child generator for stream @p stream.
+     * Child sequences are decorrelated from the parent and from each
+     * other (the draw and the stream index pass through splitmix64
+     * inside the constructor), so a property-test case can fork one
+     * sub-generator per sub-task without the streams overlapping.
+     * Deterministic: forking never advances the parent more than once.
+     */
+    Rng
+    fork(u64 stream)
+    {
+        return Rng(next() ^ (stream * 0x9e3779b97f4a7c15ULL));
+    }
+
     /** Fill a BigInt with uniform random limbs. */
     template <std::size_t N>
     BigInt<N>

@@ -3,14 +3,17 @@
  * Binary (de)serialization of field elements, curve points, proofs
  * and keys.
  *
- * Format: little-endian canonical limbs. G1 points are compressed to
- * the x coordinate plus a sign byte (decompression solves
- * y^2 = x^3 + b with Tonelli-Shanks); G2 points are stored
- * uncompressed (both Fp2 coordinates). A one-byte tag distinguishes
- * infinity. All readers validate: field elements must be canonical
- * (< p), points must lie on the curve, and — because every group here
- * except BN254 G1 has a nontrivial cofactor — points must lie in the
- * order-r subgroup (checked by scalar multiplication with r).
+ * Format: little-endian canonical limbs. Points are written
+ * compressed — the x coordinate plus a sign byte (decompression
+ * solves y^2 = x^3 + b with Tonelli-Shanks) — and readers also accept
+ * the uncompressed tag-4 form carrying both coordinates. A one-byte
+ * tag distinguishes infinity. All readers validate: field elements
+ * must be canonical (< p), points must lie on the curve (re-checked
+ * explicitly for uncompressed inputs, whose coordinates are
+ * attacker-chosen), and — because every group here except BN254 G1
+ * has a nontrivial cofactor — points must lie in the order-r subgroup
+ * (checked by scalar multiplication with r). Groth16 proof elements
+ * must additionally be non-identity.
  */
 
 #ifndef ZKP_SNARK_SERIALIZE_H
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "snark/groth16.h"
+#include "snark/plonk.h"
 
 namespace zkp::snark {
 
@@ -112,6 +116,9 @@ class ByteReader
 
     bool atEnd() const { return pos_ == buf_.size(); }
 
+    /** Bytes not yet consumed (for length-field sanity bounds). */
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
   private:
     const std::vector<std::uint8_t>& buf_;
     std::size_t pos_ = 0;
@@ -149,9 +156,26 @@ writeG1(ByteWriter& w, const typename Group::Affine& p)
     w.putField(p.x);
 }
 
+/** Write a G1 point uncompressed (both coordinates, tag 4). */
+template <typename Group>
+void
+writeG1Uncompressed(ByteWriter& w, const typename Group::Affine& p)
+{
+    if (p.infinity) {
+        w.putU8(kTagInfinity);
+        return;
+    }
+    w.putU8(kTagUncompressed);
+    w.putField(p.x);
+    w.putField(p.y);
+}
+
 /**
- * Read a compressed G1 point: recomputes y from the curve equation
- * and checks the result is on the curve.
+ * Read a compressed or uncompressed G1 point. The compressed form
+ * recomputes y from the curve equation; the uncompressed form carries
+ * an explicit y, so the curve equation MUST be re-checked — an
+ * attacker-chosen (x, y) pair is otherwise an invalid-curve point.
+ * Both paths end in the same on-curve + subgroup gate.
  */
 template <typename Group>
 bool
@@ -163,6 +187,13 @@ readG1(ByteReader& r, typename Group::Affine& out)
     if (tag == kTagInfinity) {
         out = typename Group::Affine();
         return true;
+    }
+    if (tag == kTagUncompressed) {
+        typename Group::Field x, y;
+        if (!r.getField(x) || !r.getField(y))
+            return false;
+        out = typename Group::Affine(x, y);
+        return out.isOnCurve(Group::b()) && inSubgroup<Group>(out);
     }
     if (tag != kTagEvenY && tag != kTagOddY)
         return false;
@@ -207,9 +238,27 @@ writeG2(ByteWriter& w, const typename Group::Affine& p)
     w.putField(p.x.c1);
 }
 
+/** Write a G2 point uncompressed (both Fp2 coordinates, tag 4). */
+template <typename Group>
+void
+writeG2Uncompressed(ByteWriter& w, const typename Group::Affine& p)
+{
+    if (p.infinity) {
+        w.putU8(kTagInfinity);
+        return;
+    }
+    w.putU8(kTagUncompressed);
+    w.putField(p.x.c0);
+    w.putField(p.x.c1);
+    w.putField(p.y.c0);
+    w.putField(p.y.c1);
+}
+
 /**
- * Read a compressed G2 point: recomputes y over Fp2 (complex-method
- * square root) and validates curve and subgroup membership.
+ * Read a compressed or uncompressed G2 point: recomputes y over Fp2
+ * (complex-method square root) for the compressed form, and validates
+ * curve and subgroup membership either way — the uncompressed form
+ * carries attacker-chosen coordinates.
  */
 template <typename Group>
 bool
@@ -221,6 +270,14 @@ readG2(ByteReader& r, typename Group::Affine& out)
     if (tag == kTagInfinity) {
         out = typename Group::Affine();
         return true;
+    }
+    if (tag == kTagUncompressed) {
+        typename Group::Field x, y;
+        if (!r.getField(x.c0) || !r.getField(x.c1) ||
+            !r.getField(y.c0) || !r.getField(y.c1))
+            return false;
+        out = typename Group::Affine(x, y);
+        return out.isOnCurve(Group::b()) && inSubgroup<Group>(out);
     }
     if (tag != kTagEvenY && tag != kTagOddY)
         return false;
@@ -249,18 +306,25 @@ serializeProof(const typename Groth16<Curve>::Proof& proof)
     return w.bytes();
 }
 
-/** Parse and validate a proof; empty on any malformed input. */
+/**
+ * Parse and validate a proof; empty on any malformed input.
+ *
+ * Identity elements are rejected: an honest prover blinds A and B
+ * with nonzero randomness (and C accumulates them), so the identity
+ * never appears in a well-formed proof, while letting it through
+ * hands degenerate pairing inputs to the verifier.
+ */
 template <typename Curve>
 std::optional<typename Groth16<Curve>::Proof>
 deserializeProof(const std::vector<std::uint8_t>& bytes)
 {
     ByteReader r(bytes);
     typename Groth16<Curve>::Proof proof;
-    if (!readG1<typename Curve::G1>(r, proof.a))
+    if (!readG1<typename Curve::G1>(r, proof.a) || proof.a.infinity)
         return std::nullopt;
-    if (!readG2<typename Curve::G2>(r, proof.b))
+    if (!readG2<typename Curve::G2>(r, proof.b) || proof.b.infinity)
         return std::nullopt;
-    if (!readG1<typename Curve::G1>(r, proof.c))
+    if (!readG1<typename Curve::G1>(r, proof.c) || proof.c.infinity)
         return std::nullopt;
     if (!r.atEnd())
         return std::nullopt;
@@ -310,7 +374,13 @@ deserializeVerifyingKey(const std::vector<std::uint8_t>& bytes)
     if (!readG2<typename Curve::G2>(r, vk.delta2))
         return std::nullopt;
     u64 n;
-    if (!r.getU64(n) || n > (1u << 28))
+    if (!r.getU64(n) || n == 0)
+        return std::nullopt;
+    // Bound the pre-allocation by what the remaining bytes could
+    // possibly encode (compressed G1 is >= 2 bytes: tag + data, and
+    // infinity is 1 byte) — a forged length field must not drive a
+    // multi-gigabyte resize before the per-point reads fail.
+    if (n > r.remaining())
         return std::nullopt;
     vk.ic.resize(n);
     for (auto& p : vk.ic)
@@ -319,6 +389,56 @@ deserializeVerifyingKey(const std::vector<std::uint8_t>& bytes)
     if (!r.atEnd())
         return std::nullopt;
     return vk;
+}
+
+/**
+ * Serialize a PlonK proof: 5 commitments + 2 opening witnesses (all
+ * compressed G1) and 14 scalar field evaluations.
+ */
+template <typename Curve>
+std::vector<std::uint8_t>
+serializePlonkProof(const typename Plonk<Curve>::Proof& proof)
+{
+    ByteWriter w;
+    for (const auto* c :
+         {&proof.a, &proof.b, &proof.c, &proof.z, &proof.t})
+        writeG1<typename Curve::G1>(w, *c);
+    for (const auto& e : proof.evals)
+        w.putField(e);
+    w.putField(proof.zOmega);
+    writeG1<typename Curve::G1>(w, proof.wZeta);
+    writeG1<typename Curve::G1>(w, proof.wZetaOmega);
+    return w.bytes();
+}
+
+/**
+ * Parse and validate a PlonK proof; empty on any malformed input.
+ * Commitments must be canonical subgroup points; scalars must be
+ * canonical (< r). Unlike Groth16, the identity is a legitimate
+ * commitment (the KZG commitment to the zero polynomial), so it is
+ * accepted here and left to the pairing checks.
+ */
+template <typename Curve>
+std::optional<typename Plonk<Curve>::Proof>
+deserializePlonkProof(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    typename Plonk<Curve>::Proof proof;
+    for (auto* c : {&proof.a, &proof.b, &proof.c, &proof.z, &proof.t})
+        if (!readG1<typename Curve::G1>(r, *c))
+            return std::nullopt;
+    for (auto& e : proof.evals)
+        if (!r.getField(e))
+            return std::nullopt;
+    if (!r.getField(proof.zOmega))
+        return std::nullopt;
+    if (!readG1<typename Curve::G1>(r, proof.wZeta))
+        return std::nullopt;
+    if (!readG1<typename Curve::G1>(r, proof.wZetaOmega))
+        return std::nullopt;
+    if (!r.atEnd())
+        return std::nullopt;
+    return proof;
 }
 
 } // namespace zkp::snark

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cross-scheme differential properties: the same random straight-line
+ * circuit is lowered to both R1CS (Groth16) and PlonK gates, and both
+ * backends must agree — accept the honestly computed witness, reject
+ * a perturbed public input, and agree with the native evaluator on
+ * which assignments satisfy the constraints at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include "snark/curve.h"
+#include "snark/groth16.h"
+#include "snark/plonk.h"
+#include "zkcheck.h"
+
+namespace zkp::prop {
+namespace {
+
+/**
+ * One differential case: generate a circuit from @p rng, run it
+ * through both schemes, and check agreement on accept and reject.
+ */
+template <typename Curve>
+void
+differentialCase(Rng& rng, std::size_t maxOps)
+{
+    using Fr = typename Curve::Fr;
+    using G16 = snark::Groth16<Curve>;
+    using Pk = snark::Plonk<Curve>;
+
+    const auto circ = RandomCircuit<Fr>::generate(rng, maxOps);
+    std::vector<Fr> priv;
+    for (std::size_t i = 0; i < circ.numPrivate; ++i)
+        priv.push_back(Fr::random(rng));
+    const Fr y = circ.output(priv);
+    const std::vector<Fr> pub{y};
+    const std::vector<Fr> badPub{y + Fr::one()};
+
+    // --- Constraint-level agreement with the native evaluator -----
+    const auto cs = circ.toR1cs().compile();
+    const auto z = circ.r1csAssignment(priv);
+    const auto plonkForm = circ.toPlonk();
+    const auto values = circ.plonkValues(plonkForm, priv);
+
+    Rng g16SetupRng = rng.fork(1);
+    auto g16 = G16::setup(cs, g16SetupRng);
+    Rng pkSetupRng = rng.fork(2);
+    auto plonk = Pk::setup(plonkForm.builder, pkSetupRng);
+
+    ASSERT_TRUE(cs.isSatisfied(z));
+    ASSERT_TRUE(Pk::satisfied(plonk.pk, values, pub));
+
+    // A corrupted output-wire value dissatisfies both lowerings (the
+    // output variable is always bound by the final constraint; an
+    // arbitrary wire might be dead in a random circuit).
+    {
+        auto zBad = z;
+        zBad[1] += Fr::one(); // z[1] is the public output y
+        auto valuesBad = values;
+        valuesBad[plonkForm.yVar] += Fr::one();
+        EXPECT_FALSE(cs.isSatisfied(zBad));
+        EXPECT_FALSE(Pk::satisfied(plonk.pk, valuesBad, pub));
+    }
+
+    // --- Proof-level agreement ------------------------------------
+    Rng g16ProveRng = rng.fork(3);
+    const auto g16Proof = G16::prove(g16.pk, cs, z, g16ProveRng);
+    Rng pkProveRng = rng.fork(4);
+    const auto plonkProof =
+        Pk::prove(plonk.pk, values, pub, pkProveRng);
+
+    EXPECT_TRUE(G16::verify(g16.vk, pub, g16Proof));
+    EXPECT_TRUE(Pk::verify(plonk.vk, pub, plonkProof));
+
+    EXPECT_FALSE(G16::verify(g16.vk, badPub, g16Proof));
+    EXPECT_FALSE(Pk::verify(plonk.vk, badPub, plonkProof));
+}
+
+// The acceptance bar for this suite is >= 50 seeded random circuits
+// in agreement; BN254 carries the bulk (faster field), BLS12-381
+// replicates a sample to cover the second tower.
+TEST(Differential, Groth16AndPlonkAgreeOnRandomCircuitsBn254)
+{
+    forAll("differential_bn254", 46,
+           [&](Rng& rng, std::size_t) {
+               differentialCase<snark::Bn254>(rng, 10);
+           });
+}
+
+TEST(Differential, Groth16AndPlonkAgreeOnRandomCircuitsBls381)
+{
+    forAll("differential_bls381", 4,
+           [&](Rng& rng, std::size_t) {
+               differentialCase<snark::Bls381>(rng, 8);
+           });
+}
+
+} // namespace
+} // namespace zkp::prop

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Kernel-equivalence properties: the optimized MSM and NTT kernels
+ * must agree with their reference implementations on seeded random
+ * inputs (including adversarial scalar values), and batch
+ * verification must agree with one-by-one verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ec/groups.h"
+#include "ec/msm.h"
+#include "poly/domain.h"
+#include "snark/curve.h"
+#include "snark/groth16.h"
+#include "zkcheck.h"
+
+namespace zkp::prop {
+namespace {
+
+// ---------------------------------------------------------------------
+// MSM: signed-window Pippenger vs naive double-and-add
+// ---------------------------------------------------------------------
+
+template <typename G>
+class MsmLaws : public ::testing::Test
+{
+};
+
+using MsmGroups = ::testing::Types<ec::Bn254G1, ec::Bn254G2,
+                                   ec::Bls381G1, ec::Bls381G2>;
+TYPED_TEST_SUITE(MsmLaws, MsmGroups);
+
+TYPED_TEST(MsmLaws, SignedWindowMatchesNaive)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    using Repr = typename Fr::Repr;
+    using Jac = typename G::Jacobian;
+
+    forAll("msm_vs_naive", 6, [&](Rng& rng, std::size_t) {
+        const Jac g{G::generator()};
+        const std::size_t n = 4 + rng.nextBelow(28);
+        std::vector<typename G::Affine> pts;
+        std::vector<Repr> scalars;
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(
+                g.mulScalar(rng.nextBelow(1000) + 1).toAffine());
+            scalars.push_back(Fr::random(rng).toBigInt());
+        }
+        // Adversarial values: zero, one and r-1 stress the signed
+        // digit recoding (carry out of the top window).
+        scalars[0] = Fr::zero().toBigInt();
+        if (n > 1)
+            scalars[1] = Fr::one().toBigInt();
+        if (n > 2)
+            scalars[2] = (-Fr::one()).toBigInt();
+
+        const auto fast =
+            ec::msmSerial<Jac>(pts.data(), scalars.data(), n);
+        const auto naive =
+            ec::msmNaive<Jac>(pts.data(), scalars.data(), n);
+        EXPECT_EQ(fast, naive);
+        // The dispatching front end agrees too.
+        EXPECT_EQ(ec::msm<Jac>(pts.data(), scalars.data(), n), naive);
+    });
+}
+
+TYPED_TEST(MsmLaws, MsmIsBilinear)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+
+    forAll("msm_bilinear", 4, [&](Rng& rng, std::size_t) {
+        const typename G::Jacobian g{G::generator()};
+        const std::size_t n = 2 + rng.nextBelow(6);
+        std::vector<typename G::Affine> pts;
+        std::vector<Fr> s, t, sum;
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(
+                g.mulScalar(rng.nextBelow(500) + 1).toAffine());
+            s.push_back(Fr::random(rng));
+            t.push_back(Fr::random(rng));
+            sum.push_back(s.back() + t.back());
+        }
+        EXPECT_EQ(ec::msmField<G>(pts, sum),
+                  ec::msmField<G>(pts, s) + ec::msmField<G>(pts, t));
+    });
+}
+
+// The parallel path only engages above kMsmWindowParallelMin; one
+// seeded case at that size keeps it honest without dominating runtime.
+TEST(MsmParallel, WindowParallelMatchesSerialAboveThreshold)
+{
+    using G = ec::Bn254G1;
+    using Fr = G::Scalar;
+    using Repr = Fr::Repr;
+    using Jac = G::Jacobian;
+
+    forAll("msm_parallel", 1, [&](Rng& rng, std::size_t) {
+        const Jac g{G::generator()};
+        const std::size_t n = ec::kMsmWindowParallelMin;
+        std::vector<G::Affine> pts;
+        std::vector<Repr> scalars;
+        pts.reserve(n);
+        scalars.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(g.mulScalar(rng.nextBelow(4096) + 1)
+                              .toAffine());
+            scalars.push_back(Fr::random(rng).toBigInt());
+        }
+        const auto serial =
+            ec::msmSerial<Jac>(pts.data(), scalars.data(), n);
+        const auto parallel = ec::msmWindowParallel<Jac>(
+            pts.data(), scalars.data(), n, 2);
+        EXPECT_EQ(serial, parallel);
+        EXPECT_EQ(ec::msm<Jac>(pts.data(), scalars.data(), n, 2),
+                  serial);
+    });
+}
+
+// ---------------------------------------------------------------------
+// NTT: cached-twiddle transform vs direct evaluation
+// ---------------------------------------------------------------------
+
+template <typename Fr>
+class NttLaws : public ::testing::Test
+{
+};
+
+using NttFields = ::testing::Types<ff::bn254::Fr, ff::bls381::Fr>;
+TYPED_TEST_SUITE(NttLaws, NttFields);
+
+/** Horner evaluation of a coefficient-form polynomial. */
+template <typename Fr>
+Fr
+polyEval(const std::vector<Fr>& coeffs, const Fr& x)
+{
+    Fr acc = Fr::zero();
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        acc = acc * x + coeffs[i];
+    return acc;
+}
+
+TYPED_TEST(NttLaws, NttMatchesDirectEvaluation)
+{
+    using Fr = TypeParam;
+    forAll("ntt_vs_direct", 6, [&](Rng& rng, std::size_t) {
+        const std::size_t n = 1ull << (1 + rng.nextBelow(5)); // 2..32
+        poly::Domain<Fr> domain(n);
+        const auto coeffs = genPoly<Fr>(rng, n);
+        auto evals = coeffs;
+        domain.ntt(evals);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(evals[i], polyEval(coeffs, domain.element(i)));
+    });
+}
+
+TYPED_TEST(NttLaws, ForwardInverseRoundTrips)
+{
+    using Fr = TypeParam;
+    forAll("ntt_roundtrip", 6, [&](Rng& rng, std::size_t) {
+        const std::size_t n = 1ull << (1 + rng.nextBelow(8)); // 2..256
+        poly::Domain<Fr> domain(n);
+        const auto coeffs = genPoly<Fr>(rng, n);
+
+        auto a = coeffs;
+        domain.ntt(a);
+        domain.intt(a);
+        EXPECT_EQ(a, coeffs);
+
+        auto b = coeffs;
+        domain.cosetNtt(b);
+        domain.cosetIntt(b);
+        EXPECT_EQ(b, coeffs);
+    });
+}
+
+TYPED_TEST(NttLaws, CosetNttEvaluatesOnShiftedDomain)
+{
+    using Fr = TypeParam;
+    forAll("coset_ntt_eval", 4, [&](Rng& rng, std::size_t) {
+        const std::size_t n = 1ull << (1 + rng.nextBelow(4)); // 2..16
+        poly::Domain<Fr> domain(n);
+        const auto coeffs = genPoly<Fr>(rng, n);
+        auto evals = coeffs;
+        domain.cosetNtt(evals);
+        const Fr g = domain.cosetShift();
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(evals[i],
+                      polyEval(coeffs, g * domain.element(i)));
+    });
+}
+
+TYPED_TEST(NttLaws, LagrangeCoeffsInterpolate)
+{
+    using Fr = TypeParam;
+    forAll("lagrange_interpolate", 4, [&](Rng& rng, std::size_t) {
+        const std::size_t n = 1ull << (1 + rng.nextBelow(4)); // 2..16
+        poly::Domain<Fr> domain(n);
+        const auto coeffs = genPoly<Fr>(rng, n);
+        const Fr tau = Fr::random(rng);
+
+        // sum_j L_j(tau) f(omega^j) == f(tau)
+        const auto lag = domain.lagrangeCoeffsAt(tau);
+        ASSERT_EQ(lag.size(), n);
+        Fr acc = Fr::zero();
+        for (std::size_t j = 0; j < n; ++j)
+            acc += lag[j] * polyEval(coeffs, domain.element(j));
+        EXPECT_EQ(acc, polyEval(coeffs, tau));
+
+        // The basis is a partition of unity.
+        Fr one = Fr::zero();
+        for (const auto& l : lag)
+            one += l;
+        EXPECT_EQ(one, Fr::one());
+    });
+}
+
+// ---------------------------------------------------------------------
+// Groth16: batch verification agrees with one-by-one verification
+// ---------------------------------------------------------------------
+
+TEST(BatchVerify, AgreesWithIndividualVerify)
+{
+    using Curve = snark::Bn254;
+    using Fr = Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+
+    forAll("batch_vs_single", 3, [&](Rng& rng, std::size_t) {
+        const auto circ = RandomCircuit<Fr>::generate(rng, 8);
+        const auto cs = circ.toR1cs().compile();
+
+        Rng setupRng = rng.fork(1);
+        auto kp = Scheme::setup(cs, setupRng);
+
+        // A valid proof for a random private assignment.
+        std::vector<Fr> priv;
+        for (std::size_t i = 0; i < circ.numPrivate; ++i)
+            priv.push_back(Fr::random(rng));
+        const auto z = circ.r1csAssignment(priv);
+        ASSERT_TRUE(cs.isSatisfied(z));
+        Rng proveRng = rng.fork(2);
+        const auto proof = Scheme::prove(kp.pk, cs, z, proveRng);
+        const std::vector<Fr> pub{circ.output(priv)};
+        ASSERT_TRUE(Scheme::verify(kp.vk, pub, proof));
+
+        // A batch mixing valid and invalid entries must agree with
+        // the conjunction of the individual checks.
+        std::vector<std::vector<Fr>> pubs;
+        std::vector<Scheme::Proof> proofs;
+        bool expected = true;
+        for (std::size_t k = 0; k < 4; ++k) {
+            std::vector<Fr> p = pub;
+            if (rng.nextBool()) {
+                p[0] += Fr::one(); // wrong public input
+                expected = false;
+            }
+            pubs.push_back(p);
+            proofs.push_back(proof);
+        }
+        Rng batchRng = rng.fork(3);
+        EXPECT_EQ(Scheme::verifyBatch(kp.vk, pubs, proofs, batchRng),
+                  expected);
+
+        // The all-valid batch must accept.
+        std::vector<std::vector<Fr>> goodPubs(3, pub);
+        std::vector<Scheme::Proof> goodProofs(3, proof);
+        Rng batchRng2 = rng.fork(4);
+        EXPECT_TRUE(Scheme::verifyBatch(kp.vk, goodPubs, goodProofs,
+                                        batchRng2));
+    });
+}
+
+} // namespace
+} // namespace zkp::prop

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Adversarial proof-mutation properties: every sampled mutation of a
+ * valid proof must be rejected, either by the validating
+ * deserializer (malformed encoding) or by verify() (well-formed but
+ * wrong). One surviving mutant is a soundness bug.
+ *
+ * Mutations are sampled per seeded case: generic byte corruption
+ * (bit flips, byte rewrites, truncation, trailing garbage), structure
+ * -aware byte splices (segment swaps, substituted valid points,
+ * y-parity flips), and semantic struct edits (tweaked evaluations,
+ * swapped opening witnesses, identity commitments).
+ */
+
+#include <gtest/gtest.h>
+
+#include "r1cs/circuits.h"
+#include "snark/curve.h"
+#include "snark/groth16.h"
+#include "snark/plonk.h"
+#include "snark/serialize.h"
+#include "zkcheck.h"
+
+namespace zkp::prop {
+namespace {
+
+using Curve = snark::Bn254;
+using Fr = Curve::Fr;
+using G1 = Curve::G1;
+using G2 = Curve::G2;
+
+/** Generic byte corruption; kind in [0, 4). May return the input
+ *  unchanged only for kind 1 (1/256 rewrite-to-same); callers fall
+ *  back to a bit flip when that happens. */
+inline std::vector<std::uint8_t>
+corrupt(Rng& rng, std::vector<std::uint8_t> b, u64 kind)
+{
+    switch (kind) {
+      case 0:
+        b[rng.nextBelow(b.size())] ^=
+            (std::uint8_t)(1u << rng.nextBelow(8));
+        break;
+      case 1:
+        b[rng.nextBelow(b.size())] = (std::uint8_t)rng.next();
+        break;
+      case 2:
+        b.resize(rng.nextBelow(b.size())); // strictly shorter
+        break;
+      case 3: {
+        const auto extra = genBytes(rng, 1 + rng.nextBelow(8));
+        b.insert(b.end(), extra.begin(), extra.end());
+        break;
+      }
+    }
+    return b;
+}
+
+/** Force a difference from @p orig (covers the rewrite-to-same case). */
+inline void
+ensureChanged(Rng& rng, const std::vector<std::uint8_t>& orig,
+              std::vector<std::uint8_t>& m)
+{
+    if (m == orig)
+        m[rng.nextBelow(m.size())] ^=
+            (std::uint8_t)(1u << rng.nextBelow(8));
+}
+
+/** Byte span [off, off+len) of one encoded point inside a proof. */
+struct Segment
+{
+    std::size_t off, len;
+};
+
+inline void
+swapSegments(std::vector<std::uint8_t>& b, const Segment& s,
+             const Segment& t)
+{
+    ASSERT_EQ(s.len, t.len);
+    for (std::size_t i = 0; i < s.len; ++i)
+        std::swap(b[s.off + i], b[t.off + i]);
+}
+
+// ---------------------------------------------------------------------
+// Groth16
+// ---------------------------------------------------------------------
+
+TEST(Mutation, Groth16RejectsAllSampledMutations)
+{
+    using Scheme = snark::Groth16<Curve>;
+
+    // Fixture: one valid proof over the paper's exponentiation
+    // circuit. z layout: [1 | y | x | x^2 .. x^e].
+    r1cs::ExponentiationCircuit<Fr> circ(4);
+    const auto cs = circ.builder.compile();
+    Rng fixtureRng(0x6d757461u); // fixture entropy, independent of seed
+    const auto kp = Scheme::setup(cs, fixtureRng);
+    const Fr x = Fr::fromU64(7);
+    const Fr y = circ.evaluate(x);
+    std::vector<Fr> z{Fr::one(), y, x};
+    Fr acc = x;
+    for (std::size_t i = 1; i < circ.exponent; ++i) {
+        acc *= x;
+        z.push_back(acc);
+    }
+    ASSERT_TRUE(cs.isSatisfied(z));
+    const auto proof = Scheme::prove(kp.pk, cs, z, fixtureRng);
+    const std::vector<Fr> pub{y};
+    ASSERT_TRUE(Scheme::verify(kp.vk, pub, proof));
+
+    const auto bytes = snark::serializeProof<Curve>(proof);
+    const std::size_t g1Len = 1 + sizeof(G1::Field::Repr);
+    const std::size_t g2Len = 1 + 2 * sizeof(G1::Field::Repr);
+    ASSERT_EQ(bytes.size(), 2 * g1Len + g2Len);
+    const Segment segA{0, g1Len};
+    const Segment segB{g1Len, g2Len};
+    const Segment segC{g1Len + g2Len, g1Len};
+
+    std::size_t total = 0, rejected = 0;
+    forAll("groth16_mutations", 200, [&](Rng& rng, std::size_t) {
+        std::vector<std::uint8_t> m = bytes;
+        switch (rng.nextBelow(8)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            m = corrupt(rng, std::move(m), rng.nextBelow(4));
+            break;
+          case 4: // swap the two G1 elements (A <-> C)
+            swapSegments(m, segA, segC);
+            break;
+          case 5: { // substitute a uniformly random valid point
+            snark::ByteWriter w;
+            if (rng.nextBool()) {
+                snark::writeG2<G2>(w, genPoint<G2>(rng));
+                std::copy(w.bytes().begin(), w.bytes().end(),
+                          m.begin() + segB.off);
+            } else {
+                snark::writeG1<G1>(w, genPoint<G1>(rng));
+                const auto& s = rng.nextBool() ? segA : segC;
+                std::copy(w.bytes().begin(), w.bytes().end(),
+                          m.begin() + s.off);
+            }
+            break;
+          }
+          case 6: { // y-parity flip: encodes the negated point
+            const Segment* segs[] = {&segA, &segB, &segC};
+            m[segs[rng.nextBelow(3)]->off] ^= 1; // tag 2 <-> 3
+            break;
+          }
+          case 7: { // identity element in place of a proof point
+            auto p = proof;
+            switch (rng.nextBelow(3)) {
+              case 0: p.a = G1::Affine(); break;
+              case 1: p.b = G2::Affine(); break;
+              case 2: p.c = G1::Affine(); break;
+            }
+            m = snark::serializeProof<Curve>(p);
+            break;
+          }
+        }
+        ensureChanged(rng, bytes, m);
+
+        ++total;
+        const auto parsed = snark::deserializeProof<Curve>(m);
+        const bool rej =
+            !parsed || !Scheme::verify(kp.vk, pub, *parsed);
+        EXPECT_TRUE(rej) << "mutant survived deserialize+verify";
+        rejected += rej;
+    });
+    EXPECT_EQ(rejected, total);
+    EXPECT_GE(total, scaledIters(200));
+}
+
+// ---------------------------------------------------------------------
+// PlonK
+// ---------------------------------------------------------------------
+
+TEST(Mutation, PlonkRejectsAllSampledMutations)
+{
+    using Scheme = snark::Plonk<Curve>;
+
+    // Fixture: x^e = y over the PlonK lowering.
+    snark::PlonkExponentiation<Fr> circ(5);
+    Rng fixtureRng(0x706c6f6eu);
+    const auto kp = Scheme::setup(circ.builder, fixtureRng);
+    const Fr x = Fr::fromU64(3);
+    const auto values = circ.assign(x);
+    const std::vector<Fr> pub{values[circ.yVar]};
+    ASSERT_TRUE(Scheme::satisfied(kp.pk, values, pub));
+    const auto proof = Scheme::prove(kp.pk, values, pub, fixtureRng);
+    ASSERT_TRUE(Scheme::verify(kp.vk, pub, proof));
+
+    const auto bytes = snark::serializePlonkProof<Curve>(proof);
+    const std::size_t g1Len = 1 + sizeof(G1::Field::Repr);
+    const std::size_t frLen = sizeof(Fr::Repr);
+    ASSERT_EQ(bytes.size(), 7 * g1Len + 14 * frLen);
+    // The five commitments, then wZeta/wZetaOmega after the scalars.
+    std::vector<Segment> points;
+    for (std::size_t i = 0; i < 5; ++i)
+        points.push_back({i * g1Len, g1Len});
+    const std::size_t wOff = 5 * g1Len + 14 * frLen;
+    points.push_back({wOff, g1Len});
+    points.push_back({wOff + g1Len, g1Len});
+
+    std::size_t total = 0, rejected = 0;
+    forAll("plonk_mutations", 200, [&](Rng& rng, std::size_t) {
+        bool viaBytes = true;
+        std::vector<std::uint8_t> m = bytes;
+        auto p = proof;
+        switch (rng.nextBelow(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            m = corrupt(rng, std::move(m), rng.nextBelow(4));
+            break;
+          case 4: { // swap two distinct encoded points
+            const auto i = rng.nextBelow(points.size());
+            auto j = rng.nextBelow(points.size() - 1);
+            j += j >= i;
+            swapSegments(m, points[i], points[j]);
+            break;
+          }
+          case 5: { // substitute a random valid commitment
+            snark::ByteWriter w;
+            snark::writeG1<G1>(w, genPoint<G1>(rng));
+            const auto& s = points[rng.nextBelow(points.size())];
+            std::copy(w.bytes().begin(), w.bytes().end(),
+                      m.begin() + s.off);
+            break;
+          }
+          case 6: // y-parity flip on one point
+            m[points[rng.nextBelow(points.size())].off] ^= 1;
+            break;
+          case 7: // semantic: tweak one claimed evaluation
+            viaBytes = false;
+            if (rng.nextBool())
+                p.evals[rng.nextBelow(p.evals.size())] += Fr::one();
+            else
+                p.zOmega += Fr::one();
+            break;
+          case 8: // semantic: swap the two opening witnesses
+            viaBytes = false;
+            std::swap(p.wZeta, p.wZetaOmega);
+            break;
+          case 9: // semantic: identity in place of a commitment
+            viaBytes = false;
+            switch (rng.nextBelow(4)) {
+              case 0: p.a = G1::Affine(); break;
+              case 1: p.z = G1::Affine(); break;
+              case 2: p.t = G1::Affine(); break;
+              case 3: p.wZeta = G1::Affine(); break;
+            }
+            break;
+        }
+
+        ++total;
+        bool rej;
+        if (viaBytes) {
+            ensureChanged(rng, bytes, m);
+            const auto parsed =
+                snark::deserializePlonkProof<Curve>(m);
+            rej = !parsed || !Scheme::verify(kp.vk, pub, *parsed);
+        } else {
+            rej = !Scheme::verify(kp.vk, pub, p);
+        }
+        EXPECT_TRUE(rej) << "mutant survived deserialize+verify";
+        rejected += rej;
+    });
+    EXPECT_EQ(rejected, total);
+    EXPECT_GE(total, scaledIters(200));
+}
+
+} // namespace
+} // namespace zkp::prop

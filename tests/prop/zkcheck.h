@@ -1,0 +1,448 @@
+/**
+ * @file
+ * zkcheck — seeded property-based testing utilities for the SNARK
+ * stack (see docs/TESTING.md).
+ *
+ * Design goals, in order:
+ *  1. Determinism. Every generated case derives from one base seed
+ *     (ZKP_PROP_SEED, default fixed), so failures replay exactly.
+ *  2. Replayability. A failing case prints the environment + filter
+ *     invocation that re-runs exactly that case.
+ *  3. Scale control. ZKP_PROP_ITERS multiplies every iteration count,
+ *     so CI's extended tier and local soak runs reuse the same suites.
+ *
+ * The harness is deliberately small: forAll() drives seeded cases
+ * through GTest assertions, generators produce the domain objects
+ * (field elements, curve points, polynomials, circuits), and the
+ * shrinkers minimize counterexamples (delta-debugging for sets,
+ * descent for sizes).
+ */
+
+#ifndef ZKP_TESTS_PROP_ZKCHECK_H
+#define ZKP_TESTS_PROP_ZKCHECK_H
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "r1cs/circuit.h"
+#include "snark/plonk.h"
+
+namespace zkp::prop {
+
+/** Base seed: ZKP_PROP_SEED (decimal or 0x-hex) or a fixed default. */
+inline u64
+baseSeed()
+{
+    static const u64 seed = [] {
+        if (const char* s = std::getenv("ZKP_PROP_SEED"))
+            return (u64)std::strtoull(s, nullptr, 0);
+        return (u64)0x5eedc0dedba5e5ULL;
+    }();
+    return seed;
+}
+
+/** Iteration multiplier: ZKP_PROP_ITERS (percent, default 100). */
+inline std::size_t
+scaledIters(std::size_t base)
+{
+    static const unsigned long pct = [] {
+        if (const char* s = std::getenv("ZKP_PROP_ITERS"))
+            return std::strtoul(s, nullptr, 0);
+        return 100ul;
+    }();
+    const std::size_t n = (std::size_t)((base * (u64)pct) / 100);
+    return n ? n : 1;
+}
+
+/** splitmix64-style avalanche for seed derivation. */
+inline u64
+mixSeed(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Per-case seed: base seed x property name x case index. */
+inline u64
+caseSeed(std::string_view property, u64 index)
+{
+    u64 h = baseSeed();
+    for (char c : property)
+        h = mixSeed(h ^ (u64)(unsigned char)c);
+    return mixSeed(h ^ index);
+}
+
+/** The one-command replay string a failing case prints. */
+inline std::string
+replayCommand(std::string_view property, u64 index, u64 seed)
+{
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::ostringstream os;
+    os << "property '" << property << "' case " << index
+       << " (case seed 0x" << std::hex << seed << std::dec
+       << ") failed — replay with: ZKP_PROP_SEED=0x" << std::hex
+       << baseSeed() << std::dec;
+    if (info)
+        os << " <binary> --gtest_filter=" << info->test_suite_name()
+           << "." << info->name();
+    return os.str();
+}
+
+/**
+ * Run @p body over @p iters seeded cases. Each case gets its own Rng
+ * whose seed derives from the property name and case index; any GTest
+ * failure inside the body is annotated with the replay command, and
+ * iteration stops after the first failing case (one minimal, fully
+ * attributed counterexample beats a wall of correlated failures).
+ */
+template <typename Body>
+void
+forAll(std::string_view property, std::size_t iters, Body&& body)
+{
+    iters = scaledIters(iters);
+    for (std::size_t i = 0; i < iters; ++i) {
+        const u64 seed = caseSeed(property, i);
+        SCOPED_TRACE(replayCommand(property, i, seed));
+        Rng rng(seed);
+        body(rng, i);
+        if (::testing::Test::HasFailure())
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/** Uniform nonzero field element. */
+template <typename F>
+F
+genNonZero(Rng& rng)
+{
+    F v = F::random(rng);
+    while (v.isZero())
+        v = F::random(rng);
+    return v;
+}
+
+/** Uniform point in the order-r subgroup (generator times scalar). */
+template <typename Group>
+typename Group::Affine
+genPoint(Rng& rng)
+{
+    const auto k = genNonZero<typename Group::Scalar>(rng);
+    return typename Group::Jacobian{Group::generator()}
+        .mulScalar(k.toBigInt())
+        .toAffine();
+}
+
+/** Random polynomial of degree < @p len in coefficient form. */
+template <typename Fr>
+std::vector<Fr>
+genPoly(Rng& rng, std::size_t len)
+{
+    std::vector<Fr> out(len);
+    for (auto& c : out)
+        c = Fr::random(rng);
+    return out;
+}
+
+/** Uniform byte string of length @p n. */
+inline std::vector<std::uint8_t>
+genBytes(Rng& rng, std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out)
+        b = (std::uint8_t)rng.next();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Shrinkers
+// ---------------------------------------------------------------------
+
+/**
+ * Delta-debugging shrink of an element set: repeatedly drop halves,
+ * then single elements, keeping any reduction for which @p stillFails
+ * holds. Returns a (locally) 1-minimal failing subset.
+ */
+template <typename T, typename Pred>
+std::vector<T>
+shrinkVector(std::vector<T> failing, Pred&& stillFails)
+{
+    bool progress = true;
+    while (progress && failing.size() > 1) {
+        progress = false;
+        // Halves first — cuts the search fast when the culprit is one
+        // small cluster.
+        for (int keepFirst = 0; keepFirst < 2 && failing.size() > 1;
+             ++keepFirst) {
+            const std::size_t half = failing.size() / 2;
+            std::vector<T> candidate(
+                failing.begin() + (keepFirst ? 0 : half),
+                keepFirst ? failing.begin() + half : failing.end());
+            if (stillFails(candidate)) {
+                failing = std::move(candidate);
+                progress = true;
+            }
+        }
+        // Then single-element drops.
+        for (std::size_t i = 0; i < failing.size() && failing.size() > 1;
+             ++i) {
+            std::vector<T> candidate = failing;
+            candidate.erase(candidate.begin() + i);
+            if (stillFails(candidate)) {
+                failing = std::move(candidate);
+                progress = true;
+                --i;
+            }
+        }
+    }
+    return failing;
+}
+
+/**
+ * Shrink a failing size downward by bisecting the boundary between
+ * @p floor and @p failing. For a monotone predicate (everything above
+ * some threshold fails) this returns the exact smallest failing size;
+ * otherwise it still returns some failing size <= the input.
+ */
+template <typename Pred>
+std::size_t
+shrinkSize(std::size_t failing, std::size_t floor, Pred&& stillFails)
+{
+    if (failing <= floor || stillFails(floor))
+        return floor;
+    // Invariant: floor passes, failing fails.
+    while (failing - floor > 1) {
+        const std::size_t mid = floor + (failing - floor) / 2;
+        if (stillFails(mid))
+            failing = mid;
+        else
+            floor = mid;
+    }
+    return failing;
+}
+
+// ---------------------------------------------------------------------
+// Random circuits with dual (R1CS + PlonK) lowering
+// ---------------------------------------------------------------------
+
+/**
+ * A random arithmetic straight-line program over private inputs: each
+ * op defines a new wire from earlier wires; the last wire is exposed
+ * as the single public output y. The same program lowers to an R1CS
+ * circuit (CircuitBuilder) and a PlonK circuit (PlonkBuilder), which
+ * is what makes cross-scheme differential testing possible: both
+ * backends must accept exactly the witnesses the native evaluation
+ * accepts.
+ */
+template <typename Fr>
+struct RandomCircuit
+{
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            Add,      ///< w = lhs + rhs
+            Mul,      ///< w = lhs * rhs
+            AddConst, ///< w = lhs + k
+            MulConst, ///< w = lhs * k
+        };
+        Kind kind;
+        std::uint32_t lhs = 0, rhs = 0;
+        Fr k = Fr::zero();
+    };
+
+    std::size_t numPrivate = 1;
+    std::vector<Op> ops;
+
+    /** Sample a circuit with 1..3 private inputs and <= @p maxOps ops. */
+    static RandomCircuit
+    generate(Rng& rng, std::size_t maxOps)
+    {
+        RandomCircuit c;
+        c.numPrivate = 1 + rng.nextBelow(3);
+        const std::size_t n = 2 + rng.nextBelow(maxOps > 2 ? maxOps - 2
+                                                           : 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t wires = c.numPrivate + i;
+            Op op;
+            op.kind = (typename Op::Kind)rng.nextBelow(4);
+            op.lhs = (std::uint32_t)rng.nextBelow(wires);
+            op.rhs = (std::uint32_t)rng.nextBelow(wires);
+            if (op.kind == Op::Kind::AddConst ||
+                op.kind == Op::Kind::MulConst)
+                op.k = genNonZero<Fr>(rng);
+            c.ops.push_back(op);
+        }
+        return c;
+    }
+
+    /** Evaluate natively: all wire values (inputs first, output last). */
+    std::vector<Fr>
+    evalWires(const std::vector<Fr>& priv) const
+    {
+        assert(priv.size() == numPrivate);
+        std::vector<Fr> w = priv;
+        for (const auto& op : ops) {
+            switch (op.kind) {
+              case Op::Kind::Add:
+                w.push_back(w[op.lhs] + w[op.rhs]);
+                break;
+              case Op::Kind::Mul:
+                w.push_back(w[op.lhs] * w[op.rhs]);
+                break;
+              case Op::Kind::AddConst:
+                w.push_back(w[op.lhs] + op.k);
+                break;
+              case Op::Kind::MulConst:
+                w.push_back(w[op.lhs] * op.k);
+                break;
+            }
+        }
+        return w;
+    }
+
+    /** The public output for a private assignment. */
+    Fr
+    output(const std::vector<Fr>& priv) const
+    {
+        return evalWires(priv).back();
+    }
+
+    /**
+     * Lower to R1CS: public y first (the builder's layout contract),
+     * then the private inputs, then the op list; additions and
+     * constant ops fold into linear combinations for free, so only
+     * Mul allocates constraints, plus the final output binding.
+     */
+    r1cs::CircuitBuilder<Fr>
+    toR1cs() const
+    {
+        r1cs::CircuitBuilder<Fr> b;
+        auto y = b.publicInput();
+        std::vector<r1cs::LinearCombination<Fr>> w;
+        for (std::size_t i = 0; i < numPrivate; ++i)
+            w.push_back(b.privateInput());
+        for (const auto& op : ops) {
+            switch (op.kind) {
+              case Op::Kind::Add:
+                w.push_back(w[op.lhs] + w[op.rhs]);
+                break;
+              case Op::Kind::Mul:
+                w.push_back(b.mul(w[op.lhs], w[op.rhs]));
+                break;
+              case Op::Kind::AddConst:
+                w.push_back(w[op.lhs] + b.constant(op.k));
+                break;
+              case Op::Kind::MulConst:
+                w.push_back(w[op.lhs].scaled(op.k));
+                break;
+            }
+        }
+        b.assertEqual(w.back(), y);
+        return b;
+    }
+
+    /**
+     * Full R1CS assignment z for a private assignment, matching the
+     * variable layout toR1cs() produces: [1 | y | private | one
+     * internal wire per Mul op, in op order] (Add/const ops fold into
+     * linear combinations and allocate nothing).
+     */
+    std::vector<Fr>
+    r1csAssignment(const std::vector<Fr>& priv) const
+    {
+        const auto wires = evalWires(priv);
+        std::vector<Fr> z;
+        z.push_back(Fr::one());
+        z.push_back(wires.back()); // public y
+        for (std::size_t i = 0; i < numPrivate; ++i)
+            z.push_back(priv[i]);
+        for (std::size_t j = 0; j < ops.size(); ++j)
+            if (ops[j].kind == Op::Kind::Mul)
+                z.push_back(wires[numPrivate + j]);
+        return z;
+    }
+
+    /** PlonK lowering: the builder plus the wire-to-variable map. */
+    struct PlonkForm
+    {
+        snark::PlonkBuilder<Fr> builder;
+        snark::PlonkVar yVar = 0;
+        std::vector<snark::PlonkVar> wireVars;
+    };
+
+    /**
+     * Lower to PlonK: every wire is a PlonK variable; Add/Mul use the
+     * standard gates, constant ops use explicit selector gates
+     * (ql = 1, qc = k resp. ql = k), and a final gate copies the last
+     * wire onto the public-input variable.
+     */
+    PlonkForm
+    toPlonk() const
+    {
+        PlonkForm f;
+        auto& b = f.builder;
+        f.yVar = b.newVar();
+        b.addPublicInput(f.yVar);
+        for (std::size_t i = 0; i < numPrivate; ++i)
+            f.wireVars.push_back(b.newVar());
+        for (const auto& op : ops) {
+            const auto a = f.wireVars[op.lhs];
+            const auto out = b.newVar();
+            switch (op.kind) {
+              case Op::Kind::Add:
+                b.addAdd(a, f.wireVars[op.rhs], out);
+                break;
+              case Op::Kind::Mul:
+                b.addMul(a, f.wireVars[op.rhs], out);
+                break;
+              case Op::Kind::AddConst:
+                // a + k - out = 0
+                b.addGate({Fr::zero(), Fr::one(), Fr::zero(),
+                           -Fr::one(), op.k},
+                          a, a, out);
+                break;
+              case Op::Kind::MulConst:
+                // k*a - out = 0
+                b.addGate({Fr::zero(), op.k, Fr::zero(), -Fr::one(),
+                           Fr::zero()},
+                          a, a, out);
+                break;
+            }
+            f.wireVars.push_back(out);
+        }
+        // out - y = 0 binds the last wire to the public input.
+        b.addGate({Fr::zero(), Fr::one(), Fr::zero(), -Fr::one(),
+                   Fr::zero()},
+                  f.wireVars.back(), f.wireVars.back(), f.yVar);
+        return f;
+    }
+
+    /** Full PlonK variable assignment for a private assignment. */
+    std::vector<Fr>
+    plonkValues(const PlonkForm& f, const std::vector<Fr>& priv) const
+    {
+        const auto wires = evalWires(priv);
+        std::vector<Fr> values(f.builder.numVars(), Fr::zero());
+        values[f.yVar] = wires.back();
+        for (std::size_t i = 0; i < wires.size(); ++i)
+            values[f.wireVars[i]] = wires[i];
+        return values;
+    }
+};
+
+} // namespace zkp::prop
+
+#endif // ZKP_TESTS_PROP_ZKCHECK_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Golden-vector compatibility (tier 1): the serialized proof/VK byte
+ * format must match the vectors checked in under tests/vectors/ —
+ * bit for bit — and those vectors must still deserialize and verify.
+ * A failure here means the wire format changed; if that was
+ * deliberate, regenerate with the gen_golden_vectors tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vectors/golden.h"
+
+#ifndef ZKP_VECTORS_DIR
+#error "ZKP_VECTORS_DIR must point at the checked-in vector files"
+#endif
+
+namespace zkp {
+namespace {
+
+std::vector<std::uint8_t>
+loadHexFile(const std::string& name)
+{
+    const std::string path = std::string(ZKP_VECTORS_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing vector file " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto bytes = golden::fromHex(ss.str());
+    EXPECT_TRUE(bytes.has_value()) << "malformed hex in " << path;
+    return bytes.value_or(std::vector<std::uint8_t>{});
+}
+
+template <typename CurveT>
+struct CurveName;
+template <>
+struct CurveName<snark::Bn254>
+{
+    static constexpr const char* value = "bn254";
+};
+template <>
+struct CurveName<snark::Bls381>
+{
+    static constexpr const char* value = "bls381";
+};
+
+template <typename CurveT>
+class GoldenVectors : public ::testing::Test
+{
+};
+
+using Curves = ::testing::Types<snark::Bn254, snark::Bls381>;
+TYPED_TEST_SUITE(GoldenVectors, Curves);
+
+TYPED_TEST(GoldenVectors, CheckedInVectorsVerify)
+{
+    using Curve = TypeParam;
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+    const std::string base =
+        std::string("groth16_") + CurveName<Curve>::value + "_";
+
+    const auto vkBytes = loadHexFile(base + "vk.hex");
+    const auto proofBytes = loadHexFile(base + "proof.hex");
+    const auto pubBytes = loadHexFile(base + "pub.hex");
+    ASSERT_FALSE(vkBytes.empty());
+    ASSERT_FALSE(proofBytes.empty());
+    ASSERT_FALSE(pubBytes.empty());
+
+    const auto vk = snark::deserializeVerifyingKey<Curve>(vkBytes);
+    ASSERT_TRUE(vk.has_value());
+    const auto proof = snark::deserializeProof<Curve>(proofBytes);
+    ASSERT_TRUE(proof.has_value());
+
+    snark::ByteReader r(pubBytes);
+    Fr y;
+    ASSERT_TRUE(r.getField(y));
+    ASSERT_TRUE(r.atEnd());
+
+    EXPECT_TRUE(Scheme::verify(*vk, {y}, *proof));
+}
+
+TYPED_TEST(GoldenVectors, FreshGenerationMatchesCheckedInBytes)
+{
+    using Curve = TypeParam;
+    const std::string base =
+        std::string("groth16_") + CurveName<Curve>::value + "_";
+    const auto fresh = golden::generate<Curve>();
+
+    EXPECT_EQ(fresh.vk, loadHexFile(base + "vk.hex"))
+        << "VK byte format drifted; regenerate via gen_golden_vectors "
+           "if intentional";
+    EXPECT_EQ(fresh.proof, loadHexFile(base + "proof.hex"))
+        << "proof byte format drifted";
+    EXPECT_EQ(fresh.pub, loadHexFile(base + "pub.hex"))
+        << "public-input byte format drifted";
+}
+
+} // namespace
+} // namespace zkp

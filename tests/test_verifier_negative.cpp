@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Deterministic verifier negative paths (tier 1): a valid proof is
+ * produced once per scheme and curve, then every documented way of
+ * presenting it wrongly — wrong public inputs, swapped elements,
+ * identity points, truncated or trailing bytes — must be rejected.
+ * The randomized/mutational counterpart lives in tests/prop/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "r1cs/circuits.h"
+#include "snark/curve.h"
+#include "snark/groth16.h"
+#include "snark/plonk.h"
+#include "snark/serialize.h"
+
+namespace zkp {
+namespace {
+
+/** Per-curve Groth16 fixture, built once and shared by all tests. */
+template <typename Curve>
+struct G16State
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+
+    typename Scheme::Keypair kp;
+    typename Scheme::Proof proof;
+    Fr y;
+
+    static const G16State&
+    get()
+    {
+        static const G16State s;
+        return s;
+    }
+
+  private:
+    G16State()
+    {
+        r1cs::ExponentiationCircuit<Fr> circ(4);
+        const auto cs = circ.builder.compile();
+        Rng rng(0x4e454741u);
+        kp = Scheme::setup(cs, rng);
+        const Fr x = Fr::fromU64(11);
+        y = circ.evaluate(x);
+        std::vector<Fr> z{Fr::one(), y, x};
+        Fr acc = x;
+        for (std::size_t i = 1; i < circ.exponent; ++i) {
+            acc *= x;
+            z.push_back(acc);
+        }
+        proof = Scheme::prove(kp.pk, cs, z, rng);
+    }
+};
+
+template <typename CurveT>
+class Groth16Negative : public ::testing::Test
+{
+  protected:
+    using Curve = CurveT;
+    using Scheme = snark::Groth16<Curve>;
+
+    void
+    SetUp() override
+    {
+        const auto& s = G16State<Curve>::get();
+        vk_ = &s.kp.vk;
+        proof_ = s.proof;
+        y_ = s.y;
+        ASSERT_TRUE(Scheme::verify(*vk_, {y_}, proof_));
+    }
+
+    const typename Scheme::VerifyingKey* vk_ = nullptr;
+    typename Scheme::Proof proof_;
+    typename Curve::Fr y_;
+};
+
+using Curves = ::testing::Types<snark::Bn254, snark::Bls381>;
+TYPED_TEST_SUITE(Groth16Negative, Curves);
+
+TYPED_TEST(Groth16Negative, WrongPublicInputRejected)
+{
+    using Fr = typename TypeParam::Fr;
+    using Scheme = snark::Groth16<TypeParam>;
+    EXPECT_FALSE(
+        Scheme::verify((*this->vk_), {this->y_ + Fr::one()},
+                       this->proof_));
+    EXPECT_FALSE(
+        Scheme::verify((*this->vk_), {Fr::zero()}, this->proof_));
+    EXPECT_FALSE(
+        Scheme::verify((*this->vk_), {-this->y_}, this->proof_));
+}
+
+TYPED_TEST(Groth16Negative, SwappedProofElementsRejected)
+{
+    using Scheme = snark::Groth16<TypeParam>;
+    auto p = this->proof_;
+    std::swap(p.a, p.c); // both G1; a valid-looking but wrong proof
+    EXPECT_FALSE(Scheme::verify((*this->vk_), {this->y_}, p));
+}
+
+TYPED_TEST(Groth16Negative, NegatedProofElementRejected)
+{
+    using Scheme = snark::Groth16<TypeParam>;
+    auto p = this->proof_;
+    p.a.y = -p.a.y; // still on curve and in subgroup
+    EXPECT_FALSE(Scheme::verify((*this->vk_), {this->y_}, p));
+}
+
+TYPED_TEST(Groth16Negative, IdentityProofElementsRejected)
+{
+    using Curve = TypeParam;
+    using Scheme = snark::Groth16<Curve>;
+    using G1Affine = typename Curve::G1::Affine;
+    using G2Affine = typename Curve::G2::Affine;
+
+    // verify() must not accept (or crash on) degenerate pairing
+    // inputs; the deserializer refuses them outright.
+    auto pa = this->proof_;
+    pa.a = G1Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), {this->y_}, pa));
+    EXPECT_FALSE(snark::deserializeProof<Curve>(
+                     snark::serializeProof<Curve>(pa))
+                     .has_value());
+
+    auto pb = this->proof_;
+    pb.b = G2Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), {this->y_}, pb));
+    EXPECT_FALSE(snark::deserializeProof<Curve>(
+                     snark::serializeProof<Curve>(pb))
+                     .has_value());
+
+    auto pc = this->proof_;
+    pc.c = G1Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), {this->y_}, pc));
+    EXPECT_FALSE(snark::deserializeProof<Curve>(
+                     snark::serializeProof<Curve>(pc))
+                     .has_value());
+}
+
+TYPED_TEST(Groth16Negative, TruncatedAndPaddedBytesRejected)
+{
+    using Curve = TypeParam;
+    const auto bytes = snark::serializeProof<Curve>(this->proof_);
+
+    EXPECT_FALSE(snark::deserializeProof<Curve>({}).has_value());
+    for (const std::size_t n :
+         {std::size_t(1), bytes.size() / 2, bytes.size() - 1}) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + n);
+        EXPECT_FALSE(snark::deserializeProof<Curve>(prefix)
+                         .has_value())
+            << "prefix length " << n;
+    }
+    auto padded = bytes;
+    padded.push_back(0x00);
+    EXPECT_FALSE(snark::deserializeProof<Curve>(padded).has_value());
+}
+
+// ---------------------------------------------------------------------
+// PlonK
+// ---------------------------------------------------------------------
+
+/** Per-curve PlonK fixture, built once and shared by all tests. */
+template <typename Curve>
+struct PlonkState
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Plonk<Curve>;
+
+    typename Scheme::Keypair kp;
+    typename Scheme::Proof proof;
+    std::vector<Fr> pub;
+
+    static const PlonkState&
+    get()
+    {
+        static const PlonkState s;
+        return s;
+    }
+
+  private:
+    PlonkState()
+    {
+        snark::PlonkExponentiation<Fr> circ(4);
+        Rng rng(0x504c4e4bu);
+        kp = Scheme::setup(circ.builder, rng);
+        const auto values = circ.assign(Fr::fromU64(6));
+        pub = {values[circ.yVar]};
+        proof = Scheme::prove(kp.pk, values, pub, rng);
+    }
+};
+
+template <typename CurveT>
+class PlonkNegative : public ::testing::Test
+{
+  protected:
+    using Curve = CurveT;
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Plonk<Curve>;
+
+    void
+    SetUp() override
+    {
+        const auto& s = PlonkState<Curve>::get();
+        vk_ = &s.kp.vk;
+        proof_ = s.proof;
+        pub_ = s.pub;
+        ASSERT_TRUE(Scheme::verify(*vk_, pub_, proof_));
+    }
+
+    const typename Scheme::VerifyingKey* vk_ = nullptr;
+    typename Scheme::Proof proof_;
+    std::vector<Fr> pub_;
+};
+
+TYPED_TEST_SUITE(PlonkNegative, Curves);
+
+TYPED_TEST(PlonkNegative, WrongPublicInputRejected)
+{
+    using Fr = typename TypeParam::Fr;
+    using Scheme = snark::Plonk<TypeParam>;
+    EXPECT_FALSE(Scheme::verify((*this->vk_),
+                                {this->pub_[0] + Fr::one()},
+                                this->proof_));
+    EXPECT_FALSE(
+        Scheme::verify((*this->vk_), {Fr::zero()}, this->proof_));
+}
+
+TYPED_TEST(PlonkNegative, TamperedEvaluationRejected)
+{
+    using Fr = typename TypeParam::Fr;
+    using Scheme = snark::Plonk<TypeParam>;
+    for (const std::size_t i : {std::size_t(0), std::size_t(12)}) {
+        auto p = this->proof_;
+        p.evals[i] += Fr::one();
+        EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p))
+            << "eval " << i;
+    }
+    auto p = this->proof_;
+    p.zOmega += Fr::one();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p));
+}
+
+TYPED_TEST(PlonkNegative, SwappedProofElementsRejected)
+{
+    using Scheme = snark::Plonk<TypeParam>;
+    auto p1 = this->proof_;
+    std::swap(p1.a, p1.b);
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p1));
+
+    auto p2 = this->proof_;
+    std::swap(p2.wZeta, p2.wZetaOmega);
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p2));
+}
+
+TYPED_TEST(PlonkNegative, IdentityCommitmentsRejected)
+{
+    using Curve = TypeParam;
+    using Scheme = snark::Plonk<Curve>;
+    using G1Affine = typename Curve::G1::Affine;
+
+    auto p1 = this->proof_;
+    p1.z = G1Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p1));
+
+    auto p2 = this->proof_;
+    p2.t = G1Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p2));
+
+    auto p3 = this->proof_;
+    p3.wZeta = G1Affine();
+    EXPECT_FALSE(Scheme::verify((*this->vk_), this->pub_, p3));
+}
+
+TYPED_TEST(PlonkNegative, TruncatedBytesRejected)
+{
+    using Curve = TypeParam;
+    const auto bytes =
+        snark::serializePlonkProof<Curve>(this->proof_);
+    const auto parsed = snark::deserializePlonkProof<Curve>(bytes);
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_FALSE(snark::deserializePlonkProof<Curve>({}).has_value());
+    for (const std::size_t n :
+         {std::size_t(1), bytes.size() / 3, bytes.size() - 1}) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + n);
+        EXPECT_FALSE(snark::deserializePlonkProof<Curve>(prefix)
+                         .has_value())
+            << "prefix length " << n;
+    }
+}
+
+} // namespace
+} // namespace zkp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-vector generation shared by the regeneration tool
+ * (gen_vectors.cpp) and the byte-compatibility test
+ * (test_golden_vectors.cpp).
+ *
+ * The vectors pin the serialized wire format: a fixed circuit
+ * (x^8 = y), fixed RNG seeds and a fixed witness, proved and encoded
+ * single-threaded, so any byte-level drift in field encoding, point
+ * compression or proof layout shows up as a diff against the files
+ * checked in under tests/vectors/.
+ */
+
+#ifndef ZKP_TESTS_VECTORS_GOLDEN_H
+#define ZKP_TESTS_VECTORS_GOLDEN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "r1cs/circuits.h"
+#include "snark/curve.h"
+#include "snark/groth16.h"
+#include "snark/serialize.h"
+
+namespace zkp::golden {
+
+/// Frozen generation parameters. Changing any of these invalidates
+/// the checked-in vectors; regenerate with gen_golden_vectors.
+inline constexpr std::size_t kExponent = 8;
+inline constexpr u64 kSetupSeed = 0x676f6c64656e3031ULL;
+inline constexpr u64 kProveSeed = 0x676f6c64656e3032ULL;
+inline constexpr u64 kWitnessX = 42;
+
+/** One scheme instance's frozen byte vectors. */
+struct Vectors
+{
+    std::vector<std::uint8_t> vk, proof, pub;
+};
+
+/** Deterministically generate the Groth16 vectors for @p Curve. */
+template <typename Curve>
+Vectors
+generate()
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+
+    r1cs::ExponentiationCircuit<Fr> circ(kExponent);
+    const auto cs = circ.builder.compile();
+
+    Rng setupRng(kSetupSeed);
+    const auto kp = Scheme::setup(cs, setupRng);
+
+    const Fr x = Fr::fromU64(kWitnessX);
+    const Fr y = circ.evaluate(x);
+    std::vector<Fr> z{Fr::one(), y, x};
+    Fr acc = x;
+    for (std::size_t i = 1; i < kExponent; ++i) {
+        acc *= x;
+        z.push_back(acc);
+    }
+
+    Rng proveRng(kProveSeed);
+    const auto proof = Scheme::prove(kp.pk, cs, z, proveRng);
+
+    Vectors v;
+    v.vk = snark::serializeVerifyingKey<Curve>(kp.vk);
+    v.proof = snark::serializeProof<Curve>(proof);
+    snark::ByteWriter w;
+    w.putField(y);
+    v.pub = w.bytes();
+    return v;
+}
+
+/** Lowercase hex encoding (no prefix, two chars per byte). */
+inline std::string
+toHex(const std::vector<std::uint8_t>& bytes)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    s.reserve(bytes.size() * 2);
+    for (const auto b : bytes) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 0xf]);
+    }
+    return s;
+}
+
+/** Inverse of toHex(); empty on malformed input. */
+inline std::optional<std::vector<std::uint8_t>>
+fromHex(const std::string& s)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    std::string t = s;
+    while (!t.empty() && (t.back() == '\n' || t.back() == '\r'))
+        t.pop_back();
+    if (t.size() % 2 != 0)
+        return std::nullopt;
+    std::vector<std::uint8_t> out;
+    out.reserve(t.size() / 2);
+    for (std::size_t i = 0; i < t.size(); i += 2) {
+        const int hi = nibble(t[i]), lo = nibble(t[i + 1]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        out.push_back((std::uint8_t)((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace zkp::golden
+
+#endif // ZKP_TESTS_VECTORS_GOLDEN_H
