@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Perf regression gate: load a kernel baseline (BENCH_kernels.json),
+ * rerun the same kernel set, and fail when any kernel slowed down
+ * beyond the threshold. The fresh measurements are written next to
+ * the baseline (<baseline>.new.json) so promoting them is a file
+ * rename and the repo accumulates a perf trajectory.
+ *
+ * Run: ./build/bench/bench_compare [baseline.json]
+ *          [--threshold <pct>] [--out <path>] [--update]
+ *
+ *   --threshold  allowed slowdown in percent (default 10; also
+ *                ZKP_BENCH_THRESHOLD)
+ *   --out        where to write the fresh results
+ *                (default <baseline>.new.json)
+ *   --update     overwrite the baseline itself with the fresh
+ *                results after a passing run
+ *
+ * Comparison uses min-of-repeats seconds (noise-robust); entries are
+ * matched by (name, n, threads). Entries present on only one side are
+ * reported but never fail the gate, so adding or retiring kernels
+ * does not break CI. Exit code: 0 pass, 1 regression, 2 usage/I-O.
+ */
+
+#include "kernels_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace zkp;
+    std::string baseline_path = "BENCH_kernels.json";
+    std::string out_path;
+    double threshold_pct =
+        (double)bench::envLong("ZKP_BENCH_THRESHOLD", 10);
+    bool update = false;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+            threshold_pct = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--update") == 0) {
+            update = true;
+        } else if (positional == 0) {
+            baseline_path = argv[i];
+            ++positional;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (out_path.empty())
+        out_path = baseline_path + ".new.json";
+
+    std::string text;
+    if (!bench::readFileText(baseline_path, text)) {
+        std::fprintf(stderr, "cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+    const auto baseline = bench::parseKernelBaseline(text);
+    if (baseline.empty()) {
+        std::fprintf(stderr, "no kernel entries in %s\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+
+    const std::size_t log_n =
+        (std::size_t)bench::envLong("ZKP_KERNEL_LOG_N", 16);
+    const std::size_t threads =
+        (std::size_t)bench::envLong("ZKP_KERNEL_THREADS", 8);
+    std::printf("bench_compare: baseline %s (%zu entries), "
+                "threshold %.1f%%\n\n",
+                baseline_path.c_str(), baseline.size(), threshold_pct);
+
+    const auto fresh = bench::runKernelEntries(log_n, threads);
+
+    TextTable table;
+    table.setHeader({"kernel", "n", "threads", "baseline s",
+                     "current s", "delta", "verdict"});
+    unsigned regressions = 0, improvements = 0, matched = 0;
+    for (const auto& b : baseline) {
+        const bench::KernelEntry* cur = nullptr;
+        for (const auto& f : fresh)
+            if (f.name == b.name && f.n == b.n &&
+                f.threads == b.threads)
+                cur = &f;
+        if (!cur) {
+            table.addRow({b.name, std::to_string(b.n),
+                          std::to_string(b.threads),
+                          fmtF(b.secondsMin, 6), "-", "-",
+                          "missing (ignored)"});
+            continue;
+        }
+        ++matched;
+        const double delta_pct =
+            b.secondsMin > 0
+                ? 100.0 * (cur->secondsMin - b.secondsMin) /
+                      b.secondsMin
+                : 0.0;
+        const bool regressed = delta_pct > threshold_pct;
+        const bool improved = delta_pct < -threshold_pct;
+        if (regressed)
+            ++regressions;
+        if (improved)
+            ++improvements;
+        char delta_buf[32];
+        std::snprintf(delta_buf, sizeof(delta_buf), "%+.1f%%",
+                      delta_pct);
+        table.addRow({b.name, std::to_string(b.n),
+                      std::to_string(b.threads),
+                      fmtF(b.secondsMin, 6),
+                      fmtF(cur->secondsMin, 6), delta_buf,
+                      regressed   ? "REGRESSED"
+                      : improved  ? "improved"
+                                  : "ok"});
+    }
+    for (const auto& f : fresh) {
+        bool known = false;
+        for (const auto& b : baseline)
+            if (f.name == b.name && f.n == b.n &&
+                f.threads == b.threads)
+                known = true;
+        if (!known)
+            table.addRow({f.name, std::to_string(f.n),
+                          std::to_string(f.threads), "-",
+                          fmtF(f.secondsMin, 6), "-",
+                          "new (ignored)"});
+    }
+    bench::printTable("bench_compare: baseline vs current (min "
+                      "seconds)", table);
+
+    std::vector<std::pair<std::string, std::string>> notes;
+    notes.emplace_back("baseline", baseline_path);
+    if (!bench::writeKernelJson(
+            out_path, bench::kernelEntriesJson(fresh, notes)))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     out_path.c_str());
+    else
+        std::printf("current results written to %s\n",
+                    out_path.c_str());
+
+    if (regressions > 0) {
+        std::printf("\nFAIL: %u of %u matched kernels regressed "
+                    "beyond %.1f%%\n",
+                    regressions, matched, threshold_pct);
+        return 1;
+    }
+    if (update) {
+        if (bench::writeKernelJson(
+                baseline_path, bench::kernelEntriesJson(fresh, {})))
+            std::printf("baseline %s updated\n",
+                        baseline_path.c_str());
+        else
+            std::fprintf(stderr, "warning: cannot update %s\n",
+                         baseline_path.c_str());
+    }
+    std::printf("\nPASS: %u kernels within %.1f%% of baseline "
+                "(%u improved)\n",
+                matched, threshold_pct, improvements);
+    return 0;
+}

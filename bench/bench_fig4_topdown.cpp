@@ -62,15 +62,85 @@ runCurve()
                summary);
 }
 
+/**
+ * --hw mode: simulated vs measured top-down level-1 classification.
+ * The measured fractions come from the PERF_METRICS top-down events
+ * (Intel Ice Lake and newer); on CPUs without them the mode still
+ * prints measured IPC next to the simulated slot split so the
+ * calibration gap stays visible.
+ */
+template <typename Curve>
+void
+hwComparison(std::size_t n)
+{
+    core::SweepConfig cfg;
+    cfg.sizes = {n};
+    cfg.sampleMask = sampleMask();
+    auto cells = core::runTopDownAnalysis<Curve>(cfg);
+
+    auto rows = measureHwStages<Curve>(n, 1);
+
+    TextTable table;
+    table.setHeader({"stage", "source", "front-end", "bad-spec",
+                     "back-end", "retiring", "IPC"});
+    for (core::Stage s : core::kAllStages) {
+        for (const auto& c : cells) {
+            if (c.stage != s || c.cpu != "i9-13900K")
+                continue;
+            table.addRow({core::stageName(s), "sim i9",
+                          fmtPct(c.result.frontend, 1),
+                          fmtPct(c.result.badSpeculation, 1),
+                          fmtPct(c.result.backend, 1),
+                          fmtPct(c.result.retiring, 1), "-"});
+        }
+        for (const auto& r : rows) {
+            if (r.stage != s)
+                continue;
+            if (r.hw.available && r.hw.topdownValid) {
+                table.addRow({"", "measured",
+                              fmtPct(r.hw.tdFeBound, 1),
+                              fmtPct(r.hw.tdBadSpec, 1),
+                              fmtPct(r.hw.tdBeBound, 1),
+                              fmtPct(r.hw.tdRetiring, 1),
+                              fmtF(r.hw.ipc, 2)});
+            } else if (r.hw.available) {
+                table.addRow({"", "measured", "n/a", "n/a", "n/a",
+                              "n/a", fmtF(r.hw.ipc, 2)});
+            } else {
+                table.addRow({"", "measured", "n/a", "n/a", "n/a",
+                              "n/a", "n/a"});
+            }
+        }
+    }
+    printTable(std::string("Fig.4 --hw: top-down L1 slots, sim vs "
+                           "perf_event, n=2^") +
+                   std::to_string(log2Of(n)) + ", " + Curve::kName,
+               table);
+}
+
 } // namespace
 } // namespace zkp::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    using namespace zkp;
+    using namespace zkp::bench;
+
+    if (hasFlag(argc, argv, "--hw")) {
+        std::printf("bench_fig4_topdown --hw: simulated vs measured "
+                    "top-down classification\n");
+        const std::size_t n = sweepSizes().back();
+        if (hwModeUsable("bench_fig4_topdown")) {
+            hwComparison<snark::Bn254>(n);
+            hwComparison<snark::Bls381>(n);
+            return 0;
+        }
+    }
+
     std::printf("bench_fig4_topdown: top-down analysis across the three "
                 "modelled CPUs\n");
-    zkp::bench::runCurve<zkp::snark::Bn254>();
-    zkp::bench::runCurve<zkp::snark::Bls381>();
+    runCurve<snark::Bn254>();
+    runCurve<snark::Bls381>();
     return 0;
 }

@@ -4,7 +4,8 @@
  * entry, NTT, MSM, Groth16 prove) with plain chrono and writes a
  * machine-readable JSON baseline. CI and PRs commit the output as
  * BENCH_kernels.json so kernel-level regressions show up in review
- * (see docs/PERFORMANCE.md for the schema).
+ * (see docs/PERFORMANCE.md for the schema). bench_compare reruns the
+ * same kernel set against a stored baseline and fails on regression.
  *
  * Run: ./build/bench/bench_kernels [out.json] [--note key=value]...
  *
@@ -14,86 +15,12 @@
  *   ZKP_REPEATS         timing repeats per entry (default 3)
  */
 
-#include <chrono>
-#include <cstdio>
-#include <cstring>
-#include <string>
-#include <thread>
-#include <vector>
-
-#include "bench_util.h"
-#include "common/parallel.h"
-#include "common/rng.h"
-#include "core/pipeline.h"
-#include "ec/msm.h"
-#include "poly/domain.h"
-
-namespace {
-
-using namespace zkp;
-
-struct Entry
-{
-    std::string name;
-    std::size_t n = 0;
-    std::size_t threads = 1;
-    unsigned repeats = 1;
-    double seconds_mean = 0;
-    double seconds_min = 0;
-};
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-/** Time fn() `repeats` times; record mean and min. */
-template <typename Fn>
-Entry
-timeEntry(const std::string& name, std::size_t n, std::size_t threads,
-          Fn&& fn)
-{
-    Entry e;
-    e.name = name;
-    e.n = n;
-    e.threads = threads;
-    e.repeats = bench::repeats();
-    double sum = 0, best = 0;
-    for (unsigned r = 0; r < e.repeats; ++r) {
-        const double t0 = now();
-        fn();
-        const double dt = now() - t0;
-        sum += dt;
-        if (r == 0 || dt < best)
-            best = dt;
-    }
-    e.seconds_mean = sum / e.repeats;
-    e.seconds_min = best;
-    std::printf("  %-28s n=%-8zu threads=%zu  %.6fs (min %.6fs)\n",
-                e.name.c_str(), e.n, e.threads, e.seconds_mean,
-                e.seconds_min);
-    std::fflush(stdout);
-    return e;
-}
-
-void
-jsonEscape(std::string& out, const std::string& s)
-{
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-}
-
-} // namespace
+#include "kernels_common.h"
 
 int
 main(int argc, char** argv)
 {
+    using namespace zkp;
     std::string out_path = "BENCH_kernels.json";
     std::vector<std::pair<std::string, std::string>> notes;
     int positional = 0;
@@ -115,130 +42,17 @@ main(int argc, char** argv)
         (std::size_t)bench::envLong("ZKP_KERNEL_LOG_N", 16);
     const std::size_t threads =
         (std::size_t)bench::envLong("ZKP_KERNEL_THREADS", 8);
-    std::vector<Entry> entries;
 
     std::printf("bench_kernels: prove at 2^%zu constraints, %zu "
                 "threads\n\n", log_n, threads);
 
-    // Region-entry overhead: pool vs per-region thread spawn. 1000
-    // near-empty regions isolate the fork-join cost itself.
-    {
-        const std::size_t regions = 1000;
-        std::vector<u64> sink(threads, 0);
-        parallelFor(1024, threads,
-                    [](std::size_t, std::size_t, std::size_t) {});
-        entries.push_back(timeEntry(
-            "region_overhead_pool", regions, threads, [&] {
-                for (std::size_t r = 0; r < regions; ++r)
-                    parallelFor(1024, threads,
-                                [&](std::size_t slot, std::size_t b,
-                                    std::size_t e) {
-                                    sink[slot] += e - b;
-                                });
-            }));
-        entries.push_back(timeEntry(
-            "region_overhead_spawn", regions, threads, [&] {
-                for (std::size_t r = 0; r < regions; ++r) {
-                    const std::size_t n = 1024;
-                    const std::size_t per =
-                        (n + threads - 1) / threads;
-                    std::vector<std::thread> ts;
-                    for (std::size_t t = 0; t < threads; ++t) {
-                        const std::size_t b = t * per;
-                        const std::size_t e =
-                            b + per < n ? b + per : n;
-                        ts.emplace_back(
-                            [&, t, b, e] { sink[t] += e - b; });
-                    }
-                    for (auto& t : ts)
-                        t.join();
-                }
-            }));
-    }
+    const auto entries = bench::runKernelEntries(log_n, threads);
 
-    // NTT: one forward transform per timing (twiddles cached after
-    // the first, which is the steady state a prove sees).
-    {
-        using Fr = ff::bn254::Fr;
-        const std::size_t n = std::size_t(1) << 14;
-        poly::Domain<Fr> dom(n);
-        Rng rng(11);
-        std::vector<Fr> v(n);
-        for (auto& x : v)
-            x = Fr::random(rng);
-        dom.ntt(v, 1); // build the twiddle cache outside the clock
-        for (std::size_t t : {std::size_t(1), threads})
-            entries.push_back(timeEntry("ntt_forward", n, t,
-                                        [&] { dom.ntt(v, t); }));
-    }
-
-    // MSM: signed-window Pippenger at a mid sweep size.
-    {
-        using G1 = ec::Bn254G1;
-        using Fr = G1::Scalar;
-        const std::size_t n = std::size_t(1) << 13;
-        Rng rng(12);
-        G1::Jacobian g{G1::generator()};
-        std::vector<G1::Affine> pts;
-        std::vector<Fr::Repr> scalars;
-        for (std::size_t i = 0; i < n; ++i) {
-            pts.push_back(
-                g.mulScalar(rng.nextBelow(1 << 20) + 1).toAffine());
-            scalars.push_back(Fr::random(rng).toBigInt());
-        }
-        for (std::size_t t : {std::size_t(1), threads})
-            entries.push_back(timeEntry("msm_pippenger", n, t, [&] {
-                auto p = ec::msm<G1::Jacobian>(pts.data(),
-                                               scalars.data(), n, t);
-                (void)p;
-            }));
-    }
-
-    // End-to-end proving stage (the acceptance gate: prove at 2^16
-    // with 8 threads). StageRunner caches prerequisites, so repeats
-    // time only the proving stage.
-    {
-        core::StageRunner<snark::Bn254> runner(std::size_t(1) << log_n);
-        runner.run(core::Stage::Witness, threads); // warm prerequisites
-        entries.push_back(timeEntry(
-            "groth16_prove", std::size_t(1) << log_n, threads, [&] {
-                auto r = runner.run(core::Stage::Proving, threads);
-                (void)r;
-            }));
-    }
-
-    // Emit JSON.
-    std::string json = "{\n  \"bench\": \"bench_kernels\",\n";
-    json += "  \"notes\": {";
-    for (std::size_t i = 0; i < notes.size(); ++i) {
-        json += i ? ", \"" : "\"";
-        jsonEscape(json, notes[i].first);
-        json += "\": \"";
-        jsonEscape(json, notes[i].second);
-        json += "\"";
-    }
-    json += "},\n  \"results\": [\n";
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const auto& e = entries[i];
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"name\": \"%s\", \"n\": %zu, "
-                      "\"threads\": %zu, \"repeats\": %u, "
-                      "\"seconds_mean\": %.6f, \"seconds_min\": %.6f}%s\n",
-                      e.name.c_str(), e.n, e.threads, e.repeats,
-                      e.seconds_mean, e.seconds_min,
-                      i + 1 < entries.size() ? "," : "");
-        json += buf;
-    }
-    json += "  ]\n}\n";
-
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
+    if (!bench::writeKernelJson(
+            out_path, bench::kernelEntriesJson(entries, notes))) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
         return 1;
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
     std::printf("\nbaseline written to %s\n", out_path.c_str());
     return 0;
 }

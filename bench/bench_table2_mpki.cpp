@@ -36,14 +36,80 @@ maxMpki()
     return out;
 }
 
+/**
+ * --hw mode: simulated vs measured LLC load MPKI at one size, so the
+ * simulator's calibration error is a printed number instead of an
+ * article of faith. Simulated values come from the modelled i9
+ * hierarchy (the newest of the three); measured values from
+ * perf_event LLC-load/LLC-load-miss counters on this machine.
+ */
+template <typename Curve>
+void
+hwComparison(std::size_t n)
+{
+    core::SweepConfig cfg;
+    cfg.sizes = {n};
+    cfg.sampleMask = sampleMask();
+    auto cells = core::runMemoryAnalysis<Curve>(cfg);
+
+    auto rows = measureHwStages<Curve>(n, 1);
+
+    TextTable table;
+    table.setHeader({"stage", "sim i7", "sim i5", "sim i9",
+                     "measured", "i9/hw"});
+    for (core::Stage s : core::kAllStages) {
+        double i7 = 0, i5 = 0, i9 = 0;
+        for (const auto& c : cells) {
+            if (c.stage != s)
+                continue;
+            for (const auto& pc : c.perCpu) {
+                if (pc.cpu == "i7-8650U")
+                    i7 = pc.mpki;
+                else if (pc.cpu == "i5-11400")
+                    i5 = pc.mpki;
+                else if (pc.cpu == "i9-13900K")
+                    i9 = pc.mpki;
+            }
+        }
+        double hw_mpki = 0;
+        bool hw_ok = false;
+        for (const auto& r : rows)
+            if (r.stage == s) {
+                hw_ok = r.hw.available;
+                hw_mpki = r.hw.llcLoadMpki;
+            }
+        table.addRow({core::stageName(s), fmtF(i7, 3), fmtF(i5, 3),
+                      fmtF(i9, 3), hw_ok ? fmtF(hw_mpki, 3) : "n/a",
+                      hw_ok && hw_mpki > 0 ? fmtF(i9 / hw_mpki, 2)
+                                           : "n/a"});
+    }
+    printTable(std::string("Table II --hw: LLC load MPKI, "
+                           "sim vs perf_event, n=2^") +
+                   std::to_string(log2Of(n)) + ", " + Curve::kName,
+               table);
+}
+
 } // namespace
 } // namespace zkp::bench
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace zkp;
     using namespace zkp::bench;
+
+    if (hasFlag(argc, argv, "--hw")) {
+        std::printf("bench_table2_mpki --hw: simulated vs measured "
+                    "LLC load MPKI\n");
+        const std::size_t n = sweepSizes().back();
+        if (hwModeUsable("bench_table2_mpki")) {
+            hwComparison<snark::Bn254>(n);
+            hwComparison<snark::Bls381>(n);
+            return 0;
+        }
+        // Fall through to the simulated tables.
+    }
+
     std::printf("bench_table2_mpki: max LLC load MPKI per stage "
                 "(max over the size sweep)\n");
 

@@ -41,14 +41,72 @@ avgMaxBandwidth()
     return avg;
 }
 
+/**
+ * --hw mode: simulated vs measured DRAM bandwidth demand. The
+ * measured side is estimated as LLC-load-misses x 64B over the
+ * stage's wall time — a lower bound (stores and prefetch fills are
+ * not counted) that still ranks the stages the way Table III does.
+ */
+template <typename Curve>
+void
+hwComparison(std::size_t n)
+{
+    core::SweepConfig cfg;
+    cfg.sizes = {n};
+    cfg.sampleMask = sampleMask();
+    auto cells = core::runMemoryAnalysis<Curve>(cfg);
+
+    auto rows = measureHwStages<Curve>(n, 1);
+
+    TextTable table;
+    table.setHeader({"stage", "sim i9 max GB/s", "measured GB/s",
+                     "hw LLC MB", "hw seconds"});
+    for (core::Stage s : core::kAllStages) {
+        double sim = 0;
+        for (const auto& c : cells) {
+            if (c.stage != s)
+                continue;
+            for (const auto& pc : c.perCpu)
+                if (pc.cpu == "i9-13900K")
+                    sim = pc.maxBandwidthGBps;
+        }
+        for (const auto& r : rows) {
+            if (r.stage != s)
+                continue;
+            const bool ok = r.hw.available;
+            table.addRow(
+                {core::stageName(s), fmtF(sim, 2),
+                 ok ? fmtF(r.hw.bandwidthGBps, 3) : "n/a",
+                 ok ? fmtF(r.hw.dramBytesEst / 1e6, 2) : "n/a",
+                 ok ? fmtF(r.hw.seconds, 4) : "n/a"});
+        }
+    }
+    printTable(std::string("Table III --hw: DRAM bandwidth, sim vs "
+                           "perf_event estimate, n=2^") +
+                   std::to_string(log2Of(n)) + ", " + Curve::kName,
+               table);
+}
+
 } // namespace
 } // namespace zkp::bench
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace zkp;
     using namespace zkp::bench;
+
+    if (hasFlag(argc, argv, "--hw")) {
+        std::printf("bench_table3_bandwidth --hw: simulated vs "
+                    "measured DRAM bandwidth\n");
+        const std::size_t n = sweepSizes().back();
+        if (hwModeUsable("bench_table3_bandwidth")) {
+            hwComparison<snark::Bn254>(n);
+            hwComparison<snark::Bls381>(n);
+            return 0;
+        }
+    }
+
     std::printf("bench_table3_bandwidth: max DRAM bandwidth per stage "
                 "(avg of the 3 modelled CPUs)\n");
 

@@ -17,11 +17,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "core/analysis.h"
+#include "obs/pmu.h"
 #include "snark/curve.h"
 
 namespace zkp::bench {
@@ -89,6 +91,61 @@ log2Of(std::size_t n)
     while ((std::size_t(1) << (k + 1)) <= n)
         ++k;
     return k;
+}
+
+/** True when @p flag appears among the command-line arguments. */
+inline bool
+hasFlag(int argc, char** argv, const char* flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/** One stage's measured hardware counters (--hw bench modes). */
+struct HwStageRow
+{
+    core::Stage stage = core::Stage::Compile;
+    obs::pmu::HwStats hw;
+};
+
+/**
+ * Run every pipeline stage once at size @p n with real PMU counters
+ * and return the per-stage hardware statistics. Rows report
+ * hw.available=false when the machine denies perf access — callers
+ * print the fallback notice and keep the simulated tables.
+ */
+template <typename Curve>
+std::vector<HwStageRow>
+measureHwStages(std::size_t n, std::size_t threads)
+{
+    std::vector<HwStageRow> rows;
+    core::StageRunner<Curve> runner(n);
+    for (core::Stage s : core::kAllStages) {
+        core::StageRun run = runner.run(s, threads);
+        rows.push_back({s, run.hw});
+    }
+    return rows;
+}
+
+/**
+ * Shared preamble of the --hw bench modes: reports availability and
+ * returns false (after printing the reason) when hardware counters
+ * cannot be read, in which case the caller sticks to simulator output.
+ */
+inline bool
+hwModeUsable(const char* bench)
+{
+    if (obs::pmu::enabled())
+        return true;
+    std::printf("%s --hw: hardware counters unavailable (%s); "
+                "showing simulated results only\n",
+                bench,
+                obs::pmu::unavailableReason().empty()
+                    ? "disabled via ZKP_PMU=0"
+                    : obs::pmu::unavailableReason().c_str());
+    return false;
 }
 
 } // namespace zkp::bench

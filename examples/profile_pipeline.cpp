@@ -21,6 +21,7 @@
 
 #include "common/table.h"
 #include "core/analysis.h"
+#include "obs/pmu.h"
 #include "snark/curve.h"
 
 int
@@ -53,9 +54,20 @@ main(int argc, char** argv)
 
     core::StageRunner<snark::Bn254> runner(cfg.sizes[0]);
 
+    const bool hw = obs::pmu::enabled();
+    if (hw)
+        std::printf("hardware counters: perf_event available "
+                    "(disable with ZKP_PMU=0)\n\n");
+    else
+        std::printf("hardware counters: unavailable (%s)\n\n",
+                    obs::pmu::unavailableReason().empty()
+                        ? "disabled via ZKP_PMU=0"
+                        : obs::pmu::unavailableReason().c_str());
+
     TextTable report;
     report.setHeader({"stage", "time", "instructions", "IPC-ish mix",
-                      "i9 bound category", "i9 LLC MPKI"});
+                      "i9 bound category", "i9 LLC MPKI", "hw IPC",
+                      "hw MPKI"});
     for (core::Stage s : core::kAllStages) {
         auto obs = core::observeStage(runner, s, cfg);
         const auto& i9 = obs.cpus.back();
@@ -72,7 +84,12 @@ main(int argc, char** argv)
                        td.boundCategory(),
                        fmtF(instr > 0 ? i9.llcLoadMisses /
                                             (instr / 1000.0)
-                                      : 0.0, 3)});
+                                      : 0.0, 3),
+                       obs.run.hw.available ? fmtF(obs.run.hw.ipc, 2)
+                                            : "n/a",
+                       obs.run.hw.available
+                           ? fmtF(obs.run.hw.llcLoadMpki, 3)
+                           : "n/a"});
     }
     std::printf("%s\n", report.render().c_str());
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "obs/pmu.h"
 #include "obs/trace.h"
 
 namespace zkp {
@@ -96,6 +97,12 @@ ThreadPool::workerLoop(std::size_t slot)
             // region participation, covering every chunk it claims.
             obs::ScopedWorkerLane lane((obs::u32)slot);
             ZKP_TRACE_SCOPE("worker", "slot", (obs::u64)slot);
+            // Hardware counters are per-thread: sample around this
+            // worker's whole participation and fold the delta into
+            // the process-wide aggregate the StageRunner drains.
+            obs::pmu::Sample hw_before;
+            const bool hw =
+                obs::pmu::enabled() && obs::pmu::readThread(hw_before);
             for (;;) {
                 const std::size_t begin = cursor_.fetch_add(
                     chunk, std::memory_order_relaxed);
@@ -103,6 +110,12 @@ ThreadPool::workerLoop(std::size_t slot)
                     break;
                 const std::size_t end = std::min(begin + chunk, n);
                 fn(ctx, slot, begin, end);
+            }
+            if (hw) {
+                obs::pmu::Sample hw_after;
+                if (obs::pmu::readThread(hw_after))
+                    obs::pmu::accumulateWorkerDelta(
+                        obs::pmu::delta(hw_before, hw_after));
             }
             if (const auto& hook = workerDoneHook())
                 hook();

@@ -121,6 +121,13 @@ class StageRunner
 
         sim::drainWorkerCounters();
         const sim::Counters before = sim::counters();
+        // Hardware counters: drop any worker deltas accumulated by
+        // the prerequisites, then sample this thread around the
+        // measured region (workers add theirs during the region).
+        obs::pmu::Sample hw_before;
+        const bool hw_on = obs::pmu::enabled() &&
+                           (obs::pmu::drainWorkerDeltas(),
+                            obs::pmu::readThread(hw_before));
         Timer timer;
         {
             sim::ScopedTrace trace(std::move(sinks), sample_mask);
@@ -133,6 +140,15 @@ class StageRunner
         StageRun out;
         out.seconds = seconds;
         out.counters = countersDelta(before, sim::counters());
+        if (hw_on) {
+            obs::pmu::Sample hw_after;
+            if (obs::pmu::readThread(hw_after)) {
+                obs::pmu::Sample d =
+                    obs::pmu::delta(hw_before, hw_after);
+                d += obs::pmu::drainWorkerDeltas();
+                out.hw = obs::pmu::deriveStats(d, seconds);
+            }
+        }
         reportRun(s, threads, out, spans_before);
         return out;
     }
@@ -161,20 +177,31 @@ class StageRunner
         rep.threads = threads;
         rep.seconds = run.seconds;
         rep.counters = counterPairs(run.counters);
+        rep.hwAvailable = run.hw.available;
+        rep.hw = obs::pmu::statPairs(run.hw);
         if (obs::tracingEnabled()) {
             for (const obs::SpanStat& after : obs::spanAggregates()) {
                 obs::u64 prev_count = 0, prev_ns = 0;
+                obs::u64 prev_cyc = 0, prev_ins = 0;
                 for (const obs::SpanStat& b : spans_before) {
                     if (b.name == after.name) {
                         prev_count = b.count;
                         prev_ns = b.totalNs;
+                        prev_cyc = b.totalCycles;
+                        prev_ins = b.totalInstructions;
                         break;
                     }
                 }
                 if (after.count > prev_count) {
-                    rep.topSpans.push_back(
-                        {after.name, after.count - prev_count,
-                         (double)(after.totalNs - prev_ns) / 1e9});
+                    obs::KernelStat k;
+                    k.name = after.name;
+                    k.count = after.count - prev_count;
+                    k.seconds =
+                        (double)(after.totalNs - prev_ns) / 1e9;
+                    k.hwCycles = after.totalCycles - prev_cyc;
+                    k.hwInstructions =
+                        after.totalInstructions - prev_ins;
+                    rep.topSpans.push_back(std::move(k));
                 }
             }
         }

@@ -10,6 +10,7 @@
 #include <array>
 #include <string>
 
+#include "obs/pmu.h"
 #include "sim/counters.h"
 
 namespace zkp::core {
@@ -59,6 +60,9 @@ struct StageRun
     double seconds = 0;
     /// Instrumented event counters for the stage (all threads merged).
     sim::Counters counters;
+    /// Measured hardware counters (all threads merged); hw.available
+    /// is false when the machine denies perf_event access.
+    obs::pmu::HwStats hw;
 };
 
 } // namespace zkp::core

@@ -134,35 +134,112 @@ class JsonWriter
         }
     }
 
+    /**
+     * Bytes of a well-formed UTF-8 sequence starting at s[i], or 0
+     * when the bytes there are not valid UTF-8 (truncated sequence,
+     * stray continuation, overlong encoding, surrogate, > U+10FFFF).
+     */
+    static std::size_t
+    utf8SequenceLength(const std::string& s, std::size_t i)
+    {
+        const auto byte = [&](std::size_t k) {
+            return (unsigned char)s[k];
+        };
+        const unsigned char b0 = byte(i);
+        std::size_t len;
+        unsigned cp;
+        if (b0 < 0x80) {
+            return 1;
+        } else if ((b0 & 0xe0) == 0xc0) {
+            len = 2;
+            cp = b0 & 0x1fu;
+        } else if ((b0 & 0xf0) == 0xe0) {
+            len = 3;
+            cp = b0 & 0x0fu;
+        } else if ((b0 & 0xf8) == 0xf0) {
+            len = 4;
+            cp = b0 & 0x07u;
+        } else {
+            return 0; // continuation or invalid lead byte
+        }
+        if (i + len > s.size())
+            return 0; // truncated at end of string
+        for (std::size_t k = 1; k < len; ++k) {
+            if ((byte(i + k) & 0xc0) != 0x80)
+                return 0;
+            cp = (cp << 6) | (byte(i + k) & 0x3fu);
+        }
+        static constexpr unsigned kMinCp[5] = {0, 0, 0x80, 0x800,
+                                               0x10000};
+        if (cp < kMinCp[len])
+            return 0; // overlong encoding
+        if (cp >= 0xd800 && cp <= 0xdfff)
+            return 0; // surrogate half
+        if (cp > 0x10ffff)
+            return 0;
+        return len;
+    }
+
+    /**
+     * Escape per RFC 8259: quotes/backslash escaped, control
+     * characters as \u00XX, and — since JSON documents must be valid
+     * UTF-8 — every malformed byte replaced with U+FFFD so hostile
+     * span/metric names can never corrupt an exported document.
+     */
     void
     appendEscaped(const std::string& s)
     {
         out_ += '"';
-        for (char c : s) {
+        for (std::size_t i = 0; i < s.size();) {
+            const char c = s[i];
             switch (c) {
               case '"':
                 out_ += "\\\"";
-                break;
+                ++i;
+                continue;
               case '\\':
                 out_ += "\\\\";
-                break;
+                ++i;
+                continue;
               case '\n':
                 out_ += "\\n";
-                break;
+                ++i;
+                continue;
               case '\r':
                 out_ += "\\r";
-                break;
+                ++i;
+                continue;
               case '\t':
                 out_ += "\\t";
-                break;
+                ++i;
+                continue;
+              case '\b':
+                out_ += "\\b";
+                ++i;
+                continue;
+              case '\f':
+                out_ += "\\f";
+                ++i;
+                continue;
               default:
-                if ((unsigned char)c < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out_ += buf;
-                } else {
-                    out_ += c;
-                }
+                break;
+            }
+            const unsigned char u = (unsigned char)c;
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                out_ += buf;
+                ++i;
+            } else if (u < 0x80) {
+                out_ += c;
+                ++i;
+            } else if (const std::size_t len =
+                           utf8SequenceLength(s, i)) {
+                out_.append(s, i, len);
+                i += len;
+            } else {
+                out_ += "\xef\xbf\xbd"; // U+FFFD replacement
+                ++i;
             }
         }
         out_ += '"';

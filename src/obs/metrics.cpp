@@ -124,14 +124,15 @@ metricsJson()
 
     w.key("histograms").beginObject();
     histograms().forEach([&](const std::string& name, Histogram& h) {
+        const Histogram::Snapshot s = h.snapshot();
         w.key(name).beginObject();
-        w.key("count").value(h.count());
-        w.key("sum").value(h.sum());
-        w.key("min").value(h.min());
-        w.key("max").value(h.max());
+        w.key("count").value(s.count);
+        w.key("sum").value(s.sum);
+        w.key("min").value(s.min);
+        w.key("max").value(s.max);
         w.key("buckets").beginArray();
         for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
-            const u64 n = h.bucketCount(i);
+            const u64 n = s.buckets[i];
             if (n == 0)
                 continue;
             w.beginObject();
@@ -172,10 +173,11 @@ metricsCsv()
         line("gauge", name, "value", buf);
     });
     histograms().forEach([&](const std::string& name, Histogram& h) {
-        line("histogram", name, "count", std::to_string(h.count()));
-        line("histogram", name, "sum", std::to_string(h.sum()));
+        const Histogram::Snapshot s = h.snapshot();
+        line("histogram", name, "count", std::to_string(s.count));
+        line("histogram", name, "sum", std::to_string(s.sum));
         for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
-            const u64 n = h.bucketCount(i);
+            const u64 n = s.buckets[i];
             if (n == 0)
                 continue;
             line("histogram", name,

@@ -126,6 +126,48 @@ class Histogram
         return buckets_[i].load(std::memory_order_relaxed);
     }
 
+    /** Coherent multi-field reading of one histogram. */
+    struct Snapshot
+    {
+        u64 count = 0;
+        u64 sum = 0;
+        u64 min = 0;
+        u64 max = 0;
+        std::array<u64, kBuckets> buckets{};
+    };
+
+    /**
+     * Read every field into one struct. Each individual load is
+     * atomic, but record() updates several fields per sample, so a
+     * single pass racing concurrent writers could see count out of
+     * step with the buckets; re-read until count is stable across a
+     * pass (bounded retries — under a writer storm the last pass
+     * wins, still tear-free per field, at worst one sample skewed).
+     */
+    Snapshot
+    snapshot() const
+    {
+        Snapshot s;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const u64 before =
+                count_.load(std::memory_order_acquire);
+            s.count = before;
+            s.sum = sum_.load(std::memory_order_relaxed);
+            for (unsigned i = 0; i < kBuckets; ++i)
+                s.buckets[i] =
+                    buckets_[i].load(std::memory_order_relaxed);
+            s.min = before == 0
+                        ? 0
+                        : min_.load(std::memory_order_relaxed);
+            s.max = before == 0
+                        ? 0
+                        : max_.load(std::memory_order_relaxed);
+            if (count_.load(std::memory_order_acquire) == before)
+                break;
+        }
+        return s;
+    }
+
     void
     reset()
     {

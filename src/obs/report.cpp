@@ -5,6 +5,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 
 namespace zkp::obs {
 
@@ -54,7 +55,7 @@ runReportJson()
 
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value("zkperf-run-report/1");
+    w.key("schema").value("zkperf-run-report/2");
 
     w.key("stages").beginArray();
     for (const StageReport& r : snapshot) {
@@ -68,18 +69,37 @@ runReportJson()
         for (const auto& [name, value] : r.counters)
             w.key(name).value(value);
         w.endObject();
+        w.key("hw").beginObject();
+        w.key("available").value(r.hwAvailable);
+        for (const auto& [name, value] : r.hw)
+            w.key(name).value(value);
+        w.endObject();
         w.key("top_spans").beginArray();
         for (const KernelStat& k : r.topSpans) {
             w.beginObject();
             w.key("name").value(k.name);
             w.key("count").value(k.count);
             w.key("seconds").value(k.seconds);
+            if (k.hwCycles > 0 || k.hwInstructions > 0) {
+                w.key("hw_cycles").value(k.hwCycles);
+                w.key("hw_instructions").value(k.hwInstructions);
+            }
             w.endObject();
         }
         w.endArray();
         w.endObject();
     }
     w.endArray();
+
+    // Hardware-counter availability for the whole process: consumers
+    // check hw.available before trusting any per-stage hw section.
+    w.key("hw").beginObject();
+    w.key("available").value(pmu::enabled());
+    if (!pmu::enabled())
+        w.key("reason").value(pmu::unavailableReason().empty()
+                                  ? "disabled via ZKP_PMU=0"
+                                  : pmu::unavailableReason());
+    w.endObject();
 
     // Registry snapshot: cumulative, not per stage — the per-stage
     // deltas live in the counters of each record above.

@@ -32,6 +32,9 @@ struct KernelStat
     std::string name;
     std::uint64_t count = 0;
     double seconds = 0;
+    /// Summed per-span hardware deltas (ZKP_PMU_SPANS=1 only).
+    std::uint64_t hwCycles = 0;
+    std::uint64_t hwInstructions = 0;
 };
 
 /** One instrumented stage execution. */
@@ -44,6 +47,10 @@ struct StageReport
     double seconds = 0;
     /// Instrumented event-counter deltas for this run (name, value).
     std::vector<std::pair<std::string, double>> counters;
+    /// Measured hardware-counter statistics (obs/pmu.h), empty with
+    /// hwAvailable=false when the machine denies perf access.
+    bool hwAvailable = false;
+    std::vector<std::pair<std::string, double>> hw;
     /// Spans recorded during this run, heaviest first (tracing only).
     std::vector<KernelStat> topSpans;
 };

@@ -244,6 +244,11 @@ spanAggregates()
             s.name = ev.name;
             ++s.count;
             s.totalNs += ev.durNs;
+            if (ev.hasPmu) {
+                s.totalCycles += ev.pmuCycles;
+                s.totalInstructions += ev.pmuInstructions;
+                s.totalLlcLoadMisses += ev.pmuLlcLoadMisses;
+            }
         }
     });
     std::vector<SpanStat> out;
@@ -301,9 +306,15 @@ traceJson()
         w.key("dur").value((double)ev.durNs / 1e3);
         w.key("pid").value((u64)1);
         w.key("tid").value((u64)ev.tid);
-        if (ev.argKey) {
+        if (ev.argKey || ev.hasPmu) {
             w.key("args").beginObject();
-            w.key(ev.argKey).value(ev.argVal);
+            if (ev.argKey)
+                w.key(ev.argKey).value(ev.argVal);
+            if (ev.hasPmu) {
+                w.key("hw_cycles").value(ev.pmuCycles);
+                w.key("hw_instructions").value(ev.pmuInstructions);
+                w.key("hw_llc_load_misses").value(ev.pmuLlcLoadMisses);
+            }
             w.endObject();
         }
         w.endObject();

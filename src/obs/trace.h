@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/pmu.h"
+
 namespace zkp::obs {
 
 using u64 = std::uint64_t;
@@ -57,6 +59,12 @@ struct SpanEvent
     /// Optional single numeric argument; argKey == nullptr when absent.
     const char* argKey = nullptr;
     u64 argVal = 0;
+    /// Per-span hardware-counter deltas, sampled on the recording
+    /// thread when ZKP_PMU_SPANS=1 (hasPmu marks validity).
+    bool hasPmu = false;
+    u64 pmuCycles = 0;
+    u64 pmuInstructions = 0;
+    u64 pmuLlcLoadMisses = 0;
 };
 
 /** Aggregate of all spans sharing one name. */
@@ -65,6 +73,10 @@ struct SpanStat
     const char* name = nullptr;
     u64 count = 0;
     u64 totalNs = 0;
+    /// Summed per-span PMU deltas (zero unless ZKP_PMU_SPANS=1).
+    u64 totalCycles = 0;
+    u64 totalInstructions = 0;
+    u64 totalLlcLoadMisses = 0;
 };
 
 namespace detail {
@@ -164,6 +176,8 @@ class SpanScope
         if (!active_)
             return;
         depth_ = detail::enterSpan();
+        if (pmu::spanSamplingEnabled())
+            samplePmu_ = pmu::readThread(pmuStart_);
         startNs_ = detail::nowNs();
     }
 
@@ -173,8 +187,27 @@ class SpanScope
             return;
         const u64 end = detail::nowNs();
         detail::exitSpan();
-        detail::record({name_, startNs_, end - startNs_,
-                        detail::currentLane(), depth_, argKey_, argVal_});
+        SpanEvent ev;
+        ev.name = name_;
+        ev.startNs = startNs_;
+        ev.durNs = end - startNs_;
+        ev.tid = detail::currentLane();
+        ev.depth = depth_;
+        ev.argKey = argKey_;
+        ev.argVal = argVal_;
+        if (samplePmu_) {
+            pmu::Sample now;
+            if (pmu::readThread(now)) {
+                const pmu::Sample d = pmu::delta(pmuStart_, now);
+                ev.hasPmu = true;
+                ev.pmuCycles = (u64)d.get(pmu::Event::Cycles);
+                ev.pmuInstructions =
+                    (u64)d.get(pmu::Event::Instructions);
+                ev.pmuLlcLoadMisses =
+                    (u64)d.get(pmu::Event::LlcLoadMisses);
+            }
+        }
+        detail::record(ev);
     }
 
     SpanScope(const SpanScope&) = delete;
@@ -187,6 +220,8 @@ class SpanScope
     u64 startNs_ = 0;
     u32 depth_ = 0;
     bool active_ = false;
+    bool samplePmu_ = false;
+    pmu::Sample pmuStart_;
 };
 
 } // namespace zkp::obs

@@ -1,24 +1,46 @@
 /**
  * @file
  * Tests for the observability subsystem (src/obs/): span nesting and
- * thread-lane correctness, histogram bucketing, Chrome/Perfetto trace
- * JSON shape, metrics surviving parallelFor worker merges, run
- * reports, and the zero-recording disabled path.
+ * thread-lane correctness, histogram bucketing and coherent
+ * snapshots, Chrome/Perfetto trace JSON shape, hostile-string JSON
+ * escaping, metrics surviving parallelFor worker merges, run reports
+ * (including the hardware "hw" section and its graceful PMU
+ * fallback), tracer overhead, and the zero-recording disabled path.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "core/pipeline.h"
+#include "ec/msm.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "snark/curve.h"
+
+// Timing assertions are meaningless under the sanitizers (they dilate
+// atomics and plain loads by different factors).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ZKP_OBS_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ZKP_OBS_SANITIZED 1
+#endif
+#endif
 
 namespace zkp {
 namespace {
@@ -492,6 +514,256 @@ TEST(ReportTest, StageRunnerEmitsRecordsWithKernelAttribution)
     EXPECT_NE(json.find("\"metrics\""), std::string::npos);
 
     obs::clearStageReports();
+}
+
+// ------------------------------------------------------------------
+// JSON writer hardening
+// ------------------------------------------------------------------
+
+TEST(JsonWriterTest, HostileStringsProduceValidJson)
+{
+    std::string hostile = "q:\" b:\\ nl:\n cr:\r tab:\t";
+    hostile += '\x01';             // control -> \u0001
+    hostile += '\x1f';             // control -> \u001f
+    hostile += "\xc3\xa9";         // valid 2-byte (e acute)
+    hostile += "\xe2\x82\xac";     // valid 3-byte (euro sign)
+    hostile += "\xf0\x9f\x94\x91"; // valid 4-byte (emoji)
+    hostile += '\x80';             // stray continuation byte
+    hostile += "\xc0\xaf";         // overlong encoding of '/'
+    hostile += "\xed\xa0\x80";     // UTF-16 surrogate half
+    hostile += "\xf4\x90\x80\x80"; // above U+10FFFF
+    hostile += '\xfe';             // never-valid lead byte
+    hostile += "\xe2\x82";         // truncated sequence at end
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key(hostile).value(hostile);
+    w.endObject();
+    const std::string json = w.take();
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+    EXPECT_NE(json.find("\\u001f"), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\r"), std::string::npos);
+    EXPECT_NE(json.find("\\t"), std::string::npos);
+    EXPECT_NE(json.find("\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+    // Well-formed multi-byte sequences pass through untouched...
+    EXPECT_NE(json.find("\xc3\xa9"), std::string::npos);
+    EXPECT_NE(json.find("\xe2\x82\xac"), std::string::npos);
+    EXPECT_NE(json.find("\xf0\x9f\x94\x91"), std::string::npos);
+    // ...while every malformed byte became U+FFFD.
+    EXPECT_NE(json.find("\xef\xbf\xbd"), std::string::npos);
+    EXPECT_EQ(json.find('\xc0'), std::string::npos);
+    EXPECT_EQ(json.find('\xfe'), std::string::npos);
+    for (char c : json)
+        EXPECT_GE((unsigned char)c, 0x20u)
+            << "raw control byte leaked into JSON";
+
+    // A hostile metric name must not corrupt the whole-registry
+    // export either.
+    obs::counter(hostile).add(1);
+    const std::string mjson = obs::metricsJson();
+    EXPECT_TRUE(JsonChecker(mjson).valid()) << mjson.substr(0, 400);
+}
+
+// ------------------------------------------------------------------
+// Histogram snapshot coherence (the TSan target)
+// ------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramSnapshotCoherentUnderWriters)
+{
+    obs::Histogram h;
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t)
+        writers.emplace_back([&h, &stop, t] {
+            obs::u64 v = (obs::u64)t;
+            while (!stop.load(std::memory_order_relaxed))
+                h.record(v++ & 0xffffu);
+        });
+
+    for (int i = 0; i < 200; ++i) {
+        const auto s = h.snapshot();
+        obs::u64 bucket_sum = 0;
+        for (obs::u64 b : s.buckets)
+            bucket_sum += b;
+        // record() fills the bucket before bumping count, so a
+        // coherent snapshot can never report more counted samples
+        // than bucketed ones.
+        EXPECT_GE(bucket_sum, s.count);
+        if (s.count > 0) {
+            EXPECT_LE(s.min, s.max);
+            EXPECT_LE(s.max, 0xffffu);
+        }
+    }
+    stop.store(true);
+    for (auto& w : writers)
+        w.join();
+
+    const auto fin = h.snapshot();
+    obs::u64 bucket_sum = 0;
+    for (obs::u64 b : fin.buckets)
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, fin.count);
+    EXPECT_GT(fin.count, 0u);
+
+    obs::Histogram empty;
+    const auto e = empty.snapshot();
+    EXPECT_EQ(e.count, 0u);
+    EXPECT_EQ(e.min, 0u);
+    EXPECT_EQ(e.max, 0u);
+}
+
+// ------------------------------------------------------------------
+// Hardware PMU layer
+// ------------------------------------------------------------------
+
+TEST(PmuTest, AvailabilityIsConsistent)
+{
+    const bool en = obs::pmu::enabled();
+    if (!obs::pmu::available())
+        EXPECT_FALSE(obs::pmu::unavailableReason().empty());
+    else
+        EXPECT_TRUE(obs::pmu::unavailableReason().empty());
+
+    obs::pmu::Sample a;
+    const bool ok = obs::pmu::readThread(a);
+    EXPECT_TRUE(!ok || en) << "readThread succeeded while disabled";
+    if (ok) {
+        EXPECT_NE(a.validMask, 0u);
+        spinWork();
+        obs::pmu::Sample b;
+        ASSERT_TRUE(obs::pmu::readThread(b));
+        const auto d = obs::pmu::delta(a, b);
+        // Counters are cumulative per thread: deltas never go
+        // negative (clamped) and cycles must have advanced.
+        for (std::size_t i = 0; i < obs::pmu::kNumEvents; ++i)
+            if (d.validMask >> i & 1u)
+                EXPECT_GE(d.value[i], 0.0);
+        if (d.has(obs::pmu::Event::Cycles))
+            EXPECT_GT(d.get(obs::pmu::Event::Cycles), 0.0);
+    }
+}
+
+TEST(PmuTest, DeriveStatsMath)
+{
+    using obs::pmu::Event;
+    obs::pmu::Sample d;
+    d.set(Event::Cycles, 2e9);
+    d.set(Event::Instructions, 4e9);
+    d.set(Event::Branches, 1e9);
+    d.set(Event::BranchMisses, 5e7);
+    d.set(Event::LlcLoads, 1e8);
+    d.set(Event::LlcLoadMisses, 8e6);
+    d.set(Event::TdSlots, 1e10);
+    d.set(Event::TdRetiring, 4e9);
+    d.set(Event::TdBadSpec, 1e9);
+    d.set(Event::TdFeBound, 2e9);
+    d.set(Event::TdBeBound, 3e9);
+
+    const auto s = obs::pmu::deriveStats(d, 2.0);
+    EXPECT_TRUE(s.available);
+    EXPECT_DOUBLE_EQ(s.ipc, 2.0);
+    EXPECT_DOUBLE_EQ(s.branchMissPct, 5.0);
+    EXPECT_DOUBLE_EQ(s.llcLoadMpki, 2.0);
+    ASSERT_TRUE(s.topdownValid);
+    EXPECT_DOUBLE_EQ(s.tdRetiring, 0.4);
+    EXPECT_DOUBLE_EQ(s.tdBadSpec, 0.1);
+    EXPECT_DOUBLE_EQ(s.tdFeBound, 0.2);
+    EXPECT_DOUBLE_EQ(s.tdBeBound, 0.3);
+    EXPECT_DOUBLE_EQ(s.dramBytesEst, 8e6 * 64.0);
+    EXPECT_DOUBLE_EQ(s.bandwidthGBps, 8e6 * 64.0 / 2.0 / 1e9);
+    EXPECT_FALSE(obs::pmu::statPairs(s).empty());
+
+    // The empty sample is the graceful-fallback path.
+    const obs::pmu::Sample none;
+    const auto off = obs::pmu::deriveStats(none, 1.0);
+    EXPECT_FALSE(off.available);
+    EXPECT_FALSE(off.topdownValid);
+    EXPECT_TRUE(obs::pmu::statPairs(off).empty());
+}
+
+TEST(PmuTest, RunReportAlwaysCarriesHwSection)
+{
+    obs::stopTracing();
+    obs::clearStageReports();
+
+    core::StageRunner<snark::Bn254> runner(64);
+    runner.run(core::Stage::Compile, 1);
+
+    const std::string json = obs::runReportJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+    // Both the per-stage and the top-level hw objects must exist with
+    // an availability flag, whatever the machine supports.
+    EXPECT_NE(json.find("\"hw\":{\"available\":"), std::string::npos);
+    if (!obs::pmu::enabled()) {
+        EXPECT_NE(json.find("\"available\":false"), std::string::npos);
+        EXPECT_NE(json.find("\"reason\""), std::string::npos);
+    }
+    obs::clearStageReports();
+}
+
+// ------------------------------------------------------------------
+// Tracer overhead (self-test for the "tracing is cheap" claim)
+// ------------------------------------------------------------------
+
+TEST(TraceTest, TracingOverheadStaysSmall)
+{
+#ifdef ZKP_OBS_SANITIZED
+    GTEST_SKIP() << "timing ratios are not meaningful under sanitizers";
+#else
+    using G1 = ec::Bn254G1;
+    using Fr = G1::Scalar;
+    const std::size_t n = 4096;
+    Rng rng(21);
+    G1::Jacobian g{G1::generator()};
+    std::vector<G1::Affine> pts;
+    std::vector<Fr::Repr> scalars;
+    pts.reserve(n);
+    scalars.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(
+            g.mulScalar(rng.nextBelow(1 << 20) + 1).toAffine());
+        scalars.push_back(Fr::random(rng).toBigInt());
+    }
+    const auto msmOnce = [&] {
+        auto p = ec::msm<G1::Jacobian>(pts.data(), scalars.data(), n, 1);
+        (void)p;
+    };
+    const auto seconds = [&](bool traced) {
+        if (traced)
+            obs::startTracing("");
+        const auto t0 = std::chrono::steady_clock::now();
+        msmOnce();
+        const double dt =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (traced) {
+            obs::stopTracing();
+            obs::clearTrace();
+        }
+        return dt;
+    };
+
+    obs::stopTracing();
+    msmOnce(); // warm caches before the clocked runs
+    double off = 1e300, on = 1e300;
+    for (int r = 0; r < 6; ++r) { // interleaved min-of-6
+        off = std::min(off, seconds(false));
+        on = std::min(on, seconds(true));
+    }
+
+    double limit_pct = 5.0;
+    if (const char* e = std::getenv("ZKP_TRACE_OVERHEAD_PCT"))
+        limit_pct = std::atof(e);
+    EXPECT_LE(on, off * (1.0 + limit_pct / 100.0))
+        << "tracing-on min " << on << "s vs tracing-off min " << off
+        << "s exceeds " << limit_pct << "%";
+#endif
 }
 
 } // namespace
