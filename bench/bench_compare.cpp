@@ -8,6 +8,7 @@
  *
  * Run: ./build/bench/bench_compare [baseline.json]
  *          [--threshold <pct>] [--out <path>] [--update]
+ *          [--against <results.json>]
  *
  *   --threshold  allowed slowdown in percent (default 10; also
  *                ZKP_BENCH_THRESHOLD)
@@ -15,6 +16,12 @@
  *                (default <baseline>.new.json)
  *   --update     overwrite the baseline itself with the fresh
  *                results after a passing run
+ *   --against    compare the baseline to an already-written results
+ *                file instead of rerunning the kernel set. Accepts
+ *                any document with the BENCH_kernels.json "results"
+ *                entry schema — including BENCH_serve.json from
+ *                bench_serve — so two serving runs can be diffed
+ *                without re-measuring.
  *
  * Comparison uses min-of-repeats seconds (noise-robust); entries are
  * matched by (name, n, threads). Entries present on only one side are
@@ -30,6 +37,7 @@ main(int argc, char** argv)
     using namespace zkp;
     std::string baseline_path = "BENCH_kernels.json";
     std::string out_path;
+    std::string against_path;
     double threshold_pct =
         (double)bench::envLong("ZKP_BENCH_THRESHOLD", 10);
     bool update = false;
@@ -39,6 +47,9 @@ main(int argc, char** argv)
             threshold_pct = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--against") == 0 &&
+                   i + 1 < argc) {
+            against_path = argv[++i];
         } else if (std::strcmp(argv[i], "--update") == 0) {
             update = true;
         } else if (positional == 0) {
@@ -65,15 +76,36 @@ main(int argc, char** argv)
         return 2;
     }
 
-    const std::size_t log_n =
-        (std::size_t)bench::envLong("ZKP_KERNEL_LOG_N", 16);
-    const std::size_t threads =
-        (std::size_t)bench::envLong("ZKP_KERNEL_THREADS", 8);
-    std::printf("bench_compare: baseline %s (%zu entries), "
-                "threshold %.1f%%\n\n",
-                baseline_path.c_str(), baseline.size(), threshold_pct);
-
-    const auto fresh = bench::runKernelEntries(log_n, threads);
+    std::vector<bench::KernelEntry> fresh;
+    if (!against_path.empty()) {
+        std::string against_text;
+        if (!bench::readFileText(against_path, against_text)) {
+            std::fprintf(stderr, "cannot read results %s\n",
+                         against_path.c_str());
+            return 2;
+        }
+        fresh = bench::parseKernelBaseline(against_text);
+        if (fresh.empty()) {
+            std::fprintf(stderr, "no kernel entries in %s\n",
+                         against_path.c_str());
+            return 2;
+        }
+        std::printf("bench_compare: baseline %s (%zu entries) vs "
+                    "%s (%zu entries), threshold %.1f%%\n\n",
+                    baseline_path.c_str(), baseline.size(),
+                    against_path.c_str(), fresh.size(),
+                    threshold_pct);
+    } else {
+        const std::size_t log_n =
+            (std::size_t)bench::envLong("ZKP_KERNEL_LOG_N", 16);
+        const std::size_t threads =
+            (std::size_t)bench::envLong("ZKP_KERNEL_THREADS", 8);
+        std::printf("bench_compare: baseline %s (%zu entries), "
+                    "threshold %.1f%%\n\n",
+                    baseline_path.c_str(), baseline.size(),
+                    threshold_pct);
+        fresh = bench::runKernelEntries(log_n, threads);
+    }
 
     TextTable table;
     table.setHeader({"kernel", "n", "threads", "baseline s",
@@ -130,15 +162,17 @@ main(int argc, char** argv)
     bench::printTable("bench_compare: baseline vs current (min "
                       "seconds)", table);
 
-    std::vector<std::pair<std::string, std::string>> notes;
-    notes.emplace_back("baseline", baseline_path);
-    if (!bench::writeKernelJson(
-            out_path, bench::kernelEntriesJson(fresh, notes)))
-        std::fprintf(stderr, "warning: cannot write %s\n",
-                     out_path.c_str());
-    else
-        std::printf("current results written to %s\n",
-                    out_path.c_str());
+    if (against_path.empty()) {
+        std::vector<std::pair<std::string, std::string>> notes;
+        notes.emplace_back("baseline", baseline_path);
+        if (!bench::writeKernelJson(
+                out_path, bench::kernelEntriesJson(fresh, notes)))
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         out_path.c_str());
+        else
+            std::printf("current results written to %s\n",
+                        out_path.c_str());
+    }
 
     if (regressions > 0) {
         std::printf("\nFAIL: %u of %u matched kernels regressed "

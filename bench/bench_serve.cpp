@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Closed-loop load generator for the proof-serving subsystem.
+ *
+ * Each client thread issues one request at a time (closed loop) and
+ * waits for the result: proves at --verify-frac=0 or a mix where a
+ * fraction of iterations re-submit the client's latest proof as a
+ * Batch-priority verify (exercising priority scheduling and the
+ * opportunistic verifyBatch path). QueueFull responses are counted
+ * and retried after a short backoff — backpressure, not failure.
+ *
+ * Modes:
+ *   default      in-process ProofService (no daemon needed)
+ *   --socket P   wire client against a running zkperfd at path P
+ *
+ * Run: ./build/bench/bench_serve [--clients <n>] [--seconds <s>]
+ *          [--requests <n>] [--log2 <k>] [--verify-frac <f>]
+ *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
+ *          [--socket <path>] [--out <file>] [--smoke]
+ *
+ *   --smoke      CI shape: 200 requests total at 2^8 constraints
+ *                (explicit --requests/--log2 still win)
+ *
+ * Reports p50/p95/p99/mean latency per request kind plus throughput,
+ * and writes BENCH_serve.json whose "results" array uses the
+ * BENCH_kernels.json entry schema, so `bench_compare --against` can
+ * diff two serving runs. Exits 1 if any request failed (a rejected
+ * proof, an invalid verify, or a non-Ok terminal status), 2 on usage
+ * errors.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels_common.h"
+#include "serve/circuit_host.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+#include <unistd.h>
+
+namespace {
+
+using namespace zkp;
+using bench::KernelEntry;
+
+struct Options
+{
+    std::size_t clients = 8;
+    double seconds = 10;
+    std::uint64_t requests = 0; // 0 = run for --seconds
+    std::size_t log2N = 12;
+    double verifyFrac = 0.25;
+    std::size_t workers = 0;
+    std::size_t queue = 0;
+    std::size_t proveThreads = 0;
+    std::string socketPath; // empty = in-process
+    std::string outPath = "BENCH_serve.json";
+};
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--clients <n>] [--seconds <s>] [--requests <n>]\n"
+        "          [--log2 <k>] [--verify-frac <f>] [--workers <n>]\n"
+        "          [--queue <n>] [--prove-threads <n>]\n"
+        "          [--socket <path>] [--out <file>] [--smoke]\n",
+        argv0);
+    return 2;
+}
+
+/** Per-client tallies; merged after the threads join. */
+struct ClientStats
+{
+    std::vector<double> proveLatency;
+    std::vector<double> verifyLatency;
+    std::uint64_t queueFullRetries = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t completed = 0;
+};
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Shared run controls: time-based or fixed-count stop. */
+struct RunControl
+{
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> issued{0};
+    std::uint64_t requestLimit = 0; // 0 = stop flag only
+
+    bool
+    claim()
+    {
+        if (stop.load(std::memory_order_relaxed))
+            return false;
+        if (requestLimit == 0)
+            return true;
+        return issued.fetch_add(1, std::memory_order_relaxed) <
+               requestLimit;
+    }
+};
+
+/** One client iteration's generated workload. */
+struct Workload
+{
+    std::vector<std::uint8_t> publicInputs;
+    std::vector<std::uint8_t> privateInputs;
+};
+
+template <typename Curve>
+Workload
+makeWorkload(Rng& rng, std::size_t constraints)
+{
+    using Fr = typename Curve::Fr;
+    const Fr x = Fr::random(rng);
+    const Fr y = x.pow(BigInt<1>((u64)constraints));
+    Workload w;
+    w.publicInputs = serve::encodeScalars<Fr>({y});
+    w.privateInputs = serve::encodeScalars<Fr>({x});
+    return w;
+}
+
+/** True on the verify-frac schedule (deterministic per client). */
+bool
+wantVerify(Rng& rng, double frac, bool haveProof)
+{
+    if (!haveProof || frac <= 0)
+        return false;
+    return (double)rng.nextBelow(1 << 20) / (double)(1 << 20) < frac;
+}
+
+void
+recordOutcome(ClientStats& stats, serve::Status status, bool is_verify,
+              bool valid, double latency)
+{
+    if (status == serve::Status::Ok && (!is_verify || valid)) {
+        stats.completed++;
+        (is_verify ? stats.verifyLatency : stats.proveLatency)
+            .push_back(latency);
+    } else {
+        stats.failures++;
+    }
+}
+
+void
+clientLoopInproc(serve::ProofService& service,
+                 const std::string& circuit, const Options& opt,
+                 RunControl& ctl, std::size_t index,
+                 ClientStats& stats)
+{
+    Rng rng(7001 + (u64)index);
+    std::vector<std::uint8_t> lastProof;
+    std::vector<std::uint8_t> lastPublic;
+    const std::size_t constraints = std::size_t(1) << opt.log2N;
+
+    while (ctl.claim()) {
+        const bool verify =
+            wantVerify(rng, opt.verifyFrac, !lastProof.empty());
+        const Workload w =
+            verify ? Workload{} : makeWorkload<snark::Bn254>(
+                                      rng, constraints);
+        const double t0 = wallNow();
+        serve::Response r;
+        while (true) {
+            serve::RequestOptions ropt;
+            ropt.priority = verify ? serve::Priority::Batch
+                                   : serve::Priority::Interactive;
+            auto ticket =
+                verify ? service.submitVerify(circuit, lastPublic,
+                                              lastProof, ropt)
+                       : service.submitProve(circuit, w.publicInputs,
+                                             w.privateInputs, ropt);
+            r = ticket.result.get();
+            if (r.status != serve::Status::QueueFull)
+                break;
+            stats.queueFullRetries++;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+        recordOutcome(stats, r.status, verify, r.valid,
+                      wallNow() - t0);
+        if (!verify && r.status == serve::Status::Ok) {
+            lastProof = std::move(r.proof);
+            lastPublic = w.publicInputs;
+        }
+    }
+}
+
+void
+clientLoopSocket(const std::string& circuit, const Options& opt,
+                 RunControl& ctl, std::size_t index,
+                 ClientStats& stats, std::atomic<bool>& connect_failed)
+{
+    namespace wire = serve::wire;
+    const int fd = wire::connectUnix(opt.socketPath);
+    if (fd < 0) {
+        connect_failed.store(true);
+        return;
+    }
+    Rng rng(7001 + (u64)index);
+    std::vector<std::uint8_t> lastProof;
+    std::vector<std::uint8_t> lastPublic;
+    const std::size_t constraints = std::size_t(1) << opt.log2N;
+    std::uint64_t next_id = (std::uint64_t)index << 32;
+
+    while (ctl.claim()) {
+        const bool verify =
+            wantVerify(rng, opt.verifyFrac, !lastProof.empty());
+        const Workload w =
+            verify ? Workload{} : makeWorkload<snark::Bn254>(
+                                      rng, constraints);
+        const double t0 = wallNow();
+        wire::Result result;
+        bool io_ok = true;
+        while (true) {
+            wire::Frame req;
+            req.id = ++next_id;
+            if (verify) {
+                wire::VerifyRequest m;
+                m.priority = serve::Priority::Batch;
+                m.circuit = circuit;
+                m.publicInputs = lastPublic;
+                m.proof = lastProof;
+                req.type = wire::MsgType::VerifyRequest;
+                req.body = wire::encodeVerifyRequest(m);
+            } else {
+                wire::ProveRequest m;
+                m.circuit = circuit;
+                m.publicInputs = w.publicInputs;
+                m.privateInputs = w.privateInputs;
+                req.type = wire::MsgType::ProveRequest;
+                req.body = wire::encodeProveRequest(m);
+            }
+            wire::Frame resp;
+            if (!wire::writeFrame(fd, req) ||
+                !wire::readFrame(fd, resp) ||
+                resp.type != wire::MsgType::Result) {
+                io_ok = false;
+                break;
+            }
+            auto decoded = wire::decodeResult(resp.body);
+            if (!decoded) {
+                io_ok = false;
+                break;
+            }
+            result = std::move(*decoded);
+            if (result.status != serve::Status::QueueFull)
+                break;
+            stats.queueFullRetries++;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+        if (!io_ok) {
+            stats.failures++;
+            break;
+        }
+        recordOutcome(stats, result.status, verify, result.valid,
+                      wallNow() - t0);
+        if (!verify && result.status == serve::Status::Ok) {
+            lastProof = std::move(result.proof);
+            lastPublic = w.publicInputs;
+        }
+    }
+    ::close(fd);
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double idx = q * (double)(sorted.size() - 1);
+    const std::size_t lo = (std::size_t)idx;
+    const std::size_t hi =
+        lo + 1 < sorted.size() ? lo + 1 : lo;
+    const double frac = idx - (double)lo;
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+/** Latency entries in the BENCH_kernels.json "results" schema. */
+void
+appendLatencyEntries(std::vector<KernelEntry>& entries,
+                     const std::string& kind,
+                     std::vector<double> samples, const Options& opt)
+{
+    if (samples.empty())
+        return;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0;
+    for (double s : samples)
+        sum += s;
+    const struct
+    {
+        const char* suffix;
+        double value;
+    } rows[] = {
+        {"p50", percentile(samples, 0.50)},
+        {"p95", percentile(samples, 0.95)},
+        {"p99", percentile(samples, 0.99)},
+        {"mean", sum / (double)samples.size()},
+    };
+    for (const auto& row : rows) {
+        KernelEntry e;
+        e.name = "serve_" + kind + "_" + row.suffix;
+        e.n = std::size_t(1) << opt.log2N;
+        e.threads = opt.clients;
+        e.repeats = (unsigned)samples.size();
+        // Both fields carry the statistic: bench_compare diffs
+        // seconds_min, and "min of repeats" has no analogue for a
+        // percentile of a latency distribution.
+        e.secondsMean = row.value;
+        e.secondsMin = row.value;
+        entries.push_back(std::move(e));
+    }
+}
+
+std::string
+serveJson(const Options& opt, const std::string& circuit,
+          const ClientStats& total, double elapsed,
+          const std::vector<KernelEntry>& entries)
+{
+    char buf[512];
+    std::string json = "{\n  \"bench\": \"bench_serve\",\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"config\": {\"mode\": \"%s\", \"circuit\": \"%s\", "
+        "\"log2_constraints\": %zu, \"clients\": %zu, "
+        "\"verify_frac\": %.3f},\n",
+        opt.socketPath.empty() ? "inproc" : "socket",
+        circuit.c_str(), opt.log2N, opt.clients, opt.verifyFrac);
+    json += buf;
+    const double rps =
+        elapsed > 0 ? (double)total.completed / elapsed : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"serve\": {\"completed\": %llu, \"failed\": %llu, "
+        "\"queue_full_retries\": %llu, \"elapsed_seconds\": %.3f, "
+        "\"throughput_rps\": %.3f},\n",
+        (unsigned long long)total.completed,
+        (unsigned long long)total.failures,
+        (unsigned long long)total.queueFullRetries, elapsed, rps);
+    json += buf;
+    json += "  \"results\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& e = entries[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"n\": %zu, "
+                      "\"threads\": %zu, \"repeats\": %u, "
+                      "\"seconds_mean\": %.6f, "
+                      "\"seconds_min\": %.6f}%s\n",
+                      e.name.c_str(), e.n, e.threads, e.repeats,
+                      e.secondsMean, e.secondsMin,
+                      i + 1 < entries.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+    return json;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    bool smoke = false;
+    bool log2_given = false, requests_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char* flag) -> const char* {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        if (const char* v = value("--clients")) {
+            opt.clients = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--seconds")) {
+            opt.seconds = std::atof(v);
+        } else if (const char* v = value("--requests")) {
+            opt.requests = (std::uint64_t)std::atoll(v);
+            requests_given = true;
+        } else if (const char* v = value("--log2")) {
+            opt.log2N = (std::size_t)std::atoi(v);
+            log2_given = true;
+        } else if (const char* v = value("--verify-frac")) {
+            opt.verifyFrac = std::atof(v);
+        } else if (const char* v = value("--workers")) {
+            opt.workers = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--queue")) {
+            opt.queue = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--prove-threads")) {
+            opt.proveThreads = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--socket")) {
+            opt.socketPath = v;
+        } else if (const char* v = value("--out")) {
+            opt.outPath = v;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return usage(argv[0]);
+        }
+    }
+    if (smoke) {
+        if (!requests_given)
+            opt.requests = 200;
+        if (!log2_given)
+            opt.log2N = 8;
+    }
+    if (opt.clients == 0 || opt.log2N < 1 || opt.log2N > 22 ||
+        opt.verifyFrac < 0 || opt.verifyFrac > 1) {
+        std::fprintf(stderr, "invalid option values\n");
+        return usage(argv[0]);
+    }
+
+    char circuit_name[32];
+    std::snprintf(circuit_name, sizeof(circuit_name), "exp%zu",
+                  opt.log2N);
+    const std::string circuit = circuit_name;
+
+    std::printf("bench_serve: %s mode, circuit=%s clients=%zu %s "
+                "verify_frac=%.2f\n",
+                opt.socketPath.empty() ? "in-process" : "socket",
+                circuit.c_str(), opt.clients,
+                opt.requests
+                    ? (std::string("requests=") +
+                       std::to_string(opt.requests))
+                          .c_str()
+                    : (std::string("seconds=") +
+                       std::to_string(opt.seconds))
+                          .c_str(),
+                opt.verifyFrac);
+    std::fflush(stdout);
+
+    RunControl ctl;
+    ctl.requestLimit = opt.requests;
+    std::vector<ClientStats> stats(opt.clients);
+    std::vector<std::thread> clients;
+    std::atomic<bool> connect_failed{false};
+    double t_start = 0, elapsed = 0;
+
+    if (opt.socketPath.empty()) {
+        serve::ServiceConfig cfg;
+        cfg.workers = opt.workers;
+        cfg.queueCapacity = opt.queue;
+        cfg.proveThreads = opt.proveThreads;
+        serve::ProofService service(cfg);
+        service.registerCircuit(
+            serve::makeExponentiationHost<snark::Bn254>(
+                circuit, std::size_t(1) << opt.log2N, 2024,
+                service.config().proveThreads));
+        service.prewarm(circuit);
+        std::printf("bench_serve: workers=%zu queue=%zu "
+                    "prove-threads=%zu (keys prewarmed)\n",
+                    service.config().workers,
+                    service.config().queueCapacity,
+                    service.config().proveThreads);
+        std::fflush(stdout);
+
+        t_start = wallNow();
+        for (std::size_t c = 0; c < opt.clients; ++c)
+            clients.emplace_back([&, c] {
+                clientLoopInproc(service, circuit, opt, ctl, c,
+                                 stats[c]);
+            });
+        if (opt.requests == 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                opt.seconds));
+            ctl.stop.store(true);
+        }
+        for (auto& t : clients)
+            t.join();
+        elapsed = wallNow() - t_start;
+        service.drain();
+    } else {
+        t_start = wallNow();
+        for (std::size_t c = 0; c < opt.clients; ++c)
+            clients.emplace_back([&, c] {
+                clientLoopSocket(circuit, opt, ctl, c, stats[c],
+                                 connect_failed);
+            });
+        if (opt.requests == 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                opt.seconds));
+            ctl.stop.store(true);
+        }
+        for (auto& t : clients)
+            t.join();
+        elapsed = wallNow() - t_start;
+        if (connect_failed.load()) {
+            std::fprintf(stderr,
+                         "bench_serve: cannot connect to %s\n",
+                         opt.socketPath.c_str());
+            return 1;
+        }
+    }
+
+    ClientStats total;
+    for (const auto& s : stats) {
+        total.proveLatency.insert(total.proveLatency.end(),
+                                  s.proveLatency.begin(),
+                                  s.proveLatency.end());
+        total.verifyLatency.insert(total.verifyLatency.end(),
+                                   s.verifyLatency.begin(),
+                                   s.verifyLatency.end());
+        total.queueFullRetries += s.queueFullRetries;
+        total.failures += s.failures;
+        total.completed += s.completed;
+    }
+
+    std::vector<KernelEntry> entries;
+    appendLatencyEntries(entries, "prove", total.proveLatency, opt);
+    appendLatencyEntries(entries, "verify", total.verifyLatency, opt);
+
+    TextTable table;
+    table.setHeader(
+        {"kind", "count", "p50", "p95", "p99", "mean"});
+    for (const char* kind : {"prove", "verify"}) {
+        auto samples = std::strcmp(kind, "prove") == 0
+                           ? total.proveLatency
+                           : total.verifyLatency;
+        if (samples.empty())
+            continue;
+        std::sort(samples.begin(), samples.end());
+        double sum = 0;
+        for (double s : samples)
+            sum += s;
+        table.addRow({kind, std::to_string(samples.size()),
+                      fmtSeconds(percentile(samples, 0.50)),
+                      fmtSeconds(percentile(samples, 0.95)),
+                      fmtSeconds(percentile(samples, 0.99)),
+                      fmtSeconds(sum / (double)samples.size())});
+    }
+    bench::printTable("serve latency (closed loop)", table);
+    std::printf("bench_serve: completed=%llu failed=%llu "
+                "queue_full_retries=%llu elapsed=%.2fs "
+                "throughput=%.2f req/s\n",
+                (unsigned long long)total.completed,
+                (unsigned long long)total.failures,
+                (unsigned long long)total.queueFullRetries, elapsed,
+                elapsed > 0 ? (double)total.completed / elapsed : 0);
+
+    const std::string json =
+        serveJson(opt, circuit, total, elapsed, entries);
+    if (!bench::writeKernelJson(opt.outPath, json)) {
+        std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                     opt.outPath.c_str());
+        return 1;
+    }
+    std::printf("bench_serve: wrote %s\n", opt.outPath.c_str());
+
+    if (total.failures > 0) {
+        std::fprintf(stderr,
+                     "bench_serve: FAILED — %llu request(s) did not "
+                     "complete successfully\n",
+                     (unsigned long long)total.failures);
+        return 1;
+    }
+    return 0;
+}

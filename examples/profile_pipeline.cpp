@@ -32,15 +32,27 @@ main(int argc, char** argv)
     std::size_t threads = 2;
     std::string json_path;
     int positional = 0;
+    auto usage = [&] {
+        std::fprintf(stderr,
+                     "usage: %s [log2_constraints] [threads] "
+                     "[--json <path>]\n",
+                     argv[0]);
+        return 2;
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a value\n");
+                return usage();
+            }
             json_path = argv[++i];
-        } else if (positional == 0) {
+        } else if (argv[i][0] == '-' || positional >= 2) {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return usage();
+        } else if (positional++ == 0) {
             log_n = (std::size_t)std::atoi(argv[i]);
-            ++positional;
-        } else if (positional == 1) {
+        } else {
             threads = (std::size_t)std::atoi(argv[i]);
-            ++positional;
         }
     }
     if (threads == 0)

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * zkperfd: a Unix-domain-socket proof-serving daemon over the
+ * ProofService (src/serve/), speaking the length-prefixed binary
+ * protocol of serve/protocol.h.
+ *
+ * Run: ./build/examples/zkperfd [--socket <path>] [--log2 <k>]
+ *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
+ *          [--no-prewarm]
+ *
+ *   --socket         listening path (default /tmp/zkperfd.sock)
+ *   --log2           registers the exponentiation circuit "exp<k>"
+ *                    at 2^k constraints on BN254 (default 12)
+ *   --workers        service worker threads (ZKP_SERVE_THREADS)
+ *   --queue          bounded queue capacity (ZKP_SERVE_QUEUE)
+ *   --prove-threads  parallelFor width per prove (default: all cores)
+ *   --no-prewarm     skip building keys at startup (first request
+ *                    then pays the singleflight setup)
+ *
+ * Unknown flags are an error (usage + exit 2), not silently ignored.
+ * SIGINT/SIGTERM drain the service (in-flight and queued requests
+ * complete, new ones are rejected with ShuttingDown) before exit.
+ * Set ZKP_TRACE / ZKP_REPORT to capture daemon traffic in traces and
+ * run reports like any bench run.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/circuit_host.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace {
+
+std::atomic<bool> gStop{false};
+std::atomic<int> gListenFd{-1};
+
+void
+onSignal(int)
+{
+    gStop.store(true);
+    // Unblock accept(); shutdown() is async-signal-safe.
+    const int fd = gListenFd.load();
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket <path>] [--log2 <k>] [--workers <n>]\n"
+        "          [--queue <n>] [--prove-threads <n>] [--no-prewarm]\n",
+        argv0);
+    return 2;
+}
+
+struct Connection
+{
+    int fd = -1;
+    std::thread thread;
+};
+
+void
+serveConnection(zkp::serve::ProofService& service, int fd)
+{
+    using namespace zkp::serve;
+    wire::Frame req;
+    while (wire::readFrame(fd, req)) {
+        wire::Frame resp;
+        resp.id = req.id;
+        switch (req.type) {
+          case wire::MsgType::Ping:
+            resp.type = wire::MsgType::Pong;
+            break;
+          case wire::MsgType::StatsRequest: {
+            const ProofService::Stats s = service.stats();
+            wire::StatsResponse body;
+            body.queueDepth = s.queueDepth;
+            body.accepted = s.accepted;
+            body.completed = s.completed;
+            body.queueFull = s.rejectedQueueFull;
+            body.deadlineExceeded = s.deadlineExceeded;
+            body.canceled = s.canceled;
+            resp.type = wire::MsgType::StatsResponse;
+            resp.body = wire::encodeStatsResponse(body);
+            break;
+          }
+          case wire::MsgType::ProveRequest: {
+            wire::Result result;
+            if (auto m = wire::decodeProveRequest(req.body)) {
+                RequestOptions opts;
+                opts.priority = m->priority;
+                opts.timeoutSeconds = m->timeoutMicros / 1e6;
+                auto ticket = service.submitProve(
+                    m->circuit, std::move(m->publicInputs),
+                    std::move(m->privateInputs), opts);
+                const Response r = ticket.result.get();
+                result.status = r.status;
+                result.proof = r.proof;
+                result.queueMicros =
+                    (std::uint64_t)(r.queueSeconds * 1e6);
+                result.execMicros =
+                    (std::uint64_t)(r.execSeconds * 1e6);
+                result.batchSize = r.batchSize;
+            } else {
+                result.status = Status::InvalidRequest;
+            }
+            resp.type = wire::MsgType::Result;
+            resp.body = wire::encodeResult(result);
+            break;
+          }
+          case wire::MsgType::VerifyRequest: {
+            wire::Result result;
+            if (auto m = wire::decodeVerifyRequest(req.body)) {
+                RequestOptions opts;
+                opts.priority = m->priority;
+                opts.timeoutSeconds = m->timeoutMicros / 1e6;
+                auto ticket = service.submitVerify(
+                    m->circuit, std::move(m->publicInputs),
+                    std::move(m->proof), opts);
+                const Response r = ticket.result.get();
+                result.status = r.status;
+                result.valid = r.valid;
+                result.queueMicros =
+                    (std::uint64_t)(r.queueSeconds * 1e6);
+                result.execMicros =
+                    (std::uint64_t)(r.execSeconds * 1e6);
+                result.batchSize = r.batchSize;
+            } else {
+                result.status = Status::InvalidRequest;
+            }
+            resp.type = wire::MsgType::Result;
+            resp.body = wire::encodeResult(result);
+            break;
+          }
+          default:
+            // Unknown request type: drop the connection (a framing
+            // bug on the client side; nothing sensible to answer).
+            ::close(fd);
+            return;
+        }
+        if (!wire::writeFrame(fd, resp))
+            break;
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace zkp;
+
+    std::string socket_path = "/tmp/zkperfd.sock";
+    std::size_t log2_constraints = 12;
+    std::size_t workers = 0, queue = 0, prove_threads = 0;
+    bool prewarm = true;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char* flag) -> const char* {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        if (const char* v = value("--socket")) {
+            socket_path = v;
+        } else if (const char* v = value("--log2")) {
+            log2_constraints = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--workers")) {
+            workers = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--queue")) {
+            queue = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--prove-threads")) {
+            prove_threads = (std::size_t)std::atoi(v);
+        } else if (std::strcmp(argv[i], "--no-prewarm") == 0) {
+            prewarm = false;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return usage(argv[0]);
+        }
+    }
+    if (log2_constraints < 1 || log2_constraints > 22) {
+        std::fprintf(stderr, "--log2 out of range [1, 22]\n");
+        return usage(argv[0]);
+    }
+
+    serve::ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queueCapacity = queue;
+    cfg.proveThreads = prove_threads;
+    serve::ProofService service(cfg);
+
+    char circuit_name[32];
+    std::snprintf(circuit_name, sizeof(circuit_name), "exp%zu",
+                  log2_constraints);
+    service.registerCircuit(
+        serve::makeExponentiationHost<snark::Bn254>(
+            circuit_name, std::size_t(1) << log2_constraints, 2024,
+            service.config().proveThreads));
+    if (prewarm) {
+        std::printf("zkperfd: prewarming keys for %s (2^%zu "
+                    "constraints)...\n",
+                    circuit_name, log2_constraints);
+        service.prewarm(circuit_name);
+    }
+
+    const int listen_fd = serve::wire::listenUnix(socket_path);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "zkperfd: cannot listen on %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        return 1;
+    }
+    gListenFd.store(listen_fd);
+
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    std::printf("zkperfd: serving %s on %s (workers=%zu queue=%zu "
+                "prove-threads=%zu)\n",
+                circuit_name, socket_path.c_str(),
+                service.config().workers,
+                service.config().queueCapacity,
+                service.config().proveThreads);
+    std::fflush(stdout);
+
+    std::mutex conns_mu;
+    std::vector<Connection> conns;
+    while (!gStop.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR && !gStop.load())
+                continue;
+            break;
+        }
+        std::lock_guard<std::mutex> lock(conns_mu);
+        conns.push_back(Connection{
+            fd, std::thread([&service, fd] {
+                serveConnection(service, fd);
+            })});
+    }
+
+    std::printf("zkperfd: draining...\n");
+    std::fflush(stdout);
+    ::close(listen_fd);
+    {
+        // Nudge connections still blocked in read; their threads exit
+        // on the resulting EOF. In-flight requests still complete.
+        std::lock_guard<std::mutex> lock(conns_mu);
+        for (auto& c : conns)
+            ::shutdown(c.fd, SHUT_RD);
+    }
+    for (auto& c : conns)
+        if (c.thread.joinable())
+            c.thread.join();
+    service.drain();
+    ::unlink(socket_path.c_str());
+
+    const serve::ProofService::Stats s = service.stats();
+    std::printf("zkperfd: done. accepted=%llu completed=%llu "
+                "queue_full=%llu deadline=%llu canceled=%llu "
+                "cache{builds=%llu hits=%llu evictions=%llu}\n",
+                (unsigned long long)s.accepted,
+                (unsigned long long)s.completed,
+                (unsigned long long)s.rejectedQueueFull,
+                (unsigned long long)s.deadlineExceeded,
+                (unsigned long long)s.canceled,
+                (unsigned long long)s.cache.builds,
+                (unsigned long long)s.cache.hits,
+                (unsigned long long)s.cache.evictions);
+    return 0;
+}

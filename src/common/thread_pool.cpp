@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/parallel.h"
 #include "obs/pmu.h"
@@ -51,6 +52,10 @@ ThreadPool::ensureStartedLocked(std::size_t desired)
 void
 ThreadPool::run(std::size_t n, std::size_t workers, RawFn fn, void* ctx)
 {
+    // A pool worker re-entering run() would self-deadlock on the
+    // region it is already part of; parallelFor runs the nested case
+    // inline and must stay the only entry point.
+    assert(!onWorkerThread());
     // One fork-join region at a time; concurrent top-level callers
     // queue here (they would contend for the same cores anyway).
     std::lock_guard<std::mutex> region(regionMutex_);

@@ -32,7 +32,21 @@
  *
  * Nested regions: a parallelFor issued from inside a pool worker runs
  * inline on that worker (the pool never re-enters itself), so kernels
- * may compose freely without deadlock.
+ * may compose freely without deadlock. ThreadPool::run() asserts it is
+ * never entered from a pool worker — parallelFor is the only sanctioned
+ * entry point, and it routes the nested case inline before reaching the
+ * pool.
+ *
+ * Saturation safety for external service threads: any number of plain
+ * std::threads (e.g. the ProofService workers in src/serve/) may call
+ * parallelFor concurrently. Each top-level region acquires regionMutex_
+ * for its whole fork-join, so N saturating callers serialize
+ * region-by-region rather than oversubscribing cores, and progress is
+ * guaranteed: the mutex holder owns every pool worker, finishes its
+ * region in bounded work, and releases. No caller ever blocks on a
+ * condition that another *blocked* caller must satisfy, so saturation
+ * cannot deadlock — see tests/test_parallel_pool.cpp
+ * (SaturationFromExternalThreads) for the regression test.
  */
 
 #ifndef ZKP_COMMON_THREAD_POOL_H

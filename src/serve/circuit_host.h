@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Typed glue between the type-erased ProofService core and the
+ * template Groth16 pipeline: builds CircuitHost registrations whose
+ * lambdas capture a concrete curve instantiation.
+ *
+ * Inputs cross the boundary as concatenated canonical scalar
+ * encodings (32 bytes each, the serialize.h getField format), which
+ * is also exactly how they travel over the zkperfd wire protocol —
+ * the daemon forwards request bytes into the service without
+ * re-encoding. Proofs returned by hosts carry the versioned header
+ * (serializeProofFramed); verify accepts framed and legacy proofs.
+ */
+
+#ifndef ZKP_SERVE_CIRCUIT_HOST_H
+#define ZKP_SERVE_CIRCUIT_HOST_H
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "r1cs/circuits.h"
+#include "serve/service.h"
+#include "snark/curve.h"
+#include "snark/serialize.h"
+
+namespace zkp::serve {
+
+/** Encode scalars in the 32-byte canonical wire format. */
+template <typename Fr>
+std::vector<std::uint8_t>
+encodeScalars(const std::vector<Fr>& values)
+{
+    snark::ByteWriter w;
+    for (const auto& v : values)
+        w.putField(v);
+    return w.bytes();
+}
+
+/**
+ * Decode exactly @p expected canonical scalars; false on a count
+ * mismatch or any non-canonical (>= r) encoding.
+ */
+template <typename Fr>
+bool
+decodeScalars(const std::vector<std::uint8_t>& bytes,
+              std::size_t expected, std::vector<Fr>& out)
+{
+    if (bytes.size() != expected * sizeof(typename Fr::Repr))
+        return false;
+    snark::ByteReader r(bytes);
+    out.resize(expected);
+    for (auto& v : out)
+        if (!r.getField(v))
+            return false;
+    return r.atEnd();
+}
+
+/** Everything a request needs, built once and shared via KeyCache. */
+template <typename Curve>
+struct CircuitArtifacts
+{
+    using Fr = typename Curve::Fr;
+
+    r1cs::R1cs<Fr> cs;
+    r1cs::WitnessCalculator<Fr> calc;
+    typename snark::Groth16<Curve>::Keypair keys;
+
+    CircuitArtifacts(r1cs::R1cs<Fr> cs_in,
+                     r1cs::WitnessProgram<Fr> program,
+                     typename snark::Groth16<Curve>::Keypair keys_in)
+        : cs(std::move(cs_in)), calc(std::move(program)),
+          keys(std::move(keys_in))
+    {}
+};
+
+namespace detail {
+
+/** Fresh blinding entropy per prove call (never reused). */
+inline u64
+proveSeed()
+{
+    static std::atomic<u64> counter{0};
+    const u64 tick = (u64)std::chrono::steady_clock::now()
+                         .time_since_epoch()
+                         .count();
+    return tick ^ (counter.fetch_add(1, std::memory_order_relaxed)
+                   << 32);
+}
+
+} // namespace detail
+
+/**
+ * Host for the paper's exponentiation benchmark circuit (public y,
+ * private x, x^constraints = y) on @p Curve.
+ *
+ * @param name registry name (also the wire-protocol circuit id)
+ * @param constraints circuit size (the paper's sweep variable)
+ * @param setupSeed deterministic toxic-waste seed, so every replica
+ *        of a serving fleet derives the same keys
+ * @param setupThreads parallelFor width for compile+setup
+ */
+template <typename Curve>
+CircuitHost
+makeExponentiationHost(std::string name, std::size_t constraints,
+                       u64 setupSeed = 2024,
+                       std::size_t setupThreads = 1)
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+    using Artifacts = CircuitArtifacts<Curve>;
+
+    CircuitHost host;
+    host.name = std::move(name);
+    host.curve = Curve::kName;
+    host.constraints = constraints;
+
+    host.build = [constraints, setupSeed, setupThreads] {
+        Scheme::prewarmTables();
+        r1cs::ExponentiationCircuit<Fr> circ(constraints);
+        auto cs = circ.builder.compile(setupThreads);
+        Rng rng(setupSeed);
+        auto keys = Scheme::setup(cs, rng, setupThreads);
+        auto artifacts = std::make_shared<const Artifacts>(
+            std::move(cs), circ.builder.witnessProgram(),
+            std::move(keys));
+        KeyCache::Built built;
+        built.bytes = artifacts->keys.pk.footprintBytes() +
+                      artifacts->cs.numConstraints() * 64;
+        built.value = artifacts;
+        return built;
+    };
+
+    host.prove = [](const void* artifact,
+                    const std::vector<std::uint8_t>& public_in,
+                    const std::vector<std::uint8_t>& private_in,
+                    std::size_t threads,
+                    std::vector<std::uint8_t>& proof_out) {
+        const auto& art = *static_cast<const Artifacts*>(artifact);
+        std::vector<Fr> pub, priv;
+        if (!decodeScalars(public_in, art.cs.numPublic(), pub) ||
+            !decodeScalars(private_in,
+                           art.calc.program().numPrivate, priv))
+            return Status::InvalidRequest;
+        const std::vector<Fr> z = art.calc.compute(pub, priv, threads);
+        // A witness that does not satisfy the circuit would yield a
+        // proof the verifier rejects; fail fast and unambiguously.
+        if (!art.cs.isSatisfied(z))
+            return Status::InvalidRequest;
+        Rng rng(detail::proveSeed());
+        const auto proof =
+            Scheme::prove(art.keys.pk, art.cs, z, rng, threads);
+        proof_out = snark::serializeProofFramed<Curve>(proof);
+        return Status::Ok;
+    };
+
+    host.verify = [](const void* artifact,
+                     std::vector<VerifyItem>& items) {
+        const auto& art = *static_cast<const Artifacts*>(artifact);
+        std::vector<std::size_t> good;
+        std::vector<std::vector<Fr>> pubs;
+        std::vector<typename Scheme::Proof> proofs;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            std::vector<Fr> pub;
+            if (!decodeScalars(*items[i].publicInputs,
+                               art.cs.numPublic(), pub)) {
+                items[i].status = Status::InvalidRequest;
+                continue;
+            }
+            auto proof =
+                snark::deserializeProofAny<Curve>(*items[i].proof);
+            if (!proof) {
+                items[i].status = Status::InvalidRequest;
+                continue;
+            }
+            good.push_back(i);
+            pubs.push_back(std::move(pub));
+            proofs.push_back(*proof);
+        }
+        if (good.empty())
+            return;
+        if (good.size() == 1) {
+            items[good[0]].valid = Scheme::verify(
+                art.keys.vk, pubs[0], proofs[0]);
+            items[good[0]].status = Status::Ok;
+            return;
+        }
+        Rng rng(detail::proveSeed());
+        if (Scheme::verifyBatch(art.keys.vk, pubs, proofs, rng)) {
+            for (std::size_t i : good) {
+                items[i].valid = true;
+                items[i].status = Status::Ok;
+            }
+            return;
+        }
+        // At least one proof in the batch is bad: verify singly to
+        // attribute the failures (the uncommon path by construction).
+        for (std::size_t k = 0; k < good.size(); ++k) {
+            items[good[k]].valid =
+                Scheme::verify(art.keys.vk, pubs[k], proofs[k]);
+            items[good[k]].status = Status::Ok;
+        }
+    };
+
+    return host;
+}
+
+} // namespace zkp::serve
+
+#endif // ZKP_SERVE_CIRCUIT_HOST_H

@@ -1,0 +1,144 @@
+#include "serve/key_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zkp::serve {
+
+KeyCache::Artifact
+KeyCache::getOrBuild(const std::string& key, const Builder& build)
+{
+    static obs::Counter& hits = obs::counter("serve.key_cache.hits");
+    static obs::Counter& misses =
+        obs::counter("serve.key_cache.misses");
+
+    std::shared_future<Built> future;
+    bool leader = false;
+    std::promise<Built> promise;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.lastUse = ++tick_;
+            ++hits_;
+            hits.add();
+            future = it->second.future;
+        } else {
+            ++misses_;
+            misses.add();
+            leader = true;
+            Entry e;
+            future = e.future =
+                promise.get_future().share();
+            e.lastUse = ++tick_;
+            entries_.emplace(key, std::move(e));
+        }
+    }
+
+    if (!leader) {
+        // Either ready or being built by the leader; wait either way.
+        // A failed build surfaces the leader's exception here.
+        return future.get().value;
+    }
+
+    // Singleflight leader: build outside the lock so other keys (and
+    // waiters of this one) are not serialized behind setup work.
+    Built built;
+    try {
+        ZKP_TRACE_SCOPE("serve_key_build");
+        built = build();
+        ++builds_;
+    } catch (...) {
+        // Revert the key to cold before publishing the failure, so a
+        // later request retries instead of joining a doomed future.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        // The entry can only have left the map through clear();
+        // re-insert in that case so the bookkeeping stays coherent.
+        if (it == entries_.end()) {
+            Entry e;
+            e.future = future;
+            e.lastUse = ++tick_;
+            it = entries_.emplace(key, std::move(e)).first;
+        }
+        it->second.ready = true;
+        it->second.bytes = built.bytes;
+        bytes_ += built.bytes;
+        evictLocked(key);
+    }
+    promise.set_value(built);
+    return built.value;
+}
+
+void
+KeyCache::evictLocked(const std::string& keep)
+{
+    static obs::Counter& evicted =
+        obs::counter("serve.key_cache.evictions");
+    if (capacityBytes_ == 0)
+        return;
+    while (bytes_ > capacityBytes_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.ready || it->first == keep)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            break; // only the protected / in-flight entries remain
+        bytes_ -= victim->second.bytes;
+        entries_.erase(victim);
+        ++evictions_;
+        evicted.add();
+    }
+}
+
+std::size_t
+KeyCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+}
+
+void
+KeyCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.ready) {
+            bytes_ -= it->second.bytes;
+            it = entries_.erase(it);
+        } else {
+            ++it; // a build in flight keeps its entry
+        }
+    }
+}
+
+KeyCache::Stats
+KeyCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.builds = builds_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+} // namespace zkp::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Refcounted, thread-safe cache of proving/verifying artifacts
+ * (compile + setup output) shared across concurrent requests.
+ *
+ * Setup for a 2^16 circuit takes seconds and its keys take hundreds
+ * of megabytes, so a serving process must build each (circuit, curve)
+ * artifact exactly once and share it: the cache runs builders under a
+ * singleflight guard — when N requests for a cold key arrive
+ * together, one thread builds while the other N-1 wait on the same
+ * future — and hands out std::shared_ptr handles, so an artifact
+ * stays alive for every request still holding it even after the
+ * cache evicts the entry (refcounting is the shared_ptr control
+ * block; eviction only drops the cache's own reference).
+ *
+ * Eviction is least-recently-used over *ready* entries whenever the
+ * resident total exceeds the byte cap. The entry just inserted and
+ * entries still building are never evicted, so a cap smaller than a
+ * single artifact degrades to "cache of one" rather than thrashing
+ * or failing.
+ *
+ * Values are type-erased (shared_ptr<const void>): the serving layer
+ * caches per-curve template instantiations behind one registry
+ * without the cache knowing any curve type.
+ */
+
+#ifndef ZKP_SERVE_KEY_CACHE_H
+#define ZKP_SERVE_KEY_CACHE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace zkp::serve {
+
+class KeyCache
+{
+  public:
+    /** Type-erased cached value. */
+    using Artifact = std::shared_ptr<const void>;
+
+    /** A built value plus its resident size for the byte cap. */
+    struct Built
+    {
+        Artifact value;
+        std::size_t bytes = 0;
+    };
+
+    /**
+     * Produces the artifact on a cache miss. Runs outside the cache
+     * lock (other keys proceed concurrently); may throw, in which
+     * case every waiter of this singleflight sees the exception and
+     * the key reverts to cold.
+     */
+    using Builder = std::function<Built()>;
+
+    /** @param capacity_bytes resident cap; 0 means unlimited. */
+    explicit KeyCache(std::size_t capacity_bytes = 0)
+        : capacityBytes_(capacity_bytes)
+    {}
+
+    /**
+     * Return the artifact for @p key, building it with @p build if
+     * absent. Concurrent calls for the same cold key run @p build
+     * exactly once. The returned handle pins the artifact regardless
+     * of later eviction.
+     */
+    Artifact getOrBuild(const std::string& key, const Builder& build);
+
+    /** Artifact bytes currently attributed to resident entries. */
+    std::size_t residentBytes() const;
+
+    /** Drop every ready entry (outstanding handles stay valid). */
+    void clear();
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t builds = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_future<Built> future;
+        /// Set (under the lock) once the build completed.
+        bool ready = false;
+        std::size_t bytes = 0;
+        /// LRU clock value of the last getOrBuild touch.
+        std::uint64_t lastUse = 0;
+    };
+
+    /// Drop LRU ready entries until the cap holds. @p keep is the key
+    /// that must survive (the one just built). Lock must be held.
+    void evictLocked(const std::string& keep);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    std::size_t capacityBytes_;
+    std::size_t bytes_ = 0;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t builds_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace zkp::serve
+
+#endif // ZKP_SERVE_KEY_CACHE_H

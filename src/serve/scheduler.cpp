@@ -1,0 +1,111 @@
+#include "serve/scheduler.h"
+
+#include "obs/metrics.h"
+
+namespace zkp::serve {
+
+void
+RequestQueue::updateDepthGaugeLocked() const
+{
+    static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+    depth.set((double)(interactive_.size() + batch_.size()));
+}
+
+std::unique_ptr<Job>
+RequestQueue::tryPush(std::unique_ptr<Job> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!closed_ &&
+            interactive_.size() + batch_.size() < capacity_) {
+            auto& q = job->priority == Priority::Interactive
+                          ? interactive_
+                          : batch_;
+            q.push_back(std::move(job));
+            updateDepthGaugeLocked();
+        }
+        // else: fall through holding the rejected job.
+    }
+    if (job)
+        return job;
+    cv_.notify_one();
+    return nullptr;
+}
+
+std::unique_ptr<Job>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+        return closed_ || !interactive_.empty() || !batch_.empty();
+    });
+    auto& q = !interactive_.empty() ? interactive_ : batch_;
+    if (q.empty())
+        return nullptr; // closed and drained
+    auto job = std::move(q.front());
+    q.pop_front();
+    updateDepthGaugeLocked();
+    return job;
+}
+
+std::vector<std::unique_ptr<Job>>
+RequestQueue::takeVerifyBatch(const std::string& circuit,
+                              std::size_t max)
+{
+    std::vector<std::unique_ptr<Job>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto* q : {&interactive_, &batch_}) {
+        for (auto it = q->begin();
+             it != q->end() && out.size() < max;) {
+            if ((*it)->kind == Job::Kind::Verify &&
+                (*it)->circuit == circuit) {
+                out.push_back(std::move(*it));
+                it = q->erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    updateDepthGaugeLocked();
+    return out;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::vector<std::unique_ptr<Job>>
+RequestQueue::drainAll()
+{
+    std::vector<std::unique_ptr<Job>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto* q : {&interactive_, &batch_}) {
+        for (auto& j : *q)
+            out.push_back(std::move(j));
+        q->clear();
+    }
+    updateDepthGaugeLocked();
+    return out;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return interactive_.size() + batch_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace zkp::serve

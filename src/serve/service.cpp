@@ -1,0 +1,400 @@
+#include "serve/service.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zkp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+obs::u64
+toMicros(double seconds)
+{
+    return seconds <= 0 ? 0 : (obs::u64)(seconds * 1e6);
+}
+
+} // namespace
+
+std::size_t
+envSize(const char* name, std::size_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    const long parsed = std::atol(v);
+    return parsed > 0 ? (std::size_t)parsed : fallback;
+}
+
+ProofService::ProofService(ServiceConfig cfg)
+    : cfg_([&] {
+          if (cfg.workers == 0)
+              cfg.workers = envSize("ZKP_SERVE_THREADS", 2);
+          if (cfg.queueCapacity == 0)
+              cfg.queueCapacity = envSize("ZKP_SERVE_QUEUE", 128);
+          if (cfg.proveThreads == 0) {
+              const unsigned hw = std::thread::hardware_concurrency();
+              cfg.proveThreads = hw > 0 ? hw : 1;
+          }
+          if (cfg.maxVerifyBatch == 0)
+              cfg.maxVerifyBatch = 1;
+          return cfg;
+      }()),
+      cache_(cfg_.keyCacheBytes), queue_(cfg_.queueCapacity)
+{
+    workers_.reserve(cfg_.workers);
+    for (std::size_t i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ProofService::~ProofService()
+{
+    shutdown();
+}
+
+void
+ProofService::registerCircuit(CircuitHost host)
+{
+    std::lock_guard<std::mutex> lock(hostsMu_);
+    if (!hosts_.emplace(host.name, std::move(host)).second)
+        throw std::invalid_argument("circuit already registered");
+}
+
+std::vector<std::string>
+ProofService::circuits() const
+{
+    std::lock_guard<std::mutex> lock(hostsMu_);
+    std::vector<std::string> out;
+    out.reserve(hosts_.size());
+    for (const auto& [name, host] : hosts_)
+        out.push_back(name);
+    return out;
+}
+
+const CircuitHost*
+ProofService::findHost(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(hostsMu_);
+    auto it = hosts_.find(name);
+    return it == hosts_.end() ? nullptr : &it->second;
+}
+
+void
+ProofService::prewarm(const std::string& circuit)
+{
+    const CircuitHost* host = findHost(circuit);
+    if (!host)
+        throw std::invalid_argument("unknown circuit: " + circuit);
+    (void)cache_.getOrBuild(host->name + "@" + host->curve,
+                            host->build);
+}
+
+ProofService::Ticket
+ProofService::enqueue(std::unique_ptr<Job> job, RequestOptions opts)
+{
+    job->priority = opts.priority;
+    job->enqueued = Clock::now();
+    if (opts.timeoutSeconds > 0)
+        job->deadline =
+            job->enqueued +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(opts.timeoutSeconds));
+    job->cancelled = std::make_shared<std::atomic<bool>>(false);
+
+    Ticket ticket;
+    ticket.cancelFlag = job->cancelled;
+    ticket.result = job->promise.get_future();
+
+    static obs::Counter& submitted = obs::counter("serve.submitted");
+    submitted.add();
+
+    if (!findHost(job->circuit)) {
+        settle(*job, Status::UnknownCircuit);
+        return ticket;
+    }
+    if (!accepting_.load(std::memory_order_acquire)) {
+        settle(*job, Status::ShuttingDown);
+        return ticket;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (auto rejected = queue_.tryPush(std::move(job))) {
+        accepted_.fetch_sub(1, std::memory_order_relaxed);
+        rejectedQueueFull_.fetch_add(1, std::memory_order_relaxed);
+        settle(*rejected, Status::QueueFull);
+    }
+    return ticket;
+}
+
+ProofService::Ticket
+ProofService::submitProve(const std::string& circuit,
+                          std::vector<std::uint8_t> public_inputs,
+                          std::vector<std::uint8_t> private_inputs,
+                          RequestOptions opts)
+{
+    auto job = std::make_unique<Job>();
+    job->kind = Job::Kind::Prove;
+    job->circuit = circuit;
+    job->publicInputs = std::move(public_inputs);
+    job->privateInputs = std::move(private_inputs);
+    return enqueue(std::move(job), opts);
+}
+
+ProofService::Ticket
+ProofService::submitVerify(const std::string& circuit,
+                           std::vector<std::uint8_t> public_inputs,
+                           std::vector<std::uint8_t> proof,
+                           RequestOptions opts)
+{
+    auto job = std::make_unique<Job>();
+    job->kind = Job::Kind::Verify;
+    job->circuit = circuit;
+    job->publicInputs = std::move(public_inputs);
+    job->proofBytes = std::move(proof);
+    return enqueue(std::move(job), opts);
+}
+
+void
+ProofService::settle(Job& job, Status status)
+{
+    static obs::Counter& queueFull =
+        obs::counter("serve.rejected.queue_full");
+    static obs::Counter& deadline =
+        obs::counter("serve.deadline_exceeded");
+    static obs::Counter& cancels = obs::counter("serve.canceled");
+    switch (status) {
+      case Status::QueueFull:
+        queueFull.add();
+        break;
+      case Status::DeadlineExceeded:
+        deadline.add();
+        deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::Canceled:
+        cancels.add();
+        canceled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+    Response r;
+    r.status = status;
+    r.queueSeconds = secondsSince(job.enqueued);
+    job.promise.set_value(std::move(r));
+}
+
+bool
+ProofService::admitForExecution(Job& job)
+{
+    if (job.cancelled &&
+        job.cancelled->load(std::memory_order_relaxed)) {
+        settle(job, Status::Canceled);
+        return false;
+    }
+    if (Clock::now() > job.deadline) {
+        settle(job, Status::DeadlineExceeded);
+        return false;
+    }
+    return true;
+}
+
+void
+ProofService::workerLoop(std::size_t index)
+{
+    (void)index;
+    for (;;) {
+        std::unique_ptr<Job> job = queue_.pop();
+        if (!job)
+            return; // closed and drained
+        {
+            std::lock_guard<std::mutex> lock(idleMu_);
+            ++inFlight_;
+        }
+        if (job->kind == Job::Kind::Prove) {
+            if (admitForExecution(*job))
+                executeProve(*job);
+        } else {
+            std::vector<std::unique_ptr<Job>> group;
+            group.push_back(std::move(job));
+            if (admitForExecution(*group.front())) {
+                // Opportunistic batching: fold every queued verify
+                // for this circuit into one verifyBatch call.
+                auto extra = queue_.takeVerifyBatch(
+                    group.front()->circuit, cfg_.maxVerifyBatch - 1);
+                for (auto& e : extra)
+                    group.push_back(std::move(e));
+                executeVerifyGroup(group);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(idleMu_);
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ProofService::executeProve(Job& job)
+{
+    ZKP_TRACE_SCOPE("serve_prove");
+    static obs::Counter& completions =
+        obs::counter("serve.completed.prove");
+    static obs::Histogram& latency =
+        obs::histogram("serve.latency_us");
+    static obs::Histogram& queueWait =
+        obs::histogram("serve.queue_wait_us");
+
+    Response r;
+    r.queueSeconds = secondsSince(job.enqueued);
+    const CircuitHost* host = findHost(job.circuit);
+    const Clock::time_point started = Clock::now();
+    try {
+        KeyCache::Artifact artifact = cache_.getOrBuild(
+            host->name + "@" + host->curve, host->build);
+        r.status = host->prove(artifact.get(), job.publicInputs,
+                               job.privateInputs, cfg_.proveThreads,
+                               r.proof);
+    } catch (...) {
+        r.status = Status::InternalError;
+    }
+    r.execSeconds = secondsSince(started);
+    if (r.status == Status::Ok)
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    else if (r.status == Status::InvalidRequest)
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+    completions.add();
+    queueWait.record(toMicros(r.queueSeconds));
+    latency.record(toMicros(r.queueSeconds + r.execSeconds));
+    job.promise.set_value(std::move(r));
+}
+
+void
+ProofService::executeVerifyGroup(
+    std::vector<std::unique_ptr<Job>>& group)
+{
+    ZKP_TRACE_SCOPE("serve_verify", "batch", (obs::u64)group.size());
+    static obs::Counter& completions =
+        obs::counter("serve.completed.verify");
+    static obs::Histogram& latency =
+        obs::histogram("serve.latency_us");
+    static obs::Histogram& queueWait =
+        obs::histogram("serve.queue_wait_us");
+    static obs::Histogram& batchSizes =
+        obs::histogram("serve.verify_batch");
+
+    // Late-arriving members still get their own deadline/cancel gate;
+    // admitForExecution settles the ones that fail it.
+    std::vector<Job*> live;
+    for (auto& j : group) {
+        if (j.get() == group.front().get() || admitForExecution(*j))
+            live.push_back(j.get());
+    }
+
+    const CircuitHost* host = findHost(group.front()->circuit);
+    std::vector<VerifyItem> items(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        items[i].publicInputs = &live[i]->publicInputs;
+        items[i].proof = &live[i]->proofBytes;
+    }
+    const Clock::time_point started = Clock::now();
+    try {
+        KeyCache::Artifact artifact = cache_.getOrBuild(
+            host->name + "@" + host->curve, host->build);
+        host->verify(artifact.get(), items);
+    } catch (...) {
+        for (auto& item : items)
+            item.status = Status::InternalError;
+    }
+    const double exec = secondsSince(started);
+    batchSizes.record(items.size());
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        Response r;
+        r.status = items[i].status;
+        r.valid = items[i].valid;
+        const double waited = secondsSince(live[i]->enqueued) - exec;
+        r.queueSeconds = waited > 0 ? waited : 0;
+        r.execSeconds = exec;
+        r.batchSize = (std::uint32_t)items.size();
+        if (r.status == Status::Ok)
+            completed_.fetch_add(1, std::memory_order_relaxed);
+        else if (r.status == Status::InvalidRequest)
+            invalid_.fetch_add(1, std::memory_order_relaxed);
+        completions.add();
+        queueWait.record(toMicros(r.queueSeconds));
+        latency.record(toMicros(r.queueSeconds + r.execSeconds));
+        live[i]->promise.set_value(std::move(r));
+    }
+}
+
+void
+ProofService::stopWorkers()
+{
+    queue_.close();
+    for (auto& w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+}
+
+void
+ProofService::drain()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycleMu_);
+    if (stopped_.load(std::memory_order_acquire))
+        return;
+    accepting_.store(false, std::memory_order_release);
+    {
+        std::unique_lock<std::mutex> lock(idleMu_);
+        idleCv_.wait(lock, [&] {
+            return queue_.depth() == 0 && inFlight_ == 0;
+        });
+    }
+    stopWorkers();
+    stopped_.store(true, std::memory_order_release);
+}
+
+void
+ProofService::shutdown()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycleMu_);
+    if (stopped_.load(std::memory_order_acquire))
+        return;
+    accepting_.store(false, std::memory_order_release);
+    for (auto& job : queue_.drainAll())
+        settle(*job, Status::ShuttingDown);
+    stopWorkers();
+    stopped_.store(true, std::memory_order_release);
+}
+
+ProofService::Stats
+ProofService::stats() const
+{
+    Stats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejectedQueueFull =
+        rejectedQueueFull_.load(std::memory_order_relaxed);
+    s.deadlineExceeded =
+        deadlineExceeded_.load(std::memory_order_relaxed);
+    s.canceled = canceled_.load(std::memory_order_relaxed);
+    s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.queueDepth = queue_.depth();
+    s.workers = workers_.size();
+    s.cache = cache_.stats();
+    return s;
+}
+
+} // namespace zkp::serve

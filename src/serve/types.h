@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared vocabulary of the proof-serving subsystem: request priority,
+ * terminal status codes and the unified response record every
+ * submission resolves to.
+ *
+ * Status values are part of the wire protocol (serve/protocol.h), so
+ * they are pinned to explicit numeric values — append, never renumber.
+ */
+
+#ifndef ZKP_SERVE_TYPES_H
+#define ZKP_SERVE_TYPES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace zkp::serve {
+
+/**
+ * Scheduling class. Interactive requests always dequeue ahead of
+ * batch requests; within a class, order is FIFO.
+ */
+enum class Priority : std::uint8_t
+{
+    Interactive = 0,
+    Batch = 1,
+};
+
+/** Terminal state of a request. */
+enum class Status : std::uint8_t
+{
+    /// Request executed; for verify, consult Response::valid.
+    Ok = 0,
+    /// Rejected at submit: the bounded queue is full (backpressure —
+    /// retry later, the service never buffers unboundedly).
+    QueueFull = 1,
+    /// The per-request deadline passed before execution started.
+    DeadlineExceeded = 2,
+    /// The caller cancelled the request before execution started.
+    Canceled = 3,
+    /// Rejected: the service is draining or shut down.
+    ShuttingDown = 4,
+    /// No circuit registered under the requested name.
+    UnknownCircuit = 5,
+    /// Malformed inputs: wrong count, non-canonical scalar, bad proof
+    /// encoding, or a witness that does not satisfy the circuit.
+    InvalidRequest = 6,
+    /// The request executed but something failed internally.
+    InternalError = 7,
+};
+
+/** Human-readable status name (stable, used in logs and metrics). */
+inline const char*
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok:
+        return "ok";
+      case Status::QueueFull:
+        return "queue_full";
+      case Status::DeadlineExceeded:
+        return "deadline_exceeded";
+      case Status::Canceled:
+        return "canceled";
+      case Status::ShuttingDown:
+        return "shutting_down";
+      case Status::UnknownCircuit:
+        return "unknown_circuit";
+      case Status::InvalidRequest:
+        return "invalid_request";
+      case Status::InternalError:
+        return "internal_error";
+    }
+    return "unknown";
+}
+
+/**
+ * What a submission resolves to. Prove requests carry the serialized
+ * proof on Ok; verify requests carry the verdict in `valid`.
+ */
+struct Response
+{
+    Status status = Status::InternalError;
+    /// Verify verdict (meaningful only for verify requests with Ok).
+    bool valid = false;
+    /// Framed serialized proof (prove requests with Ok).
+    std::vector<std::uint8_t> proof;
+    /// Seconds the request waited in the queue.
+    double queueSeconds = 0;
+    /// Seconds spent executing (proving or verifying).
+    double execSeconds = 0;
+    /// Number of requests folded into the same verifyBatch call
+    /// (1 when not batched; prove requests always 1).
+    std::uint32_t batchSize = 1;
+};
+
+} // namespace zkp::serve
+
+#endif // ZKP_SERVE_TYPES_H

@@ -119,6 +119,26 @@ class ByteReader
     /** Bytes not yet consumed (for length-field sanity bounds). */
     std::size_t remaining() const { return buf_.size() - pos_; }
 
+    /** Look @p ahead bytes past the cursor without consuming. */
+    bool
+    peekU8(std::size_t ahead, std::uint8_t& v) const
+    {
+        if (pos_ + ahead >= buf_.size())
+            return false;
+        v = buf_[pos_ + ahead];
+        return true;
+    }
+
+    /** Advance the cursor by @p n bytes (must be available). */
+    bool
+    skip(std::size_t n)
+    {
+        if (pos_ + n > buf_.size())
+            return false;
+        pos_ += n;
+        return true;
+    }
+
   private:
     const std::vector<std::uint8_t>& buf_;
     std::size_t pos_ = 0;
@@ -141,6 +161,70 @@ inline constexpr std::uint8_t kTagInfinity = 0;
 inline constexpr std::uint8_t kTagEvenY = 2;
 inline constexpr std::uint8_t kTagOddY = 3;
 inline constexpr std::uint8_t kTagUncompressed = 4;
+
+// ---------------------------------------------------------------------------
+// Versioned header (magic + schema byte).
+//
+// Payloads that cross a trust or version boundary — the zkperfd wire
+// protocol, proofs returned by the serving layer, cached key
+// artifacts — are prefixed with "ZKP" plus one schema byte, so a
+// reader can reject a future encoding cleanly instead of
+// misparsing it. Readers written against this header also accept the
+// original headerless ("legacy") payloads wherever the first payload
+// byte cannot collide with the magic: proofs and points always start
+// with a point tag (0/2/3/4), never 'Z' (0x5a). Do NOT rely on
+// legacy detection for payloads that start with field elements (VKs):
+// those have attacker-chosen leading bytes.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint8_t kHeaderMagic[3] = {'Z', 'K', 'P'};
+
+/** Current schema. Bump when an encoding changes incompatibly. */
+inline constexpr std::uint8_t kSchemaVersion = 1;
+
+/** Prefix @p w with the versioned header. */
+inline void
+writeVersionHeader(ByteWriter& w, std::uint8_t schema = kSchemaVersion)
+{
+    w.putU8(kHeaderMagic[0]);
+    w.putU8(kHeaderMagic[1]);
+    w.putU8(kHeaderMagic[2]);
+    w.putU8(schema);
+}
+
+/** Outcome of probing a payload for the versioned header. */
+enum class Header : std::uint8_t
+{
+    /// Header present with a schema this build understands; consumed.
+    Framed,
+    /// No header (pre-versioning payload); nothing consumed.
+    Legacy,
+    /// Header present but the schema byte is unknown; reject.
+    Unsupported,
+};
+
+/**
+ * Consume the versioned header if present. On Framed, @p schema holds
+ * the payload's schema and the cursor sits on the first body byte; on
+ * Legacy the cursor is untouched; on Unsupported the payload must be
+ * rejected.
+ */
+inline Header
+consumeVersionHeader(ByteReader& r, std::uint8_t& schema)
+{
+    std::uint8_t m0, m1, m2, v;
+    if (!r.peekU8(0, m0) || !r.peekU8(1, m1) || !r.peekU8(2, m2) ||
+        !r.peekU8(3, v))
+        return Header::Legacy; // too short to carry a header
+    if (m0 != kHeaderMagic[0] || m1 != kHeaderMagic[1] ||
+        m2 != kHeaderMagic[2])
+        return Header::Legacy;
+    if (v == 0 || v > kSchemaVersion)
+        return Header::Unsupported;
+    r.skip(4);
+    schema = v;
+    return Header::Framed;
+}
 
 /** Write a G1 point compressed (x + y-parity). */
 template <typename Group>
@@ -307,26 +391,67 @@ serializeProof(const typename Groth16<Curve>::Proof& proof)
 }
 
 /**
- * Parse and validate a proof; empty on any malformed input.
- *
- * Identity elements are rejected: an honest prover blinds A and B
- * with nonzero randomness (and C accumulates them), so the identity
- * never appears in a well-formed proof, while letting it through
- * hands degenerate pairing inputs to the verifier.
+ * Parse a proof body from @p r (shared by the legacy and framed
+ * entry points). Identity elements are rejected: an honest prover
+ * blinds A and B with nonzero randomness (and C accumulates them), so
+ * the identity never appears in a well-formed proof, while letting it
+ * through hands degenerate pairing inputs to the verifier.
  */
+template <typename Curve>
+bool
+readProofBody(ByteReader& r, typename Groth16<Curve>::Proof& proof)
+{
+    if (!readG1<typename Curve::G1>(r, proof.a) || proof.a.infinity)
+        return false;
+    if (!readG2<typename Curve::G2>(r, proof.b) || proof.b.infinity)
+        return false;
+    if (!readG1<typename Curve::G1>(r, proof.c) || proof.c.infinity)
+        return false;
+    return r.atEnd();
+}
+
+/** Parse and validate a headerless proof; empty on malformed input. */
 template <typename Curve>
 std::optional<typename Groth16<Curve>::Proof>
 deserializeProof(const std::vector<std::uint8_t>& bytes)
 {
     ByteReader r(bytes);
     typename Groth16<Curve>::Proof proof;
-    if (!readG1<typename Curve::G1>(r, proof.a) || proof.a.infinity)
+    if (!readProofBody<Curve>(r, proof))
         return std::nullopt;
-    if (!readG2<typename Curve::G2>(r, proof.b) || proof.b.infinity)
+    return proof;
+}
+
+/** Serialize a proof behind the versioned header (the wire form). */
+template <typename Curve>
+std::vector<std::uint8_t>
+serializeProofFramed(const typename Groth16<Curve>::Proof& proof)
+{
+    ByteWriter w;
+    writeVersionHeader(w);
+    writeG1<typename Curve::G1>(w, proof.a);
+    writeG2<typename Curve::G2>(w, proof.b);
+    writeG1<typename Curve::G1>(w, proof.c);
+    return w.bytes();
+}
+
+/**
+ * Parse a proof that may or may not carry the versioned header:
+ * framed payloads with a known schema and legacy (headerless)
+ * payloads are both accepted; unknown schema versions are rejected.
+ * Sound because a legacy proof starts with a point tag, which never
+ * matches the magic (see the header block comment).
+ */
+template <typename Curve>
+std::optional<typename Groth16<Curve>::Proof>
+deserializeProofAny(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    std::uint8_t schema = 0;
+    if (consumeVersionHeader(r, schema) == Header::Unsupported)
         return std::nullopt;
-    if (!readG1<typename Curve::G1>(r, proof.c) || proof.c.infinity)
-        return std::nullopt;
-    if (!r.atEnd())
+    typename Groth16<Curve>::Proof proof;
+    if (!readProofBody<Curve>(r, proof))
         return std::nullopt;
     return proof;
 }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * KeyCache contract tests: singleflight cold start, LRU eviction
+ * under the byte cap, refcount correctness for handles outliving
+ * eviction, and builder-failure recovery. The whole file runs under
+ * the TSan CI job (see .github/workflows/ci.yml) — the concurrency
+ * tests double as data-race detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/key_cache.h"
+
+namespace zkp::serve {
+namespace {
+
+/** Builder producing a heap int with an observable destructor. */
+KeyCache::Builder
+intBuilder(int value, std::size_t bytes, std::atomic<int>* builds,
+           std::atomic<int>* destroyed = nullptr)
+{
+    return [=] {
+        if (builds)
+            builds->fetch_add(1);
+        KeyCache::Built b;
+        b.value = std::shared_ptr<const void>(
+            new int(value), [destroyed](const void* p) {
+                if (destroyed)
+                    destroyed->fetch_add(1);
+                delete static_cast<const int*>(p);
+            });
+        b.bytes = bytes;
+        return b;
+    };
+}
+
+int
+valueOf(const KeyCache::Artifact& a)
+{
+    return *static_cast<const int*>(a.get());
+}
+
+TEST(KeyCache, BuildsOnceAndHits)
+{
+    KeyCache cache;
+    std::atomic<int> builds{0};
+    auto a = cache.getOrBuild("k", intBuilder(7, 10, &builds));
+    auto b = cache.getOrBuild("k", intBuilder(8, 10, &builds));
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(valueOf(a), 7);
+    EXPECT_EQ(a.get(), b.get());
+    const auto s = cache.stats();
+    EXPECT_EQ(s.builds, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.bytes, 10u);
+}
+
+TEST(KeyCache, ConcurrentColdStartIsSingleflight)
+{
+    KeyCache cache;
+    std::atomic<int> builds{0};
+    // A slow builder widens the race window: all threads must arrive
+    // while the key is still building and share the one future.
+    KeyCache::Builder slow = [&] {
+        builds.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        KeyCache::Built b;
+        b.value = std::shared_ptr<const void>(
+            new int(42),
+            [](const void* p) { delete static_cast<const int*>(p); });
+        b.bytes = 1;
+        return b;
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<KeyCache::Artifact> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(
+            [&, t] { got[t] = cache.getOrBuild("cold", slow); });
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_TRUE(got[t]);
+        EXPECT_EQ(valueOf(got[t]), 42);
+        EXPECT_EQ(got[t].get(), got[0].get());
+    }
+    EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(KeyCache, EvictsLeastRecentlyUsedOverByteCap)
+{
+    KeyCache cache(100);
+    std::atomic<int> builds{0};
+    cache.getOrBuild("a", intBuilder(1, 60, &builds));
+    cache.getOrBuild("b", intBuilder(2, 60, &builds));
+    // a + b = 120 > 100: "a" (least recently used) must have gone.
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.residentBytes(), 100u);
+
+    // "b" is still resident (a hit); "a" rebuilds.
+    cache.getOrBuild("b", intBuilder(0, 60, &builds));
+    EXPECT_EQ(builds.load(), 2);
+    cache.getOrBuild("a", intBuilder(1, 60, &builds));
+    EXPECT_EQ(builds.load(), 3);
+}
+
+TEST(KeyCache, CapSmallerThanOneArtifactKeepsIt)
+{
+    // The just-built entry is never evicted: a cap below a single
+    // artifact degrades to a cache of one, not to thrashing.
+    KeyCache cache(10);
+    std::atomic<int> builds{0};
+    auto a = cache.getOrBuild("big", intBuilder(5, 60, &builds));
+    EXPECT_EQ(cache.residentBytes(), 60u);
+    auto b = cache.getOrBuild("big", intBuilder(5, 60, &builds));
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(KeyCache, HandleOutlivesEviction)
+{
+    KeyCache cache(100);
+    std::atomic<int> builds{0}, destroyed{0};
+    auto held = cache.getOrBuild(
+        "victim", intBuilder(9, 60, &builds, &destroyed));
+    // Force "victim" out of the cache.
+    cache.getOrBuild("filler", intBuilder(0, 60, &builds));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // The refcount (shared_ptr) keeps the artifact alive for us.
+    EXPECT_EQ(destroyed.load(), 0);
+    EXPECT_EQ(valueOf(held), 9);
+    held.reset();
+    EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST(KeyCache, BuilderExceptionLeavesKeyCold)
+{
+    KeyCache cache;
+    std::atomic<int> builds{0};
+    KeyCache::Builder failing = [&]() -> KeyCache::Built {
+        builds.fetch_add(1);
+        throw std::runtime_error("setup failed");
+    };
+    EXPECT_THROW(cache.getOrBuild("k", failing), std::runtime_error);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // The key reverted to cold: the next call builds again and can
+    // succeed.
+    auto a = cache.getOrBuild("k", intBuilder(3, 5, &builds));
+    EXPECT_EQ(valueOf(a), 3);
+    EXPECT_EQ(builds.load(), 2);
+}
+
+TEST(KeyCache, ClearKeepsOutstandingHandles)
+{
+    KeyCache cache;
+    std::atomic<int> destroyed{0};
+    auto held =
+        cache.getOrBuild("k", intBuilder(4, 5, nullptr, &destroyed));
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.residentBytes(), 0u);
+    EXPECT_EQ(destroyed.load(), 0);
+    EXPECT_EQ(valueOf(held), 4);
+}
+
+TEST(KeyCache, ConcurrentMixedKeysUnderSmallCap)
+{
+    // Stress for TSan: many threads churning a handful of keys
+    // through a cap that forces constant eviction and rebuilding.
+    KeyCache cache(150);
+    std::atomic<int> builds{0};
+    constexpr int kThreads = 8;
+    constexpr int kIters = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const int k = (t + i) % 4;
+                auto a = cache.getOrBuild(
+                    "key" + std::to_string(k),
+                    intBuilder(k, 60, &builds));
+                ASSERT_EQ(valueOf(a), k);
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+    EXPECT_LE(cache.residentBytes(), 150u);
+    EXPECT_GE(builds.load(), 4);
+}
+
+} // namespace
+} // namespace zkp::serve

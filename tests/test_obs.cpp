@@ -585,6 +585,12 @@ TEST(MetricsTest, HistogramSnapshotCoherentUnderWriters)
                 h.record(v++ & 0xffffu);
         });
 
+    // On a loaded (or single-core) machine the snapshot loop can
+    // finish before any writer is ever scheduled; wait for the first
+    // recorded sample so the final count>0 assertion is meaningful.
+    while (h.snapshot().count == 0)
+        std::this_thread::yield();
+
     for (int i = 0; i < 200; ++i) {
         const auto s = h.snapshot();
         obs::u64 bucket_sum = 0;

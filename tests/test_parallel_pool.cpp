@@ -236,5 +236,38 @@ TEST(ThreadPoolTest, StressManySmallRegionsVaryingWidth)
     EXPECT_EQ(total.load(), expect);
 }
 
+TEST(ThreadPoolTest, SaturationFromExternalThreads)
+{
+    // Regression test for the layering the proof service relies on
+    // (src/serve/): many plain std::threads saturating parallelFor
+    // concurrently must serialize region-by-region on the pool's
+    // region mutex and all make progress — no deadlock, no lost
+    // updates. Nested regions inside each top-level region run
+    // inline, exercising the pool's no-re-entry rule at the same
+    // time.
+    constexpr std::size_t kExternal = 8;
+    constexpr int kRegionsEach = 25;
+    std::atomic<std::uint64_t> total{0};
+    std::vector<std::thread> external;
+    for (std::size_t t = 0; t < kExternal; ++t)
+        external.emplace_back([&] {
+            for (int rep = 0; rep < kRegionsEach; ++rep)
+                parallelFor(
+                    64, 4,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        // Nested region: runs inline on the worker.
+                        parallelFor(e - b, 2,
+                                    [&](std::size_t, std::size_t nb,
+                                        std::size_t ne) {
+                                        total += ne - nb;
+                                    });
+                    });
+        });
+    for (auto& t : external)
+        t.join();
+    EXPECT_EQ(total.load(),
+              (std::uint64_t)kExternal * kRegionsEach * 64);
+}
+
 } // namespace
 } // namespace zkp

@@ -71,6 +71,70 @@ TEST(Serialize, ProofRoundTrip)
                        *back));
 }
 
+TEST(Serialize, FramedProofRoundTrip)
+{
+    Rng rng(67);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+
+    auto framed = serializeProofFramed<Bn254>(proof);
+    // "ZKP" magic + schema byte ahead of the legacy layout.
+    EXPECT_EQ(framed.size(), 4 + 2 * 33 + 65u);
+    EXPECT_EQ(framed[0], 'Z');
+    EXPECT_EQ(framed[3], kSchemaVersion);
+
+    auto back = deserializeProofAny<Bn254>(framed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->a == proof.a);
+    EXPECT_TRUE(back->b == proof.b);
+    EXPECT_TRUE(back->c == proof.c);
+}
+
+TEST(Serialize, LegacyProofStillAccepted)
+{
+    // Old-tag payloads (no header) must keep deserializing: proofs
+    // persisted before the versioned header predate it.
+    Rng rng(68);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+
+    auto legacy = serializeProof<Bn254>(proof);
+    auto back = deserializeProofAny<Bn254>(legacy);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->a == proof.a);
+    EXPECT_TRUE(back->b == proof.b);
+    EXPECT_TRUE(back->c == proof.c);
+}
+
+TEST(Serialize, UnknownSchemaVersionRejected)
+{
+    Rng rng(69);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+
+    auto framed = serializeProofFramed<Bn254>(proof);
+    framed[3] = 99; // a future schema this build does not know
+    EXPECT_FALSE(deserializeProofAny<Bn254>(framed).has_value());
+    framed[3] = 0; // version 0 was never issued
+    EXPECT_FALSE(deserializeProofAny<Bn254>(framed).has_value());
+}
+
+TEST(Serialize, TruncatedFramedProofRejected)
+{
+    Rng rng(70);
+    Fr x = Fr::random(rng);
+    auto proof = fixture().proveFor(x, rng);
+
+    auto framed = serializeProofFramed<Bn254>(proof);
+    for (std::size_t cut : {std::size_t(1), std::size_t(3),
+                            std::size_t(4), framed.size() - 1}) {
+        std::vector<std::uint8_t> prefix(framed.begin(),
+                                         framed.begin() + cut);
+        EXPECT_FALSE(deserializeProofAny<Bn254>(prefix).has_value())
+            << "accepted a " << cut << "-byte prefix";
+    }
+}
+
 TEST(Serialize, ProofRoundTripBls)
 {
     using SchemeB = Groth16<Bls381>;
