@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -492,6 +493,9 @@ main(int argc, char** argv)
         elapsed = wallNow() - t_start;
         service.drain();
     } else {
+        // A daemon that died mid-exchange must yield an EPIPE write
+        // error (counted as a failure), not kill the load generator.
+        std::signal(SIGPIPE, SIG_IGN);
         t_start = wallNow();
         for (std::size_t c = 0; c < opt.clients; ++c)
             clients.emplace_back([&, c] {

@@ -29,7 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,9 +67,16 @@ usage(const char* argv0)
     return 2;
 }
 
+/**
+ * One client connection. The handler thread never closes fd itself —
+ * it sets done and the main thread closes only after joining, so a
+ * descriptor number is never recycled while drain code could still
+ * shutdown() it.
+ */
 struct Connection
 {
     int fd = -1;
+    std::atomic<bool> done{false};
     std::thread thread;
 };
 
@@ -149,13 +156,11 @@ serveConnection(zkp::serve::ProofService& service, int fd)
           default:
             // Unknown request type: drop the connection (a framing
             // bug on the client side; nothing sensible to answer).
-            ::close(fd);
             return;
         }
         if (!wire::writeFrame(fd, resp))
             break;
     }
-    ::close(fd);
 }
 
 } // namespace
@@ -234,6 +239,10 @@ main(int argc, char** argv)
     sa.sa_handler = onSignal;
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
+    // A client that disconnects before its (slow) prove response is
+    // written must not kill the daemon. writeAll already sends with
+    // MSG_NOSIGNAL; this covers any other write to a dead peer.
+    std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("zkperfd: serving %s on %s (workers=%zu queue=%zu "
                 "prove-threads=%zu)\n",
@@ -243,8 +252,21 @@ main(int argc, char** argv)
                 service.config().proveThreads);
     std::fflush(stdout);
 
-    std::mutex conns_mu;
-    std::vector<Connection> conns;
+    std::vector<std::unique_ptr<Connection>> conns;
+    // Join, close, and forget connections whose handler finished, so
+    // neither fds, Connection entries, nor unjoined threads pile up
+    // over the daemon's lifetime.
+    auto reap = [&conns] {
+        for (auto it = conns.begin(); it != conns.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                (*it)->thread.join();
+                ::close((*it)->fd);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
     while (!gStop.load()) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
@@ -252,26 +274,32 @@ main(int argc, char** argv)
                 continue;
             break;
         }
-        std::lock_guard<std::mutex> lock(conns_mu);
-        conns.push_back(Connection{
-            fd, std::thread([&service, fd] {
-                serveConnection(service, fd);
-            })});
+        reap();
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* c = conn.get();
+        conn->thread = std::thread([&service, c] {
+            serveConnection(service, c->fd);
+            c->done.store(true, std::memory_order_release);
+        });
+        conns.push_back(std::move(conn));
     }
 
     std::printf("zkperfd: draining...\n");
     std::fflush(stdout);
     ::close(listen_fd);
-    {
-        // Nudge connections still blocked in read; their threads exit
-        // on the resulting EOF. In-flight requests still complete.
-        std::lock_guard<std::mutex> lock(conns_mu);
-        for (auto& c : conns)
-            ::shutdown(c.fd, SHUT_RD);
-    }
+    // Nudge connections still blocked in read; their threads exit on
+    // the resulting EOF. In-flight requests still complete. Finished
+    // connections keep their fd open until joined below, so this
+    // never touches a recycled descriptor.
     for (auto& c : conns)
-        if (c.thread.joinable())
-            c.thread.join();
+        if (!c->done.load(std::memory_order_acquire))
+            ::shutdown(c->fd, SHUT_RD);
+    for (auto& c : conns) {
+        c->thread.join();
+        ::close(c->fd);
+    }
+    conns.clear();
     service.drain();
     ::unlink(socket_path.c_str());
 

@@ -18,8 +18,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/random.h>
+#endif
 
 #include "common/rng.h"
 #include "r1cs/circuits.h"
@@ -79,16 +84,33 @@ struct CircuitArtifacts
 
 namespace detail {
 
-/** Fresh blinding entropy per prove call (never reused). */
+/**
+ * Fresh, unpredictable entropy per prove/verify-batch call.
+ *
+ * This seed feeds the Groth16 blinding scalars (r, s) — whose
+ * unpredictability the zero-knowledge property rests on — and the
+ * random linear-combination coefficients of verifyBatch, whose
+ * unpredictability batch soundness rests on. It therefore comes from
+ * the OS CSPRNG (getrandom, falling back to std::random_device), not
+ * from clocks or counters an observer could reconstruct. A counter is
+ * still mixed in so that even a pathological entropy source never
+ * hands two calls the same seed.
+ */
 inline u64
 proveSeed()
 {
     static std::atomic<u64> counter{0};
-    const u64 tick = (u64)std::chrono::steady_clock::now()
-                         .time_since_epoch()
-                         .count();
-    return tick ^ (counter.fetch_add(1, std::memory_order_relaxed)
-                   << 32);
+    u64 seed = 0;
+#if defined(__linux__)
+    if (::getrandom(&seed, sizeof(seed), 0) !=
+        (ssize_t)sizeof(seed))
+        seed = 0;
+#endif
+    if (seed == 0) {
+        thread_local std::random_device rd; // fallback entropy
+        seed = ((u64)rd() << 32) ^ (u64)rd();
+    }
+    return seed ^ counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace detail

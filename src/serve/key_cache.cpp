@@ -49,7 +49,6 @@ KeyCache::getOrBuild(const std::string& key, const Builder& build)
     try {
         ZKP_TRACE_SCOPE("serve_key_build");
         built = build();
-        ++builds_;
     } catch (...) {
         // Revert the key to cold before publishing the failure, so a
         // later request retries instead of joining a doomed future.
@@ -75,6 +74,7 @@ KeyCache::getOrBuild(const std::string& key, const Builder& build)
         it->second.ready = true;
         it->second.bytes = built.bytes;
         bytes_ += built.bytes;
+        ++builds_; // under mu_, where stats() reads it
         evictLocked(key);
     }
     promise.set_value(built);

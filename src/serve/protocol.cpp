@@ -80,7 +80,9 @@ writeAll(int fd, const void* buf, std::size_t n)
 {
     const auto* p = static_cast<const std::uint8_t*>(buf);
     while (n > 0) {
-        const ssize_t put = ::write(fd, p, n);
+        // MSG_NOSIGNAL: a peer that disconnected mid-response must
+        // surface as EPIPE here, not as a process-killing SIGPIPE.
+        const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
         if (put < 0) {
             if (errno == EINTR)
                 continue;

@@ -11,25 +11,23 @@ RequestQueue::updateDepthGaugeLocked() const
     depth.set((double)(interactive_.size() + batch_.size()));
 }
 
-std::unique_ptr<Job>
-RequestQueue::tryPush(std::unique_ptr<Job> job)
+RequestQueue::PushResult
+RequestQueue::tryPush(std::unique_ptr<Job>& job)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (!closed_ &&
-            interactive_.size() + batch_.size() < capacity_) {
-            auto& q = job->priority == Priority::Interactive
-                          ? interactive_
-                          : batch_;
-            q.push_back(std::move(job));
-            updateDepthGaugeLocked();
-        }
-        // else: fall through holding the rejected job.
+        if (closed_)
+            return PushResult::Closed;
+        if (interactive_.size() + batch_.size() >= capacity_)
+            return PushResult::Full;
+        auto& q = job->priority == Priority::Interactive
+                      ? interactive_
+                      : batch_;
+        q.push_back(std::move(job));
+        updateDepthGaugeLocked();
     }
-    if (job)
-        return job;
     cv_.notify_one();
-    return nullptr;
+    return PushResult::Accepted;
 }
 
 std::unique_ptr<Job>

@@ -68,11 +68,22 @@ class RequestQueue
   public:
     explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
 
+    /** Why a tryPush rejected the job (Accepted = it did not). */
+    enum class PushResult : std::uint8_t
+    {
+        Accepted,
+        Full,   ///< at capacity: answer QueueFull (retryable)
+        Closed, ///< shutting down: answer ShuttingDown (terminal)
+    };
+
     /**
      * Enqueue, or return the job back on backpressure/close so the
-     * caller can resolve its promise (nullptr return = accepted).
+     * caller can resolve its promise. On rejection @p job is left
+     * owning the request and the result says whether the cause was
+     * backpressure (Full) or shutdown (Closed) — clients retry the
+     * former, not the latter.
      */
-    std::unique_ptr<Job> tryPush(std::unique_ptr<Job> job);
+    PushResult tryPush(std::unique_ptr<Job>& job);
 
     /**
      * Block for the next job by priority. Returns nullptr once the

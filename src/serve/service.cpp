@@ -129,10 +129,20 @@ ProofService::enqueue(std::unique_ptr<Job> job, RequestOptions opts)
         return ticket;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    if (auto rejected = queue_.tryPush(std::move(job))) {
+    switch (queue_.tryPush(job)) {
+      case RequestQueue::PushResult::Accepted:
+        break;
+      case RequestQueue::PushResult::Full:
         accepted_.fetch_sub(1, std::memory_order_relaxed);
         rejectedQueueFull_.fetch_add(1, std::memory_order_relaxed);
-        settle(*rejected, Status::QueueFull);
+        settle(*job, Status::QueueFull);
+        break;
+      case RequestQueue::PushResult::Closed:
+        // Lost the race with shutdown() closing the queue after our
+        // accepting_ check; this is a drain condition, not pressure.
+        accepted_.fetch_sub(1, std::memory_order_relaxed);
+        settle(*job, Status::ShuttingDown);
+        break;
     }
     return ticket;
 }

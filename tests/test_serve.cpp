@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -204,6 +205,31 @@ TEST(ProofService, QueueFullBackpressure)
     ctl->release();
     EXPECT_EQ(t1.result.get().status, Status::Ok);
     EXPECT_EQ(t2.result.get().status, Status::Ok);
+}
+
+TEST(RequestQueue, PushDistinguishesFullFromClosed)
+{
+    RequestQueue queue(1);
+
+    auto a = std::make_unique<Job>();
+    EXPECT_EQ(queue.tryPush(a), RequestQueue::PushResult::Accepted);
+    EXPECT_EQ(a, nullptr); // accepted: ownership moved into the queue
+
+    auto b = std::make_unique<Job>();
+    EXPECT_EQ(queue.tryPush(b), RequestQueue::PushResult::Full);
+    ASSERT_NE(b, nullptr); // rejected: caller keeps the job
+
+    // Once closed, rejection must say Closed even though the queue is
+    // also full — the service settles these as ShuttingDown, not
+    // QueueFull, so retry-on-QueueFull clients don't spin on a
+    // terminating service.
+    queue.close();
+    EXPECT_EQ(queue.tryPush(b), RequestQueue::PushResult::Closed);
+    ASSERT_NE(b, nullptr);
+
+    // The job accepted before close still drains.
+    EXPECT_NE(queue.pop(), nullptr);
+    EXPECT_EQ(queue.pop(), nullptr); // closed and empty
 }
 
 TEST(ProofService, InteractiveDequeuesBeforeBatch)
