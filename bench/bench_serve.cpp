@@ -17,15 +17,35 @@
  *          [--requests <n>] [--log2 <k>] [--verify-frac <f>]
  *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
  *          [--socket <path>] [--out <file>] [--smoke]
+ *          [--stats-dump <file>]
  *
  *   --smoke      CI shape: 200 requests total at 2^8 constraints
  *                (explicit --requests/--log2 still win)
+ *   --stats-dump scrape-only mode: send a stats/v2 request to the
+ *                daemon at --socket, write the raw
+ *                zkperf-serve-stats/2 JSON document to <file>, and
+ *                exit without generating load (CI uses this to
+ *                assert on a live daemon's telemetry)
  *
- * Reports p50/p95/p99/mean latency per request kind plus throughput,
- * and writes BENCH_serve.json whose "results" array uses the
- * BENCH_kernels.json entry schema, so `bench_compare --against` can
- * diff two serving runs. Exits 1 if any request failed (a rejected
- * proof, an invalid verify, or a non-Ok terminal status), 2 on usage
+ * Reports p50/p95/p99/p999/mean latency per request kind plus
+ * throughput, and writes BENCH_serve.json whose "results" array uses
+ * the BENCH_kernels.json entry schema, so `bench_compare --against`
+ * can diff two serving runs — including the server-side
+ * serve_server_{prove,verify}_{p50,p99,p999} tail-latency entries
+ * scraped from the service's own lifecycle histograms.
+ *
+ * After a load run the bench cross-checks the server's end-to-end
+ * quantiles against the client-observed ones: a request's server-side
+ * lifespan (arrive → replied) lies strictly inside the client's
+ * observed window, so the server p50 can only exceed the client p50
+ * through a clock-domain or accounting bug. The gate allows 2x + 10ms
+ * (server quantiles come from log2-bucketed histograms, whose
+ * in-bucket interpolation can overestimate by up to the bucket width)
+ * — still tight enough to catch unit mixups (ms vs us) and wall/steady
+ * clock confusion, which are the bugs this check exists for.
+ *
+ * Exits 1 if any request failed (a rejected proof, an invalid verify,
+ * a non-Ok terminal status, or a cross-check violation), 2 on usage
  * errors.
  */
 
@@ -64,6 +84,7 @@ struct Options
     std::size_t proveThreads = 0;
     std::string socketPath; // empty = in-process
     std::string outPath = "BENCH_serve.json";
+    std::string statsDumpPath; // non-empty = scrape-only mode
 };
 
 int
@@ -74,7 +95,8 @@ usage(const char* argv0)
         "usage: %s [--clients <n>] [--seconds <s>] [--requests <n>]\n"
         "          [--log2 <k>] [--verify-frac <f>] [--workers <n>]\n"
         "          [--queue <n>] [--prove-threads <n>]\n"
-        "          [--socket <path>] [--out <file>] [--smoke]\n",
+        "          [--socket <path>] [--out <file>] [--smoke]\n"
+        "          [--stats-dump <file>]\n",
         argv0);
     return 2;
 }
@@ -280,19 +302,6 @@ clientLoopSocket(const std::string& circuit, const Options& opt,
     ::close(fd);
 }
 
-double
-percentile(std::vector<double> sorted, double q)
-{
-    if (sorted.empty())
-        return 0;
-    const double idx = q * (double)(sorted.size() - 1);
-    const std::size_t lo = (std::size_t)idx;
-    const std::size_t hi =
-        lo + 1 < sorted.size() ? lo + 1 : lo;
-    const double frac = idx - (double)lo;
-    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
-}
-
 /** Latency entries in the BENCH_kernels.json "results" schema. */
 void
 appendLatencyEntries(std::vector<KernelEntry>& entries,
@@ -310,9 +319,10 @@ appendLatencyEntries(std::vector<KernelEntry>& entries,
         const char* suffix;
         double value;
     } rows[] = {
-        {"p50", percentile(samples, 0.50)},
-        {"p95", percentile(samples, 0.95)},
-        {"p99", percentile(samples, 0.99)},
+        {"p50", bench::percentile(samples, 0.50)},
+        {"p95", bench::percentile(samples, 0.95)},
+        {"p99", bench::percentile(samples, 0.99)},
+        {"p999", bench::percentile(samples, 0.999)},
         {"mean", sum / (double)samples.size()},
     };
     for (const auto& row : rows) {
@@ -328,6 +338,245 @@ appendLatencyEntries(std::vector<KernelEntry>& entries,
         e.secondsMin = row.value;
         entries.push_back(std::move(e));
     }
+}
+
+/** One server-side lane's end-to-end quantiles, in seconds. */
+struct ServerLane
+{
+    std::string kind;
+    std::string priority;
+    std::uint64_t count = 0;
+    double p50 = 0, p99 = 0, p999 = 0;
+};
+
+/** Result of scraping the service's own telemetry. */
+struct ServerScrape
+{
+    bool ok = false;
+    std::uint64_t completed = 0;
+    std::vector<ServerLane> lanes;
+};
+
+/** The lane with the most samples for @p kind (the bench issues one
+ *  lane per kind: prove/interactive and verify/batch). */
+const ServerLane*
+pickLane(const ServerScrape& server, const char* kind)
+{
+    const ServerLane* best = nullptr;
+    for (const auto& lane : server.lanes)
+        if (lane.kind == kind &&
+            (!best || lane.count > best->count))
+            best = &lane;
+    return best;
+}
+
+ServerScrape
+scrapeInproc(const serve::ProofService& service)
+{
+    ServerScrape out;
+    const serve::ServiceStatsSnapshot snap = service.snapshotStats();
+    out.ok = true;
+    out.completed = snap.completed;
+    for (const auto& lane : snap.lanes) {
+        ServerLane sl;
+        sl.kind = serve::opKindName(lane.kind);
+        sl.priority = serve::priorityName(lane.priority);
+        sl.count = lane.e2eUs.count;
+        sl.p50 = lane.e2eUs.quantile(0.50) / 1e6;
+        sl.p99 = lane.e2eUs.quantile(0.99) / 1e6;
+        sl.p999 = lane.e2eUs.quantile(0.999) / 1e6;
+        out.lanes.push_back(std::move(sl));
+    }
+    return out;
+}
+
+// --- zkperf-serve-stats/2 field scanning -----------------------------------
+// Ad-hoc tolerant scanning of the service's own JSON rendering, the
+// same convention parseKernelBaseline uses for bench baselines: no
+// general JSON parser, just field extraction from a known document.
+
+std::string
+findStringField(const std::string& obj, const char* key)
+{
+    const std::string pat = std::string("\"") + key + "\":\"";
+    const auto p = obj.find(pat);
+    if (p == std::string::npos)
+        return "";
+    const auto start = p + pat.size();
+    const auto end = obj.find('"', start);
+    return end == std::string::npos ? ""
+                                    : obj.substr(start, end - start);
+}
+
+double
+findNumberField(const std::string& obj, const char* key)
+{
+    const std::string pat = std::string("\"") + key + "\":";
+    const auto p = obj.find(pat);
+    if (p == std::string::npos)
+        return 0;
+    return std::atof(obj.c_str() + p + pat.size());
+}
+
+/** The balanced {...} sub-object value of @p key, or "" if absent. */
+std::string
+findObjectField(const std::string& obj, const char* key)
+{
+    const std::string pat = std::string("\"") + key + "\":{";
+    const auto p = obj.find(pat);
+    if (p == std::string::npos)
+        return "";
+    const auto start = p + pat.size() - 1;
+    int depth = 0;
+    for (std::size_t i = start; i < obj.size(); ++i) {
+        if (obj[i] == '{') {
+            ++depth;
+        } else if (obj[i] == '}' && --depth == 0) {
+            return obj.substr(start, i + 1 - start);
+        }
+    }
+    return "";
+}
+
+ServerScrape
+parseStatsV2Json(const std::string& json)
+{
+    ServerScrape out;
+    if (findStringField(json, "schema") != "zkperf-serve-stats/2")
+        return out;
+    out.ok = true;
+    out.completed = (std::uint64_t)findNumberField(
+        findObjectField(json, "service"), "completed");
+
+    const std::string lanesPat = "\"lanes\":[";
+    auto p = json.find(lanesPat);
+    if (p == std::string::npos)
+        return out;
+    p += lanesPat.size();
+    while (p < json.size() && json[p] != ']') {
+        if (json[p] != '{') {
+            ++p;
+            continue;
+        }
+        int depth = 0;
+        std::size_t end = p;
+        for (; end < json.size(); ++end) {
+            if (json[end] == '{')
+                ++depth;
+            else if (json[end] == '}' && --depth == 0)
+                break;
+        }
+        const std::string laneObj = json.substr(p, end + 1 - p);
+        ServerLane sl;
+        sl.kind = findStringField(laneObj, "kind");
+        sl.priority = findStringField(laneObj, "priority");
+        const std::string e2e = findObjectField(laneObj, "e2e_us");
+        sl.count = (std::uint64_t)findNumberField(e2e, "count");
+        sl.p50 = findNumberField(e2e, "p50") / 1e6;
+        sl.p99 = findNumberField(e2e, "p99") / 1e6;
+        sl.p999 = findNumberField(e2e, "p999") / 1e6;
+        out.lanes.push_back(std::move(sl));
+        p = end + 1;
+    }
+    return out;
+}
+
+/** Fetch the raw stats/v2 document from a running zkperfd. */
+bool
+scrapeStatsV2Socket(const std::string& path, std::string& jsonOut)
+{
+    namespace wire = serve::wire;
+    const int fd = wire::connectUnix(path);
+    if (fd < 0)
+        return false;
+    wire::Frame req;
+    req.type = wire::MsgType::StatsV2Request;
+    req.id = 1;
+    wire::Frame resp;
+    const bool io_ok = wire::writeFrame(fd, req) &&
+                       wire::readFrame(fd, resp) &&
+                       resp.type == wire::MsgType::StatsV2Response;
+    ::close(fd);
+    if (!io_ok)
+        return false;
+    auto decoded = wire::decodeStatsV2Response(resp.body);
+    if (!decoded)
+        return false;
+    jsonOut = std::move(decoded->json);
+    return true;
+}
+
+/** serve_server_* entries: the daemon's own tail quantiles. */
+void
+appendServerEntries(std::vector<KernelEntry>& entries,
+                    const ServerScrape& server, const Options& opt)
+{
+    for (const char* kind : {"prove", "verify"}) {
+        const ServerLane* lane = pickLane(server, kind);
+        if (!lane || lane->count == 0)
+            continue;
+        const struct
+        {
+            const char* suffix;
+            double value;
+        } rows[] = {
+            {"p50", lane->p50},
+            {"p99", lane->p99},
+            {"p999", lane->p999},
+        };
+        for (const auto& row : rows) {
+            KernelEntry e;
+            e.name =
+                std::string("serve_server_") + kind + "_" + row.suffix;
+            e.n = std::size_t(1) << opt.log2N;
+            e.threads = opt.clients;
+            e.repeats = (unsigned)lane->count;
+            e.secondsMean = row.value;
+            e.secondsMin = row.value;
+            entries.push_back(std::move(e));
+        }
+    }
+}
+
+/**
+ * Server-vs-client latency agreement gate (see the file comment for
+ * the tolerance rationale). Only meaningful when every request
+ * completed: failures break the 1:1 pairing between client-observed
+ * windows and server lifecycle records. Returns the violation count.
+ */
+int
+crossCheckServer(const ServerScrape& server,
+                 std::vector<double> proveSorted,
+                 std::vector<double> verifySorted)
+{
+    int violations = 0;
+    std::sort(proveSorted.begin(), proveSorted.end());
+    std::sort(verifySorted.begin(), verifySorted.end());
+    for (const char* kind : {"prove", "verify"}) {
+        const auto& client = std::strcmp(kind, "prove") == 0
+                                 ? proveSorted
+                                 : verifySorted;
+        const ServerLane* lane = pickLane(server, kind);
+        if (client.empty() || !lane || lane->count == 0)
+            continue;
+        const double clientP50 = bench::percentile(client, 0.50);
+        const double limit = clientP50 * 2.0 + 0.010;
+        std::printf("bench_serve: cross-check %s: server p50=%.6fs "
+                    "client p50=%.6fs (limit %.6fs)\n",
+                    kind, lane->p50, clientP50, limit);
+        if (lane->p50 > limit) {
+            std::fprintf(
+                stderr,
+                "bench_serve: FAILED cross-check — server-side %s "
+                "p50 %.6fs exceeds client-observed p50 %.6fs beyond "
+                "tolerance (2x + 10ms); the server-side lifespan is "
+                "a strict subset of the client window, so this "
+                "indicates a clock or accounting bug\n",
+                kind, lane->p50, clientP50);
+            ++violations;
+        }
+    }
+    return violations;
 }
 
 std::string
@@ -414,6 +663,8 @@ main(int argc, char** argv)
             opt.socketPath = v;
         } else if (const char* v = value("--out")) {
             opt.outPath = v;
+        } else if (const char* v = value("--stats-dump")) {
+            opt.statsDumpPath = v;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else {
@@ -431,6 +682,29 @@ main(int argc, char** argv)
         opt.verifyFrac < 0 || opt.verifyFrac > 1) {
         std::fprintf(stderr, "invalid option values\n");
         return usage(argv[0]);
+    }
+
+    if (!opt.statsDumpPath.empty()) {
+        if (opt.socketPath.empty()) {
+            std::fprintf(stderr,
+                         "--stats-dump requires --socket <path>\n");
+            return usage(argv[0]);
+        }
+        std::string json;
+        if (!scrapeStatsV2Socket(opt.socketPath, json)) {
+            std::fprintf(stderr,
+                         "bench_serve: stats/v2 scrape of %s failed\n",
+                         opt.socketPath.c_str());
+            return 1;
+        }
+        if (!bench::writeKernelJson(opt.statsDumpPath, json)) {
+            std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                         opt.statsDumpPath.c_str());
+            return 1;
+        }
+        std::printf("bench_serve: wrote stats/v2 snapshot to %s\n",
+                    opt.statsDumpPath.c_str());
+        return 0;
     }
 
     char circuit_name[32];
@@ -458,6 +732,7 @@ main(int argc, char** argv)
     std::vector<std::thread> clients;
     std::atomic<bool> connect_failed{false};
     double t_start = 0, elapsed = 0;
+    ServerScrape server;
 
     if (opt.socketPath.empty()) {
         serve::ServiceConfig cfg;
@@ -492,6 +767,7 @@ main(int argc, char** argv)
             t.join();
         elapsed = wallNow() - t_start;
         service.drain();
+        server = scrapeInproc(service);
     } else {
         // A daemon that died mid-exchange must yield an EPIPE write
         // error (counted as a failure), not kill the load generator.
@@ -516,6 +792,14 @@ main(int argc, char** argv)
                          opt.socketPath.c_str());
             return 1;
         }
+        std::string server_json;
+        if (scrapeStatsV2Socket(opt.socketPath, server_json))
+            server = parseStatsV2Json(server_json);
+        if (!server.ok)
+            std::fprintf(stderr,
+                         "bench_serve: warning — stats/v2 scrape of "
+                         "%s failed; no server-side entries\n",
+                         opt.socketPath.c_str());
     }
 
     ClientStats total;
@@ -534,10 +818,20 @@ main(int argc, char** argv)
     std::vector<KernelEntry> entries;
     appendLatencyEntries(entries, "prove", total.proveLatency, opt);
     appendLatencyEntries(entries, "verify", total.verifyLatency, opt);
+    // Per-priority breakdown. The load mix is fixed — proves are
+    // Interactive, verifies are Batch — so the per-priority series
+    // are the per-kind series under their scheduling-class names,
+    // letting a baseline diff catch a priority-inversion regression
+    // by name.
+    appendLatencyEntries(entries, "prove_interactive",
+                         total.proveLatency, opt);
+    appendLatencyEntries(entries, "verify_batch", total.verifyLatency,
+                         opt);
+    appendServerEntries(entries, server, opt);
 
     TextTable table;
     table.setHeader(
-        {"kind", "count", "p50", "p95", "p99", "mean"});
+        {"kind", "count", "p50", "p95", "p99", "p999", "mean"});
     for (const char* kind : {"prove", "verify"}) {
         auto samples = std::strcmp(kind, "prove") == 0
                            ? total.proveLatency
@@ -549,12 +843,27 @@ main(int argc, char** argv)
         for (double s : samples)
             sum += s;
         table.addRow({kind, std::to_string(samples.size()),
-                      fmtSeconds(percentile(samples, 0.50)),
-                      fmtSeconds(percentile(samples, 0.95)),
-                      fmtSeconds(percentile(samples, 0.99)),
+                      fmtSeconds(bench::percentile(samples, 0.50)),
+                      fmtSeconds(bench::percentile(samples, 0.95)),
+                      fmtSeconds(bench::percentile(samples, 0.99)),
+                      fmtSeconds(bench::percentile(samples, 0.999)),
                       fmtSeconds(sum / (double)samples.size())});
     }
     bench::printTable("serve latency (closed loop)", table);
+    if (server.ok) {
+        TextTable stable;
+        stable.setHeader(
+            {"server lane", "count", "p50", "p99", "p999"});
+        for (const auto& lane : server.lanes) {
+            if (lane.count == 0)
+                continue;
+            stable.addRow({lane.kind + "/" + lane.priority,
+                           std::to_string(lane.count),
+                           fmtSeconds(lane.p50), fmtSeconds(lane.p99),
+                           fmtSeconds(lane.p999)});
+        }
+        bench::printTable("serve latency (server lifecycle)", stable);
+    }
     std::printf("bench_serve: completed=%llu failed=%llu "
                 "queue_full_retries=%llu elapsed=%.2fs "
                 "throughput=%.2f req/s\n",
@@ -579,5 +888,9 @@ main(int argc, char** argv)
                      (unsigned long long)total.failures);
         return 1;
     }
+    if (server.ok &&
+        crossCheckServer(server, total.proveLatency,
+                         total.verifyLatency) > 0)
+        return 1;
     return 0;
 }

@@ -6,7 +6,8 @@
  *
  * Run: ./build/examples/zkperfd [--socket <path>] [--log2 <k>]
  *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
- *          [--no-prewarm]
+ *          [--no-prewarm] [--metrics-interval <sec>]
+ *          [--metrics-file <path>]
  *
  *   --socket         listening path (default /tmp/zkperfd.sock)
  *   --log2           registers the exponentiation circuit "exp<k>"
@@ -16,15 +17,28 @@
  *   --prove-threads  parallelFor width per prove (default: all cores)
  *   --no-prewarm     skip building keys at startup (first request
  *                    then pays the singleflight setup)
+ *   --metrics-interval  seconds between metrics snapshots written to
+ *                    the metrics file (0 = off, the default)
+ *   --metrics-file   where snapshots go (default
+ *                    /tmp/zkperfd.metrics.json). Each write replaces
+ *                    the file with one zkperf-serve-stats/2 document
+ *                    (atomic rename, so readers never see a torn
+ *                    file) — the same convention zkperf-run-report
+ *                    files follow: poll the path, parse the whole
+ *                    document.
  *
  * Unknown flags are an error (usage + exit 2), not silently ignored.
  * SIGINT/SIGTERM drain the service (in-flight and queued requests
- * complete, new ones are rejected with ShuttingDown) before exit.
+ * complete, new ones are rejected with ShuttingDown) before exit; on
+ * drain a final metrics snapshot is flushed to the metrics file (or
+ * stderr when none was configured), so a supervised daemon never dies
+ * without handing over its telemetry.
  * Set ZKP_TRACE / ZKP_REPORT to capture daemon traffic in traces and
  * run reports like any bench run.
  */
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -62,9 +76,36 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--socket <path>] [--log2 <k>] [--workers <n>]\n"
-        "          [--queue <n>] [--prove-threads <n>] [--no-prewarm]\n",
+        "          [--queue <n>] [--prove-threads <n>] [--no-prewarm]\n"
+        "          [--metrics-interval <sec>] [--metrics-file <path>]\n",
         argv0);
     return 2;
+}
+
+/**
+ * Replace @p path with @p json via write-to-temp + rename, so a
+ * concurrent reader always sees a complete document. Falls back to
+ * stderr on I/O failure rather than dropping the snapshot.
+ */
+void
+writeSnapshotFile(const std::string& path, const std::string& json)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f) {
+        const bool ok =
+            std::fwrite(json.data(), 1, json.size(), f) ==
+                json.size() &&
+            std::fputc('\n', f) != EOF;
+        const bool closed = std::fclose(f) == 0;
+        if (ok && closed &&
+            std::rename(tmp.c_str(), path.c_str()) == 0)
+            return;
+        std::remove(tmp.c_str());
+    }
+    std::fprintf(stderr,
+                 "zkperfd: cannot write metrics snapshot to %s\n%s\n",
+                 path.c_str(), json.c_str());
 }
 
 /**
@@ -103,6 +144,13 @@ serveConnection(zkp::serve::ProofService& service, int fd)
             body.canceled = s.canceled;
             resp.type = wire::MsgType::StatsResponse;
             resp.body = wire::encodeStatsResponse(body);
+            break;
+          }
+          case wire::MsgType::StatsV2Request: {
+            wire::StatsV2Response body;
+            body.json = service.statsJson();
+            resp.type = wire::MsgType::StatsV2Response;
+            resp.body = wire::encodeStatsV2Response(body);
             break;
           }
           case wire::MsgType::ProveRequest: {
@@ -174,6 +222,8 @@ main(int argc, char** argv)
     std::size_t log2_constraints = 12;
     std::size_t workers = 0, queue = 0, prove_threads = 0;
     bool prewarm = true;
+    double metrics_interval = 0;
+    std::string metrics_file;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char* flag) -> const char* {
@@ -195,6 +245,10 @@ main(int argc, char** argv)
             queue = (std::size_t)std::atoi(v);
         } else if (const char* v = value("--prove-threads")) {
             prove_threads = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--metrics-interval")) {
+            metrics_interval = std::atof(v);
+        } else if (const char* v = value("--metrics-file")) {
+            metrics_file = v;
         } else if (std::strcmp(argv[i], "--no-prewarm") == 0) {
             prewarm = false;
         } else {
@@ -252,6 +306,29 @@ main(int argc, char** argv)
                 service.config().proveThreads);
     std::fflush(stdout);
 
+    // Periodic metrics snapshots. Sleeps in small slices so a drain
+    // signal is honored within ~100 ms instead of a full interval.
+    std::thread metrics_thread;
+    if (metrics_interval > 0) {
+        if (metrics_file.empty())
+            metrics_file = "/tmp/zkperfd.metrics.json";
+        metrics_thread = std::thread([&service, &metrics_file,
+                                      metrics_interval] {
+            using namespace std::chrono;
+            auto next = steady_clock::now() +
+                        duration_cast<steady_clock::duration>(
+                            duration<double>(metrics_interval));
+            while (!gStop.load()) {
+                std::this_thread::sleep_for(milliseconds(100));
+                if (steady_clock::now() < next)
+                    continue;
+                writeSnapshotFile(metrics_file, service.statsJson());
+                next += duration_cast<steady_clock::duration>(
+                    duration<double>(metrics_interval));
+            }
+        });
+    }
+
     std::vector<std::unique_ptr<Connection>> conns;
     // Join, close, and forget connections whose handler finished, so
     // neither fds, Connection entries, nor unjoined threads pile up
@@ -302,6 +379,16 @@ main(int argc, char** argv)
     conns.clear();
     service.drain();
     ::unlink(socket_path.c_str());
+    if (metrics_thread.joinable())
+        metrics_thread.join();
+
+    // Final telemetry handover: after the drain every request has
+    // settled, so this snapshot is the complete record of the run.
+    const std::string final_snapshot = service.statsJson();
+    if (!metrics_file.empty())
+        writeSnapshotFile(metrics_file, final_snapshot);
+    else
+        std::fprintf(stderr, "%s\n", final_snapshot.c_str());
 
     const serve::ProofService::Stats s = service.stats();
     std::printf("zkperfd: done. accepted=%llu completed=%llu "

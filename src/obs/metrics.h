@@ -134,7 +134,64 @@ class Histogram
         u64 min = 0;
         u64 max = 0;
         std::array<u64, kBuckets> buckets{};
+
+        /**
+         * Interpolated quantile estimate (q in [0, 1]) from the log2
+         * buckets: find the bucket holding rank q*(count-1), assume
+         * samples spread uniformly across the bucket's value range,
+         * and clamp into [min, max] — so a single-valued distribution
+         * reports that value exactly at every q, and the estimate is
+         * never outside the observed range. Worst-case error is the
+         * bucket width (a factor of 2), which is the resolution the
+         * histogram was built with. Returns 0 on an empty histogram.
+         */
+        double
+        quantile(double q) const
+        {
+            if (count == 0)
+                return 0;
+            if (q <= 0)
+                return (double)min;
+            if (q >= 1)
+                return (double)max;
+            const double rank = q * (double)(count - 1);
+            u64 seen = 0;
+            for (unsigned i = 0; i < kBuckets; ++i) {
+                const u64 n = buckets[i];
+                if (n == 0)
+                    continue;
+                if (rank < (double)(seen + n)) {
+                    const double lo = (double)bucketLow(i);
+                    const double hi =
+                        i + 1 < kBuckets ? (double)bucketLow(i + 1)
+                                         : lo * 2;
+                    const double frac =
+                        ((rank - (double)seen) + 0.5) / (double)n;
+                    double v = lo + (hi - lo) * frac;
+                    if (v < (double)min)
+                        v = (double)min;
+                    if (v > (double)max)
+                        v = (double)max;
+                    return v;
+                }
+                seen += n;
+            }
+            return (double)max;
+        }
+
+        double
+        mean() const
+        {
+            return count == 0 ? 0 : (double)sum / (double)count;
+        }
     };
+
+    /** Interpolated quantile of the live histogram (one snapshot). */
+    double
+    quantile(double q) const
+    {
+        return snapshot().quantile(q);
+    }
 
     /**
      * Read every field into one struct. Each individual load is

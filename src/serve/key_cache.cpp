@@ -1,5 +1,6 @@
 #include "serve/key_cache.h"
 
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -45,6 +46,9 @@ KeyCache::getOrBuild(const std::string& key, const Builder& build)
 
     // Singleflight leader: build outside the lock so other keys (and
     // waiters of this one) are not serialized behind setup work.
+    static obs::Histogram& buildTime =
+        obs::histogram("serve.key_build_us");
+    const auto buildStart = std::chrono::steady_clock::now();
     Built built;
     try {
         ZKP_TRACE_SCOPE("serve_key_build");
@@ -75,6 +79,13 @@ KeyCache::getOrBuild(const std::string& key, const Builder& build)
         it->second.bytes = built.bytes;
         bytes_ += built.bytes;
         ++builds_; // under mu_, where stats() reads it
+        const std::uint64_t us =
+            (std::uint64_t)std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - buildStart)
+                .count();
+        buildMicros_ += us;
+        buildTime.record(us);
         evictLocked(key);
     }
     promise.set_value(built);
@@ -138,6 +149,7 @@ KeyCache::stats() const
     s.evictions = evictions_;
     s.entries = entries_.size();
     s.bytes = bytes_;
+    s.buildMicros = buildMicros_;
     return s;
 }
 

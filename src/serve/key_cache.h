@@ -86,6 +86,11 @@ class KeyCache
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
         std::size_t bytes = 0;
+        /// Cumulative wall time spent inside builders, in
+        /// microseconds — cold-start cost attribution for the
+        /// serve-stats snapshot (distinguishes "slow because setup
+        /// ran" from "slow because the queue was deep").
+        std::uint64_t buildMicros = 0;
     };
 
     Stats stats() const;
@@ -114,6 +119,7 @@ class KeyCache
     std::uint64_t misses_ = 0;
     std::uint64_t builds_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t buildMicros_ = 0;
 };
 
 } // namespace zkp::serve

@@ -1,0 +1,133 @@
+#include "serve/metrics_hub.h"
+
+#include "obs/json.h"
+
+namespace zkp::serve {
+
+MetricsHub::Lane&
+MetricsHub::lane(OpKind kind, Priority priority,
+                 const std::string& circuit)
+{
+    const Key key{(std::uint8_t)kind, (std::uint8_t)priority,
+                  circuit};
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = lanes_[key];
+    if (!slot)
+        slot = std::make_unique<Lane>();
+    return *slot;
+}
+
+std::vector<MetricsHub::LaneSnapshot>
+MetricsHub::snapshotLanes() const
+{
+    // Copy the (key, lane*) pairs under the lock, then snapshot each
+    // lane outside it: lanes are never destroyed while the hub lives,
+    // and Histogram::snapshot() is safe against concurrent writers.
+    std::vector<std::pair<Key, const Lane*>> refs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        refs.reserve(lanes_.size());
+        for (const auto& [key, lane] : lanes_)
+            refs.emplace_back(key, lane.get());
+    }
+    std::vector<LaneSnapshot> out;
+    out.reserve(refs.size());
+    for (const auto& [key, lane] : refs) {
+        LaneSnapshot s;
+        s.kind = (OpKind)std::get<0>(key);
+        s.priority = (Priority)std::get<1>(key);
+        s.circuit = std::get<2>(key);
+        s.queueWaitUs = lane->queueWaitUs.snapshot();
+        s.keyWaitUs = lane->keyWaitUs.snapshot();
+        s.execUs = lane->execUs.snapshot();
+        s.serializeUs = lane->serializeUs.snapshot();
+        s.e2eUs = lane->e2eUs.snapshot();
+        s.deadlineSlackUs = lane->deadlineSlackUs.snapshot();
+        s.verifyBatch = lane->verifyBatch.snapshot();
+        s.completed = lane->completed.value();
+        s.errors = lane->errors.value();
+        s.shed = lane->shed.value();
+        s.deadlineMiss = lane->deadlineMiss.value();
+        s.canceled = lane->canceled.value();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeDist(obs::JsonWriter& w, const char* name,
+          const obs::Histogram::Snapshot& s)
+{
+    w.key(name).beginObject();
+    w.key("count").value(s.count);
+    w.key("mean").value(s.mean());
+    w.key("p50").value(s.quantile(0.50));
+    w.key("p99").value(s.quantile(0.99));
+    w.key("p999").value(s.quantile(0.999));
+    w.key("min").value(s.min);
+    w.key("max").value(s.max);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+statsJson(const ServiceStatsSnapshot& snap)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("zkperf-serve-stats/2");
+
+    w.key("service").beginObject();
+    w.key("workers").value((obs::u64)snap.workers);
+    w.key("queue_capacity").value((obs::u64)snap.queueCapacity);
+    w.key("queue_depth").value((obs::u64)snap.queueDepth);
+    w.key("in_flight").value((obs::u64)snap.inFlight);
+    w.key("uptime_seconds").value(snap.uptimeSeconds);
+    w.key("accepted").value(snap.accepted);
+    w.key("completed").value(snap.completed);
+    w.key("rejected_queue_full").value(snap.rejectedQueueFull);
+    w.key("deadline_exceeded").value(snap.deadlineExceeded);
+    w.key("canceled").value(snap.canceled);
+    w.key("invalid").value(snap.invalid);
+    w.endObject();
+
+    w.key("cache").beginObject();
+    w.key("hits").value(snap.cache.hits);
+    w.key("misses").value(snap.cache.misses);
+    w.key("builds").value(snap.cache.builds);
+    w.key("evictions").value(snap.cache.evictions);
+    w.key("entries").value((obs::u64)snap.cache.entries);
+    w.key("bytes").value((obs::u64)snap.cache.bytes);
+    w.key("build_micros").value(snap.cache.buildMicros);
+    w.endObject();
+
+    w.key("lanes").beginArray();
+    for (const auto& lane : snap.lanes) {
+        w.beginObject();
+        w.key("kind").value(opKindName(lane.kind));
+        w.key("priority").value(priorityName(lane.priority));
+        w.key("circuit").value(lane.circuit);
+        w.key("completed").value(lane.completed);
+        w.key("errors").value(lane.errors);
+        w.key("shed").value(lane.shed);
+        w.key("deadline_miss").value(lane.deadlineMiss);
+        w.key("canceled").value(lane.canceled);
+        writeDist(w, "queue_wait_us", lane.queueWaitUs);
+        writeDist(w, "key_wait_us", lane.keyWaitUs);
+        writeDist(w, "exec_us", lane.execUs);
+        writeDist(w, "serialize_us", lane.serializeUs);
+        writeDist(w, "e2e_us", lane.e2eUs);
+        writeDist(w, "deadline_slack_us", lane.deadlineSlackUs);
+        writeDist(w, "verify_batch", lane.verifyBatch);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.take();
+}
+
+} // namespace zkp::serve

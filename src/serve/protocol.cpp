@@ -242,6 +242,24 @@ decodeStatsResponse(const std::vector<std::uint8_t>& body)
     return m;
 }
 
+std::vector<std::uint8_t>
+encodeStatsV2Response(const StatsV2Response& m)
+{
+    ByteWriter w;
+    putString(w, m.json);
+    return w.bytes();
+}
+
+std::optional<StatsV2Response>
+decodeStatsV2Response(const std::vector<std::uint8_t>& body)
+{
+    ByteReader r(body);
+    StatsV2Response m;
+    if (!getString(r, m.json) || !r.atEnd())
+        return std::nullopt;
+    return m;
+}
+
 bool
 readFrame(int fd, Frame& out, std::size_t max_bytes)
 {

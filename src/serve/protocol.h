@@ -28,8 +28,18 @@
  *   StatsRequest  := empty
  *   StatsResponse := depth u64 | accepted u64 | completed u64
  *                    | queue_full u64 | deadline u64 | canceled u64
+ *   StatsV2Request  := empty
+ *   StatsV2Response := json str  (a zkperf-serve-stats/2 document,
+ *                      serve/metrics_hub.h — full lifecycle
+ *                      histograms per (kind, priority, circuit) lane)
  *
  *   str / bytes   := u64 length | raw bytes
+ *
+ * Stats versioning: v1 (StatsRequest/StatsResponse, three counters
+ * plus queue depth) stays byte-identical forever — old clients keep
+ * working. v2 carries the whole snapshot as JSON so the schema can
+ * grow without another wire rev; clients that care about layout pin
+ * on the document's "schema" tag, not the message type.
  *
  * Max payload is bounded (kMaxFrameBytes) so a hostile length prefix
  * cannot drive an allocation bomb.
@@ -56,9 +66,11 @@ enum class MsgType : std::uint8_t
     VerifyRequest = 2,
     Ping = 3,
     StatsRequest = 4,
+    StatsV2Request = 5,
     Result = 0x81,
     Pong = 0x83,
     StatsResponse = 0x84,
+    StatsV2Response = 0x85,
 };
 
 /** A decoded frame payload. */
@@ -107,6 +119,12 @@ struct StatsResponse
     std::uint64_t canceled = 0;
 };
 
+/** v2 stats scrape: one zkperf-serve-stats/2 JSON document. */
+struct StatsV2Response
+{
+    std::string json;
+};
+
 /** Encode a frame payload (header + type + id + body). */
 std::vector<std::uint8_t> encodePayload(const Frame& frame);
 
@@ -132,6 +150,11 @@ std::optional<Result> decodeResult(
 
 std::vector<std::uint8_t> encodeStatsResponse(const StatsResponse& m);
 std::optional<StatsResponse> decodeStatsResponse(
+    const std::vector<std::uint8_t>& body);
+
+std::vector<std::uint8_t>
+encodeStatsV2Response(const StatsV2Response& m);
+std::optional<StatsV2Response> decodeStatsV2Response(
     const std::vector<std::uint8_t>& body);
 
 // --- Socket transport (POSIX) ---------------------------------------------

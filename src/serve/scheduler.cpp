@@ -42,6 +42,7 @@ RequestQueue::pop()
         return nullptr; // closed and drained
     auto job = std::move(q.front());
     q.pop_front();
+    job->tl.dequeued = Timeline::Clock::now();
     updateDepthGaugeLocked();
     return job;
 }
@@ -57,6 +58,7 @@ RequestQueue::takeVerifyBatch(const std::string& circuit,
              it != q->end() && out.size() < max;) {
             if ((*it)->kind == Job::Kind::Verify &&
                 (*it)->circuit == circuit) {
+                (*it)->tl.dequeued = Timeline::Clock::now();
                 out.push_back(std::move(*it));
                 it = q->erase(it);
             } else {

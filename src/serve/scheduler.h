@@ -47,7 +47,12 @@ struct Job
     Kind kind = Kind::Prove;
     std::string circuit;
     Priority priority = Priority::Interactive;
-    std::chrono::steady_clock::time_point enqueued{};
+    /// Service-assigned id (monotonic per service); correlates the
+    /// request across trace spans, logs and the response.
+    std::uint64_t id = 0;
+    /// Lifecycle stamps (serve/types.h). The queue stamps `dequeued`
+    /// in pop()/takeVerifyBatch(); the service stamps the rest.
+    Timeline tl;
     /// time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();

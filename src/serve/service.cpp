@@ -14,12 +14,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double
-secondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
 obs::u64
 toMicros(double seconds)
 {
@@ -105,10 +99,11 @@ ProofService::Ticket
 ProofService::enqueue(std::unique_ptr<Job> job, RequestOptions opts)
 {
     job->priority = opts.priority;
-    job->enqueued = Clock::now();
+    job->id = nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+    job->tl.arrive = Clock::now();
     if (opts.timeoutSeconds > 0)
         job->deadline =
-            job->enqueued +
+            job->tl.arrive +
             std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(opts.timeoutSeconds));
     job->cancelled = std::make_shared<std::atomic<bool>>(false);
@@ -129,6 +124,9 @@ ProofService::enqueue(std::unique_ptr<Job> job, RequestOptions opts)
         return ticket;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Stamp before tryPush: once the job is in the queue a worker may
+    // already be reading it, so the stamp cannot happen afterwards.
+    job->tl.admitted = Clock::now();
     switch (queue_.tryPush(job)) {
       case RequestQueue::PushResult::Accepted:
         break;
@@ -183,24 +181,36 @@ ProofService::settle(Job& job, Status status)
     static obs::Counter& deadline =
         obs::counter("serve.deadline_exceeded");
     static obs::Counter& cancels = obs::counter("serve.canceled");
+    const OpKind kind =
+        job.kind == Job::Kind::Prove ? OpKind::Prove : OpKind::Verify;
     switch (status) {
       case Status::QueueFull:
         queueFull.add();
+        hub_.lane(kind, job.priority, job.circuit).shed.add();
         break;
       case Status::DeadlineExceeded:
         deadline.add();
         deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+        hub_.lane(kind, job.priority, job.circuit)
+            .deadlineMiss.add();
         break;
       case Status::Canceled:
         cancels.add();
         canceled_.fetch_add(1, std::memory_order_relaxed);
+        hub_.lane(kind, job.priority, job.circuit).canceled.add();
         break;
       default:
+        // UnknownCircuit / ShuttingDown get no lane: lanes are keyed
+        // by circuit name, and unknown names would hand callers
+        // control of the key space.
         break;
     }
+    job.tl.replied = Clock::now();
     Response r;
     r.status = status;
-    r.queueSeconds = secondsSince(job.enqueued);
+    r.queueSeconds = Timeline::seconds(job.tl.arrive, job.tl.replied);
+    r.requestId = job.id;
+    r.timeline = job.tl;
     job.promise.set_value(std::move(r));
 }
 
@@ -258,49 +268,36 @@ ProofService::workerLoop(std::size_t index)
 void
 ProofService::executeProve(Job& job)
 {
-    ZKP_TRACE_SCOPE("serve_prove");
+    ZKP_TRACE_SCOPE("serve_prove", "rid", job.id);
     static obs::Counter& completions =
         obs::counter("serve.completed.prove");
-    static obs::Histogram& latency =
-        obs::histogram("serve.latency_us");
-    static obs::Histogram& queueWait =
-        obs::histogram("serve.queue_wait_us");
 
     Response r;
-    r.queueSeconds = secondsSince(job.enqueued);
     const CircuitHost* host = findHost(job.circuit);
-    const Clock::time_point started = Clock::now();
     try {
         KeyCache::Artifact artifact = cache_.getOrBuild(
             host->name + "@" + host->curve, host->build);
+        job.tl.keyReady = Clock::now();
         r.status = host->prove(artifact.get(), job.publicInputs,
                                job.privateInputs, cfg_.proveThreads,
                                r.proof);
     } catch (...) {
+        if (job.tl.keyReady == Timeline::Clock::time_point{})
+            job.tl.keyReady = Clock::now(); // key build failed
         r.status = Status::InternalError;
     }
-    r.execSeconds = secondsSince(started);
-    if (r.status == Status::Ok)
-        completed_.fetch_add(1, std::memory_order_relaxed);
-    else if (r.status == Status::InvalidRequest)
-        invalid_.fetch_add(1, std::memory_order_relaxed);
+    job.tl.executed = Clock::now();
     completions.add();
-    queueWait.record(toMicros(r.queueSeconds));
-    latency.record(toMicros(r.queueSeconds + r.execSeconds));
-    job.promise.set_value(std::move(r));
+    finishAndReply(job, std::move(r));
 }
 
 void
 ProofService::executeVerifyGroup(
     std::vector<std::unique_ptr<Job>>& group)
 {
-    ZKP_TRACE_SCOPE("serve_verify", "batch", (obs::u64)group.size());
+    ZKP_TRACE_SCOPE("serve_verify", "rid", group.front()->id);
     static obs::Counter& completions =
         obs::counter("serve.completed.verify");
-    static obs::Histogram& latency =
-        obs::histogram("serve.latency_us");
-    static obs::Histogram& queueWait =
-        obs::histogram("serve.queue_wait_us");
     static obs::Histogram& batchSizes =
         obs::histogram("serve.verify_batch");
 
@@ -318,35 +315,94 @@ ProofService::executeVerifyGroup(
         items[i].publicInputs = &live[i]->publicInputs;
         items[i].proof = &live[i]->proofBytes;
     }
-    const Clock::time_point started = Clock::now();
+    // Batch members share the key-ready/executed stamps: one
+    // verifyBatch call settles the whole group. takeVerifyBatch
+    // stamped each member's `dequeued` before this point, so the
+    // per-request monotonic order still holds.
+    Timeline::Clock::time_point keyReady{};
     try {
         KeyCache::Artifact artifact = cache_.getOrBuild(
             host->name + "@" + host->curve, host->build);
+        keyReady = Clock::now();
         host->verify(artifact.get(), items);
     } catch (...) {
+        if (keyReady == Timeline::Clock::time_point{})
+            keyReady = Clock::now(); // key build failed
         for (auto& item : items)
             item.status = Status::InternalError;
     }
-    const double exec = secondsSince(started);
+    const Clock::time_point executed = Clock::now();
     batchSizes.record(items.size());
 
     for (std::size_t i = 0; i < live.size(); ++i) {
+        Job& j = *live[i];
+        j.tl.keyReady = keyReady;
+        j.tl.executed = executed;
         Response r;
         r.status = items[i].status;
         r.valid = items[i].valid;
-        const double waited = secondsSince(live[i]->enqueued) - exec;
-        r.queueSeconds = waited > 0 ? waited : 0;
-        r.execSeconds = exec;
         r.batchSize = (std::uint32_t)items.size();
-        if (r.status == Status::Ok)
-            completed_.fetch_add(1, std::memory_order_relaxed);
-        else if (r.status == Status::InvalidRequest)
-            invalid_.fetch_add(1, std::memory_order_relaxed);
         completions.add();
-        queueWait.record(toMicros(r.queueSeconds));
-        latency.record(toMicros(r.queueSeconds + r.execSeconds));
-        live[i]->promise.set_value(std::move(r));
+        finishAndReply(j, std::move(r));
     }
+}
+
+void
+ProofService::finishAndReply(Job& job, Response&& r)
+{
+    static obs::Histogram& latency =
+        obs::histogram("serve.latency_us");
+    static obs::Histogram& queueWait =
+        obs::histogram("serve.queue_wait_us");
+
+    job.tl.serialized = Clock::now();
+    job.tl.replied = Clock::now();
+
+    r.requestId = job.id;
+    r.timeline = job.tl;
+    r.queueSeconds = Timeline::seconds(job.tl.arrive, job.tl.dequeued);
+    r.keyWaitSeconds =
+        Timeline::seconds(job.tl.dequeued, job.tl.keyReady);
+    r.execSeconds = Timeline::seconds(job.tl.keyReady, job.tl.executed);
+    r.serializeSeconds =
+        Timeline::seconds(job.tl.executed, job.tl.serialized);
+
+    if (r.status == Status::Ok)
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    else if (r.status == Status::InvalidRequest)
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+
+    const double e2e =
+        Timeline::seconds(job.tl.arrive, job.tl.replied);
+    queueWait.record(toMicros(r.queueSeconds));
+    latency.record(toMicros(e2e));
+
+    const OpKind kind =
+        job.kind == Job::Kind::Prove ? OpKind::Prove : OpKind::Verify;
+    MetricsHub::Lane& lane = hub_.lane(kind, job.priority, job.circuit);
+    lane.queueWaitUs.record(
+        toMicros(Timeline::seconds(job.tl.admitted, job.tl.dequeued)));
+    lane.keyWaitUs.record(toMicros(r.keyWaitSeconds));
+    lane.execUs.record(toMicros(r.execSeconds));
+    lane.serializeUs.record(toMicros(r.serializeSeconds));
+    lane.e2eUs.record(toMicros(e2e));
+    if (job.deadline != Clock::time_point::max()) {
+        const double slack =
+            std::chrono::duration<double>(job.deadline - job.tl.replied)
+                .count();
+        if (slack > 0)
+            lane.deadlineSlackUs.record(toMicros(slack));
+    }
+    if (job.kind == Job::Kind::Verify)
+        lane.verifyBatch.record(r.batchSize);
+    if (r.status == Status::Ok)
+        lane.completed.add();
+    else
+        lane.errors.add();
+
+    // Metrics land before the promise resolves, so a scrape taken
+    // after future.get() returns always sees this request.
+    job.promise.set_value(std::move(r));
 }
 
 void
@@ -405,6 +461,39 @@ ProofService::stats() const
     s.workers = workers_.size();
     s.cache = cache_.stats();
     return s;
+}
+
+ServiceStatsSnapshot
+ProofService::snapshotStats() const
+{
+    ServiceStatsSnapshot s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejectedQueueFull =
+        rejectedQueueFull_.load(std::memory_order_relaxed);
+    s.deadlineExceeded =
+        deadlineExceeded_.load(std::memory_order_relaxed);
+    s.canceled = canceled_.load(std::memory_order_relaxed);
+    s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.queueDepth = queue_.depth();
+    s.queueCapacity = queue_.capacity();
+    {
+        std::lock_guard<std::mutex> lock(idleMu_);
+        s.inFlight = inFlight_;
+    }
+    s.workers = cfg_.workers;
+    s.uptimeSeconds = std::chrono::duration<double>(
+                          Timeline::Clock::now() - started_)
+                          .count();
+    s.cache = cache_.stats();
+    s.lanes = hub_.snapshotLanes();
+    return s;
+}
+
+std::string
+ProofService::statsJson() const
+{
+    return zkp::serve::statsJson(snapshotStats());
 }
 
 } // namespace zkp::serve

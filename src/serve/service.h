@@ -26,11 +26,19 @@
  * verify drains every queued verify for the same circuit and settles
  * them with one Groth16::verifyBatch call.
  *
- * Observability: every stage is span-traced ("serve_prove",
- * "serve_verify", "serve_key_build") and metered (serve.* counters,
- * serve.queue_depth gauge, serve.latency_us / serve.queue_wait_us
- * histograms), so daemon traffic shows up in ZKP_TRACE traces and
- * ZKP_REPORT run reports like any bench run.
+ * Observability: every request carries a service-assigned id and a
+ * lifecycle Timeline (arrive → admitted → dequeued → key-ready →
+ * executed → serialized → replied; serve/types.h) stamped as it moves
+ * through the queue, key cache and workers. Completions aggregate
+ * into the MetricsHub (serve/metrics_hub.h) — per-(kind, priority,
+ * circuit) lane histograms scraped by snapshotStats()/statsJson()
+ * and the stats/v2 wire op. Stages are also span-traced
+ * ("serve_prove"/"serve_verify" carry the request id as the "rid"
+ * argument, so ZKP_TRACE shows request lanes next to kernel lanes)
+ * and metered (serve.* counters, serve.queue_depth gauge,
+ * serve.latency_us / serve.queue_wait_us histograms), so daemon
+ * traffic shows up in ZKP_TRACE traces and ZKP_REPORT run reports
+ * like any bench run.
  *
  * Tuning knobs (flags take precedence over environment):
  *   ZKP_SERVE_THREADS  service worker count (default 2)
@@ -53,6 +61,7 @@
 #include <vector>
 
 #include "serve/key_cache.h"
+#include "serve/metrics_hub.h"
 #include "serve/scheduler.h"
 #include "serve/types.h"
 
@@ -198,6 +207,20 @@ class ProofService
 
     Stats stats() const;
 
+    /**
+     * Full telemetry scrape: service counters/gauges, cache stats,
+     * and every MetricsHub lane (per-(kind, priority, circuit)
+     * lifecycle histograms). Safe to call concurrently with traffic.
+     */
+    ServiceStatsSnapshot snapshotStats() const;
+
+    /** snapshotStats() rendered as zkperf-serve-stats/2 JSON — the
+     *  document the stats/v2 wire op and zkperfd snapshots carry. */
+    std::string statsJson() const;
+
+    /** The request-lane metrics hub (snapshotLanes() for scrapes). */
+    const MetricsHub& metrics() const { return hub_; }
+
     const ServiceConfig& config() const { return cfg_; }
 
   private:
@@ -207,6 +230,10 @@ class ProofService
     void executeVerifyGroup(std::vector<std::unique_ptr<Job>>& group);
     /// Resolve a job without executing it (reject/cancel paths).
     void settle(Job& job, Status status);
+    /// Stamp replied, copy lifecycle into @p r, record the lane
+    /// histograms, and fulfil the promise. Every executed request
+    /// leaves through here.
+    void finishAndReply(Job& job, Response&& r);
     const CircuitHost* findHost(const std::string& name) const;
     /// Pre-execution gate: deadline/cancel checks. True = proceed.
     bool admitForExecution(Job& job);
@@ -215,6 +242,9 @@ class ProofService
     ServiceConfig cfg_;
     KeyCache cache_;
     RequestQueue queue_;
+    MetricsHub hub_;
+    const Timeline::Clock::time_point started_ =
+        Timeline::Clock::now();
     std::vector<std::thread> workers_;
 
     mutable std::mutex hostsMu_;
@@ -229,6 +259,7 @@ class ProofService
     std::condition_variable idleCv_;
     std::size_t inFlight_ = 0;
 
+    std::atomic<std::uint64_t> nextRequestId_{1};
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> rejectedQueueFull_{0};

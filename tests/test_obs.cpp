@@ -406,6 +406,56 @@ TEST(MetricsTest, HistogramBucketing)
     EXPECT_EQ(h.bucketCount(5), 0u);
 }
 
+TEST(MetricsTest, HistogramQuantiles)
+{
+    // Empty: every quantile is 0.
+    obs::Histogram empty;
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.snapshot().quantile(0.99), 0.0);
+
+    // Constant distribution: min/max clamping makes every quantile
+    // exact even though the value sits mid-bucket.
+    obs::Histogram constant;
+    for (int i = 0; i < 100; ++i)
+        constant.record(37);
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(constant.quantile(q), 37.0) << "q=" << q;
+
+    // Uniform 1..1000: estimates interpolate within a log2 bucket, so
+    // they are exact to within the bucket width (a factor of 2), and
+    // must be monotone in q and clamped to [min, max].
+    obs::Histogram uniform;
+    for (obs::u64 v = 1; v <= 1000; ++v)
+        uniform.record(v);
+    const auto s = uniform.snapshot();
+    EXPECT_EQ(s.quantile(0.0), 1.0);
+    EXPECT_EQ(s.quantile(1.0), 1000.0);
+    const double p10 = s.quantile(0.10);
+    const double p50 = s.quantile(0.50);
+    const double p90 = s.quantile(0.90);
+    const double p999 = s.quantile(0.999);
+    EXPECT_GE(p50, 250.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_GE(p90, 450.0);
+    EXPECT_LE(p90, 1000.0);
+    EXPECT_LE(p10, p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p999);
+    for (double q : {0.1, 0.5, 0.9, 0.999}) {
+        EXPECT_GE(s.quantile(q), 1.0);
+        EXPECT_LE(s.quantile(q), 1000.0);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+
+    // Two-point distribution: the far tail reports the max, not a
+    // value beyond it.
+    obs::Histogram twoPoint;
+    twoPoint.record(1);
+    twoPoint.record(1u << 20);
+    EXPECT_LE(twoPoint.quantile(0.999), (double)(1u << 20));
+    EXPECT_GE(twoPoint.quantile(0.999), 1.0);
+}
+
 TEST(MetricsTest, CountersSurviveParallelForMerges)
 {
     obs::Counter& c = obs::counter("test.obs.parallel_adds");

@@ -459,5 +459,184 @@ TEST(WireProtocol, ResultRoundTripAndBoundsChecks)
     EXPECT_FALSE(wire::decodeResult(body).has_value());
 }
 
+TEST(WireProtocol, StatsV2RoundTripAndV1Compat)
+{
+    // v2: the JSON document survives the wire byte-for-byte.
+    wire::StatsV2Response v2;
+    v2.json = "{\"schema\":\"zkperf-serve-stats/2\",\"lanes\":[]}";
+    auto body = wire::encodeStatsV2Response(v2);
+    auto back = wire::decodeStatsV2Response(body);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->json, v2.json);
+
+    // Trailing garbage must not decode.
+    auto trailing = body;
+    trailing.push_back(0);
+    EXPECT_FALSE(
+        wire::decodeStatsV2Response(trailing).has_value());
+
+    // Truncated length prefix must not decode.
+    std::vector<std::uint8_t> shorty(body.begin(), body.begin() + 4);
+    EXPECT_FALSE(wire::decodeStatsV2Response(shorty).has_value());
+
+    // v1 stays byte-identical: six little-endian u64 fields, no
+    // framing changes — an old client's decoder keeps working.
+    wire::StatsResponse v1;
+    v1.queueDepth = 1;
+    v1.accepted = 2;
+    v1.completed = 3;
+    v1.queueFull = 4;
+    v1.deadlineExceeded = 5;
+    v1.canceled = 6;
+    auto v1body = wire::encodeStatsResponse(v1);
+    ASSERT_EQ(v1body.size(), 48u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(v1body[i * 8], (std::uint8_t)(i + 1));
+        for (std::size_t b = 1; b < 8; ++b)
+            EXPECT_EQ(v1body[i * 8 + b], 0u);
+    }
+    auto v1back = wire::decodeStatsResponse(v1body);
+    ASSERT_TRUE(v1back.has_value());
+    EXPECT_EQ(v1back->completed, 3u);
+    EXPECT_EQ(v1back->canceled, 6u);
+
+    // The two stats ops stay distinct on the wire.
+    EXPECT_NE((std::uint8_t)wire::MsgType::StatsV2Request,
+              (std::uint8_t)wire::MsgType::StatsRequest);
+    EXPECT_NE((std::uint8_t)wire::MsgType::StatsV2Response,
+              (std::uint8_t)wire::MsgType::StatsResponse);
+}
+
+// ---------------------------------------------------------------------
+// Request-lifecycle telemetry
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, LifecycleTimestampsMonotonicPerRequest)
+{
+    ProofService service(testConfig(2, 16));
+    service.registerCircuit(
+        makeExponentiationHost<snark::Bn254>("exp6", kSmallExp));
+
+    auto [pub, priv] = expInputs(303);
+    const Response proved =
+        service.submitProve("exp6", pub, priv).result.get();
+    ASSERT_EQ(proved.status, Status::Ok);
+
+    const Timeline& tl = proved.timeline;
+    const Timeline::Clock::time_point unset{};
+    ASSERT_NE(tl.arrive, unset);
+    // Program order: arrive → admitted → dequeued → key-ready →
+    // executed → serialized → replied, all on steady_clock.
+    EXPECT_LE(tl.arrive, tl.admitted);
+    EXPECT_LE(tl.admitted, tl.dequeued);
+    EXPECT_LE(tl.dequeued, tl.keyReady);
+    EXPECT_LE(tl.keyReady, tl.executed);
+    EXPECT_LE(tl.executed, tl.serialized);
+    EXPECT_LE(tl.serialized, tl.replied);
+
+    EXPECT_GT(proved.requestId, 0u);
+    EXPECT_GE(proved.queueSeconds, 0.0);
+    EXPECT_GE(proved.keyWaitSeconds, 0.0);
+    EXPECT_GE(proved.execSeconds, 0.0);
+    EXPECT_GE(proved.serializeSeconds, 0.0);
+    // The stage spans nest inside the full lifespan.
+    const double e2e = Timeline::seconds(tl.arrive, tl.replied);
+    EXPECT_LE(proved.keyWaitSeconds + proved.execSeconds +
+                  proved.serializeSeconds,
+              e2e + 1e-9);
+
+    // Verify requests carry the same contract, and ids are unique
+    // and increasing across submissions.
+    const Response verified =
+        service.submitVerify("exp6", pub, proved.proof).result.get();
+    ASSERT_EQ(verified.status, Status::Ok);
+    EXPECT_GT(verified.requestId, proved.requestId);
+    EXPECT_LE(verified.timeline.arrive, verified.timeline.admitted);
+    EXPECT_LE(verified.timeline.admitted,
+              verified.timeline.dequeued);
+    EXPECT_LE(verified.timeline.dequeued,
+              verified.timeline.keyReady);
+    EXPECT_LE(verified.timeline.keyReady,
+              verified.timeline.executed);
+    EXPECT_LE(verified.timeline.executed,
+              verified.timeline.replied);
+}
+
+TEST(Telemetry, SnapshotStatsAndJsonReflectTraffic)
+{
+    ProofService service(testConfig(2, 16));
+    service.registerCircuit(
+        makeExponentiationHost<snark::Bn254>("exp6", kSmallExp));
+
+    auto [pub, priv] = expInputs(404);
+    const Response proved =
+        service.submitProve("exp6", pub, priv).result.get();
+    ASSERT_EQ(proved.status, Status::Ok);
+    const Response verified =
+        service.submitVerify("exp6", pub, proved.proof).result.get();
+    ASSERT_EQ(verified.status, Status::Ok);
+
+    const ServiceStatsSnapshot snap = service.snapshotStats();
+    EXPECT_EQ(snap.completed, 2u);
+    EXPECT_EQ(snap.accepted, 2u);
+    EXPECT_GT(snap.workers, 0u);
+    EXPECT_GT(snap.queueCapacity, 0u);
+    EXPECT_GT(snap.uptimeSeconds, 0.0);
+    EXPECT_GE(snap.cache.builds, 1u);
+
+    // One prove/interactive lane, one verify/batch lane.
+    ASSERT_EQ(snap.lanes.size(), 2u);
+    for (const auto& lane : snap.lanes) {
+        EXPECT_EQ(lane.circuit, "exp6");
+        EXPECT_EQ(lane.completed, 1u);
+        EXPECT_EQ(lane.errors, 0u);
+        EXPECT_EQ(lane.e2eUs.count, 1u);
+        EXPECT_GE(lane.e2eUs.quantile(0.5),
+                  (double)lane.queueWaitUs.quantile(0.5));
+    }
+
+    const std::string json = service.statsJson();
+    EXPECT_NE(json.find("\"schema\":\"zkperf-serve-stats/2\""),
+              std::string::npos)
+        << json.substr(0, 200);
+    EXPECT_NE(json.find("\"completed\":2"), std::string::npos);
+    for (const char* field :
+         {"\"service\":", "\"cache\":", "\"lanes\":",
+          "\"queue_wait_us\":", "\"key_wait_us\":", "\"exec_us\":",
+          "\"serialize_us\":", "\"e2e_us\":",
+          "\"deadline_slack_us\":", "\"verify_batch\":", "\"p999\":",
+          "\"kind\":\"prove\"", "\"kind\":\"verify\"",
+          "\"priority\":\"interactive\"", "\"priority\":\"batch\""})
+        EXPECT_NE(json.find(field), std::string::npos)
+            << "missing " << field << " in " << json.substr(0, 400);
+}
+
+TEST(Telemetry, ShedAndDeadlineLandInLaneCounters)
+{
+    // Single worker + capacity-1 queue: park a job on the worker,
+    // fill the queue, and bounce a third — then read the lanes.
+    auto ctl = std::make_shared<HostControl>();
+    ProofService service(testConfig(1, 1));
+    service.registerCircuit(makeLatchHost("latch", ctl));
+
+    auto first = service.submitProve("latch", {1}, {});
+    ctl->awaitStarts(1); // worker busy; queue empty
+
+    auto queued = service.submitProve("latch", {2}, {});
+    auto shed = service.submitProve("latch", {3}, {});
+    const Response shedResp = shed.result.get();
+    EXPECT_EQ(shedResp.status, Status::QueueFull);
+
+    ctl->release();
+    ASSERT_EQ(first.result.get().status, Status::Ok);
+    ASSERT_EQ(queued.result.get().status, Status::Ok);
+
+    const ServiceStatsSnapshot snap = service.snapshotStats();
+    ASSERT_EQ(snap.lanes.size(), 1u);
+    EXPECT_EQ(snap.lanes[0].shed, 1u);
+    EXPECT_EQ(snap.lanes[0].completed, 2u);
+    EXPECT_EQ(snap.rejectedQueueFull, 1u);
+}
+
 } // namespace
 } // namespace zkp::serve

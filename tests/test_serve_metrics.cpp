@@ -1,0 +1,199 @@
+/**
+ * @file
+ * MetricsHub contract tests: lane identity/find-or-create semantics,
+ * snapshot correctness against known recordings, statsJson rendering,
+ * and — the reason this is its own binary on the TSan CI job — the
+ * concurrent-scrape guarantee: snapshotLanes() may run at full tilt
+ * against writers on every lane without a data race or an incoherent
+ * snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics_hub.h"
+
+namespace zkp::serve {
+namespace {
+
+TEST(MetricsHub, LaneFindOrCreateIsStable)
+{
+    MetricsHub hub;
+    auto& a =
+        hub.lane(OpKind::Prove, Priority::Interactive, "exp8");
+    auto& b =
+        hub.lane(OpKind::Prove, Priority::Interactive, "exp8");
+    EXPECT_EQ(&a, &b);
+
+    // Any key component difference yields a distinct lane.
+    auto& c = hub.lane(OpKind::Verify, Priority::Interactive, "exp8");
+    auto& d = hub.lane(OpKind::Prove, Priority::Batch, "exp8");
+    auto& e = hub.lane(OpKind::Prove, Priority::Interactive, "exp9");
+    EXPECT_NE(&a, &c);
+    EXPECT_NE(&a, &d);
+    EXPECT_NE(&a, &e);
+    EXPECT_EQ(hub.snapshotLanes().size(), 4u);
+}
+
+TEST(MetricsHub, SnapshotReflectsRecordings)
+{
+    MetricsHub hub;
+    auto& lane =
+        hub.lane(OpKind::Prove, Priority::Interactive, "exp8");
+    lane.queueWaitUs.record(100);
+    lane.queueWaitUs.record(300);
+    lane.e2eUs.record(5000);
+    lane.completed.add(2);
+    lane.errors.add();
+    lane.shed.add(3);
+
+    const auto lanes = hub.snapshotLanes();
+    ASSERT_EQ(lanes.size(), 1u);
+    const auto& s = lanes[0];
+    EXPECT_EQ(s.kind, OpKind::Prove);
+    EXPECT_EQ(s.priority, Priority::Interactive);
+    EXPECT_EQ(s.circuit, "exp8");
+    EXPECT_EQ(s.queueWaitUs.count, 2u);
+    EXPECT_EQ(s.queueWaitUs.min, 100u);
+    EXPECT_EQ(s.queueWaitUs.max, 300u);
+    EXPECT_EQ(s.e2eUs.count, 1u);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.errors, 1u);
+    EXPECT_EQ(s.shed, 3u);
+    EXPECT_EQ(s.deadlineMiss, 0u);
+}
+
+TEST(MetricsHub, StatsJsonRendersEveryLaneAndSection)
+{
+    MetricsHub hub;
+    hub.lane(OpKind::Prove, Priority::Interactive, "exp8")
+        .completed.add(4);
+    hub.lane(OpKind::Verify, Priority::Batch, "exp8")
+        .verifyBatch.record(7);
+
+    ServiceStatsSnapshot snap;
+    snap.accepted = 5;
+    snap.completed = 4;
+    snap.workers = 2;
+    snap.queueCapacity = 128;
+    snap.uptimeSeconds = 1.5;
+    snap.lanes = hub.snapshotLanes();
+
+    const std::string json = statsJson(snap);
+    EXPECT_NE(json.find("\"schema\":\"zkperf-serve-stats/2\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"accepted\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"prove\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"verify\""), std::string::npos);
+    EXPECT_NE(json.find("\"priority\":\"batch\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"circuit\":\"exp8\""), std::string::npos);
+    for (const char* dist :
+         {"queue_wait_us", "key_wait_us", "exec_us", "serialize_us",
+          "e2e_us", "deadline_slack_us", "verify_batch"})
+        EXPECT_NE(json.find(std::string("\"") + dist + "\":{"),
+                  std::string::npos)
+            << "missing " << dist;
+    // Balanced braces/brackets — cheap structural sanity without a
+    // parser (string values here contain no braces).
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent scrape (the TSan target)
+// ---------------------------------------------------------------------
+
+TEST(MetricsHub, ConcurrentWritersAndScrapersAreCoherent)
+{
+    MetricsHub hub;
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+
+    // Writers hammer existing lanes AND keep creating fresh ones, so
+    // the scrape races against both atomic recording and the
+    // find-or-create path under the map lock.
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t)
+        writers.emplace_back([&hub, &stop, t] {
+            const OpKind kind =
+                t % 2 == 0 ? OpKind::Prove : OpKind::Verify;
+            const Priority prio = t < 2 ? Priority::Interactive
+                                        : Priority::Batch;
+            auto& hot = hub.lane(kind, prio, "hot");
+            obs::u64 v = (obs::u64)t + 1;
+            while (!stop.load(std::memory_order_relaxed)) {
+                hot.e2eUs.record(v & 0xffffu);
+                hot.queueWaitUs.record(v & 0xffu);
+                hot.completed.add();
+                hub.lane(kind, prio,
+                         "cold" + std::to_string(v & 0x7u))
+                    .shed.add();
+                ++v;
+            }
+        });
+
+    // Wait until traffic is flowing so the scrapes below race real
+    // writers even on a loaded single-core machine.
+    for (;;) {
+        const auto lanes = hub.snapshotLanes();
+        bool seen = false;
+        for (const auto& l : lanes)
+            seen = seen || l.e2eUs.count > 0;
+        if (seen)
+            break;
+        std::this_thread::yield();
+    }
+
+    for (int i = 0; i < 200; ++i) {
+        for (const auto& lane : hub.snapshotLanes()) {
+            obs::u64 bucket_sum = 0;
+            for (obs::u64 b : lane.e2eUs.buckets)
+                bucket_sum += b;
+            // Histogram snapshots are count-stable: never fewer
+            // bucketed samples than counted ones.
+            EXPECT_GE(bucket_sum, lane.e2eUs.count);
+            if (lane.e2eUs.count > 0) {
+                EXPECT_LE(lane.e2eUs.min, lane.e2eUs.max);
+                EXPECT_LE(lane.e2eUs.max, 0xffffu);
+            }
+        }
+        // The JSON rendering must also be scrape-safe.
+        if (i % 50 == 0) {
+            ServiceStatsSnapshot snap;
+            snap.lanes = hub.snapshotLanes();
+            EXPECT_NE(statsJson(snap).find("\"lanes\":["),
+                      std::string::npos);
+        }
+    }
+
+    stop.store(true);
+    for (auto& w : writers)
+        w.join();
+
+    // Quiescent: totals are exact.
+    std::uint64_t completed = 0;
+    for (const auto& lane : hub.snapshotLanes()) {
+        obs::u64 bucket_sum = 0;
+        for (obs::u64 b : lane.e2eUs.buckets)
+            bucket_sum += b;
+        EXPECT_EQ(bucket_sum, lane.e2eUs.count);
+        completed += lane.completed;
+    }
+    EXPECT_GT(completed, 0u);
+}
+
+} // namespace
+} // namespace zkp::serve
