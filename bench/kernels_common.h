@@ -156,8 +156,8 @@ runKernelEntries(std::size_t log_n, std::size_t threads)
         }
         for (std::size_t t : {std::size_t(1), threads})
             entries.push_back(timeKernel("msm_pippenger", n, t, [&] {
-                auto p = ec::msm<G1::Jacobian>(pts.data(),
-                                               scalars.data(), n, t);
+                auto p = ec::msmCurve<G1>(pts.data(), scalars.data(),
+                                          n, t);
                 (void)p;
             }));
     }

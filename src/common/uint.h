@@ -270,6 +270,48 @@ struct BigInt
     }
 };
 
+/** Quotient/remainder pair returned by divmod(). */
+template <std::size_t N>
+struct DivModResult
+{
+    BigInt<N> quot, rem;
+};
+
+/**
+ * Binary long division: num = quot * den + rem with rem < den.
+ *
+ * O(bits^2) shift-subtract — this backs one-time setup computations
+ * (GLV lattice constants), not hot paths.
+ *
+ * @pre den != 0
+ */
+template <std::size_t N>
+constexpr DivModResult<N>
+divmod(const BigInt<N>& num, const BigInt<N>& den)
+{
+    DivModResult<N> out;
+    const std::size_t nb = num.bitLength();
+    const std::size_t db = den.bitLength();
+    if (nb < db) {
+        out.rem = num;
+        return out;
+    }
+    const std::size_t shift = nb - db;
+    // den << shift: cannot overflow (its bit length becomes nb <= 64N).
+    BigInt<N> d = den;
+    for (std::size_t i = 0; i < shift; ++i)
+        d.shl1InPlace();
+    out.rem = num;
+    for (std::size_t i = shift + 1; i-- > 0;) {
+        if (out.rem >= d) {
+            out.rem.subInPlace(d);
+            out.quot.limbs[i / 64] |= u64(1) << (i % 64);
+        }
+        d.shr1InPlace();
+    }
+    return out;
+}
+
 /** Widen a BigInt by zero extension. */
 template <std::size_t M, std::size_t N>
 constexpr BigInt<M>

@@ -29,6 +29,8 @@ namespace zkp::ec {
 template <typename Field>
 struct AffinePoint
 {
+    using FieldT = Field;
+
     Field x, y;
     bool infinity = true;
 

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * GLV endomorphism scalar decomposition for j = 0 curves.
+ *
+ * BN254 and BLS12-381 G1 admit the efficient endomorphism
+ * phi(x, y) = (beta*x, y) with beta a nontrivial cube root of unity in
+ * Fq; on the prime-order subgroup phi acts as multiplication by
+ * lambda, a nontrivial cube root of unity mod r. Splitting
+ * k = k1 + lambda*k2 with |k1|, |k2| ~ sqrt(r) lets an MSM trade its
+ * 254-bit scalars for twice as many ~128-bit scalars — halving the
+ * Pippenger window count, the win GLV/GLS and every MSM accelerator
+ * build on.
+ *
+ * Nothing curve-specific is hardcoded. All constants derive at first
+ * use from the group's own parameters:
+ *
+ *  - beta  = c^((q-1)/3) for the first small c that gives beta != 1;
+ *  - lambda = g^((r-1)/3) likewise, then matched against the
+ *    generator (phi(G) == lambda*G, else lambda <- lambda^2) so the
+ *    eigenvalue pairs with this beta;
+ *  - the short lattice basis comes from the extended Euclidean
+ *    algorithm on (r, lambda): the invariant r_i = s_i*r + t_i*lambda
+ *    makes every (r_i, -t_i) a vector of the lattice
+ *    {(a, b) : a + b*lambda = 0 mod r}, and the first remainder below
+ *    sqrt(r) together with its neighbor rows yields a reduced basis
+ *    with determinant +-r;
+ *  - the Babai-rounding coefficients are stored as 2^384 fixed-point
+ *    integers n_i = floor(2^384 * |b_i| / r), so decomposing costs two
+ *    ~5-limb integer multiplies per scalar, no division.
+ *
+ * Decomposition correctness is unconditional: k1 + lambda*k2 == k
+ * (mod r) holds for ANY rounding of the Babai coefficients — rounding
+ * quality only affects the size bound. The init path nevertheless
+ * self-tests edge scalars (0, 1, r-1, lambda, r-lambda) and disables
+ * itself (usable() == false) if anything is off, so callers fall back
+ * to the plain signed-window path rather than compute wrong results.
+ */
+
+#ifndef ZKP_EC_GLV_H
+#define ZKP_EC_GLV_H
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/uint.h"
+#include "ec/curve.h"
+
+namespace zkp::ec {
+
+/** Groups eligible for GLV: G1 over a prime field (phi needs beta in
+ *  the coordinate field itself, not a tower). */
+template <typename G>
+concept GlvCapable = requires {
+    typename G::Field::Repr;
+    G::Field::kModulus;
+};
+
+template <typename Group>
+class Glv
+{
+  public:
+    using Field = typename Group::Field;
+    using Scalar = typename Group::Scalar;
+    using ScalarRepr = typename Scalar::Repr;
+    using Affine = AffinePoint<Field>;
+
+    static constexpr std::size_t SL = ScalarRepr::kLimbs;
+    /// Half scalars live in SL/2 + 1 limbs: ~sqrt(r) magnitude plus
+    /// two's-complement headroom for the decomposition arithmetic.
+    static constexpr std::size_t kHalfLimbs = SL / 2 + 1;
+    using Half = BigInt<kHalfLimbs>;
+
+    /** Sign-magnitude half-width scalar. */
+    struct HalfScalar
+    {
+        Half mag;
+        bool neg = false;
+    };
+
+    /** Process-wide instance (thread-safe one-time derivation). */
+    static const Glv&
+    instance()
+    {
+        static const Glv inst;
+        return inst;
+    }
+
+    /** False when derivation or self-test failed; callers must then
+     *  use the non-endomorphism path. */
+    bool usable() const { return usable_; }
+
+    /** Bit bound on decomposed |k1|, |k2| (window count driver). */
+    unsigned halfBits() const { return half_bits_; }
+
+    const Field& beta() const { return beta_; }
+
+    /** lambda as a canonical integer (k2's multiplier mod r). */
+    const ScalarRepr& lambda() const { return lambda_; }
+
+    /** The endomorphism phi(x, y) = (beta*x, y). */
+    Affine
+    endo(const Affine& p) const
+    {
+        if (p.infinity)
+            return p;
+        return Affine(beta_ * p.x, p.y);
+    }
+
+    /**
+     * Split canonical k (< r) so that k1 + lambda*k2 == k (mod r) with
+     * |k1|, |k2| < 2^halfBits().
+     */
+    void
+    decompose(const ScalarRepr& k, HalfScalar& k1, HalfScalar& k2) const
+    {
+        const Half c1 = roundMulShift(k, n1_);
+        const Half c2 = roundMulShift(k, n2_);
+        // c1 = round(k*b2/D), c2 = round(-k*b1/D); k >= 0.
+        const bool c1neg = b2_.neg != d_neg_;
+        const bool c2neg = !b1_.neg != d_neg_;
+
+        // (k1, k2) = (k, 0) - c1*v1 - c2*v2, evaluated in kHalfLimbs
+        // two's complement: every product only needs its low limbs
+        // because the lattice guarantees the result is short.
+        Half acc1 = truncate<kHalfLimbs>(k);
+        Half acc2;
+        accumulate(acc1, c1, c1neg, a1h_, a1_.neg);
+        accumulate(acc1, c2, c2neg, a2h_, a2_.neg);
+        accumulate(acc2, c1, c1neg, b1h_, b1_.neg);
+        accumulate(acc2, c2, c2neg, b2h_, b2_.neg);
+        k1 = decode(acc1);
+        k2 = decode(acc2);
+    }
+
+  private:
+    /** Sign-magnitude integer of SL limbs used during setup. */
+    struct Signed
+    {
+        ScalarRepr mag;
+        bool neg = false;
+    };
+
+    static constexpr std::size_t kShiftLimbs = SL + 2; // 2^384 for SL=4
+    static constexpr std::size_t WL = 2 * SL + 2;      // setup width
+
+    Glv() { init(); }
+
+    // ----- per-scalar helpers -------------------------------------
+
+    static Half
+    roundMulShift(const ScalarRepr& k, const BigInt<SL + 1>& n)
+    {
+        auto prod = zeroExtend<SL + 1>(k).mulFull(n);
+        BigInt<2 * (SL + 1)> half;
+        half.limbs[kShiftLimbs - 1] = u64(1) << 63;
+        prod.addInPlace(half);
+        Half c;
+        for (std::size_t i = 0; i < kHalfLimbs; ++i)
+            c.limbs[i] = prod.limbs[i + kShiftLimbs];
+        return c;
+    }
+
+    static void
+    accumulate(Half& acc, const Half& cmag, bool cneg, const Half& vmag,
+               bool vneg)
+    {
+        const Half prod = truncate<kHalfLimbs>(cmag.mulFull(vmag));
+        if (cneg != vneg)
+            acc.addInPlace(prod);
+        else
+            acc.subInPlace(prod);
+    }
+
+    static HalfScalar
+    decode(const Half& tc)
+    {
+        if (tc.bit(64 * kHalfLimbs - 1)) {
+            Half mag;
+            mag.subInPlace(tc);
+            return {mag, true};
+        }
+        return {tc, false};
+    }
+
+    // ----- one-time derivation ------------------------------------
+
+    /** Nontrivial cube root of unity in F, if (|F| - 1) % 3 == 0. */
+    template <typename F>
+    static bool
+    cubeRootOfUnity(F& out)
+    {
+        using R = typename F::Repr;
+        R e = F::kModulus;
+        e.subInPlace(R(1));
+        const auto dm = divmod(e, R(3));
+        if (!dm.rem.isZero())
+            return false;
+        for (u64 g = 2; g < 64; ++g) {
+            const F w = F::fromU64(g).pow(dm.quot);
+            if (w != F::one()) {
+                out = w;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    static Signed
+    signedSub(const Signed& a, const Signed& b)
+    {
+        if (a.neg == b.neg) {
+            if (a.mag >= b.mag) {
+                Signed r{a.mag, a.neg};
+                r.mag.subInPlace(b.mag);
+                return r;
+            }
+            Signed r{b.mag, !a.neg};
+            r.mag.subInPlace(a.mag);
+            return r;
+        }
+        Signed r{a.mag, a.neg};
+        r.mag.addInPlace(b.mag);
+        return r;
+    }
+
+    static Signed
+    mulSigned(const ScalarRepr& q, const Signed& t)
+    {
+        return {truncate<SL>(q.mulFull(t.mag)), t.neg};
+    }
+
+    void
+    init()
+    {
+        usable_ = false;
+
+        // beta and the lambda candidate.
+        if (!cubeRootOfUnity(beta_))
+            return;
+        Scalar lam_f;
+        if (!cubeRootOfUnity(lam_f))
+            return;
+
+        // Pair the eigenvalue with this beta on the generator:
+        // phi(G) is lambda*G or lambda^2*G.
+        const JacobianPoint<Field> g{Group::generator()};
+        const JacobianPoint<Field> phi_g{endoWith(beta_,
+                                                  Group::generator())};
+        if (g.mulScalar(lam_f.toBigInt()) != phi_g) {
+            lam_f = lam_f.squared();
+            if (g.mulScalar(lam_f.toBigInt()) != phi_g)
+                return;
+        }
+        lambda_ = lam_f.toBigInt();
+
+        const ScalarRepr r_mod = Scalar::kModulus;
+        if (!initBasis(r_mod))
+            return;
+
+        // Determinant of (v1, v2) must be +-r (consecutive EEA rows).
+        const auto det_pos = a1_.mag.mulFull(b2_.mag);
+        const auto det_neg = a2_.mag.mulFull(b1_.mag);
+        const bool s_pos = a1_.neg != b2_.neg;
+        const bool s_neg = a2_.neg != b1_.neg;
+        BigInt<2 * SL> det_mag;
+        if (s_pos == s_neg) {
+            // |x| - |y| with shared sign.
+            det_mag = det_pos;
+            if (det_mag >= det_neg) {
+                det_mag.subInPlace(det_neg);
+                d_neg_ = s_pos;
+            } else {
+                det_mag = det_neg;
+                det_mag.subInPlace(det_pos);
+                d_neg_ = !s_pos;
+            }
+        } else {
+            det_mag = det_pos;
+            det_mag.addInPlace(det_neg);
+            d_neg_ = s_pos;
+        }
+        if (det_mag != zeroExtend<2 * SL>(r_mod))
+            return;
+
+        // Basis must fit the half width with two's-complement headroom.
+        const std::size_t max_len =
+            std::max(std::max(a1_.mag.bitLength(), b1_.mag.bitLength()),
+                     std::max(a2_.mag.bitLength(), b2_.mag.bitLength()));
+        if (max_len + 4 > 64 * kHalfLimbs)
+            return;
+        half_bits_ = (unsigned)max_len + 2;
+        a1h_ = truncate<kHalfLimbs>(a1_.mag);
+        b1h_ = truncate<kHalfLimbs>(b1_.mag);
+        a2h_ = truncate<kHalfLimbs>(a2_.mag);
+        b2h_ = truncate<kHalfLimbs>(b2_.mag);
+
+        // Babai fixed-point coefficients (|D| = r).
+        if (!fixedPointRatio(b2_.mag, r_mod, n1_) ||
+            !fixedPointRatio(b1_.mag, r_mod, n2_))
+            return;
+
+        usable_ = selfTest(r_mod, lam_f);
+    }
+
+    static Affine
+    endoWith(const Field& beta, const Affine& p)
+    {
+        if (p.infinity)
+            return p;
+        return Affine(beta * p.x, p.y);
+    }
+
+    /** EEA rows around sqrt(r): v1 = (r_{l+1}, -t_{l+1}), v2 the
+     *  shorter of rows l and l+2. */
+    bool
+    initBasis(const ScalarRepr& r_mod)
+    {
+        const auto r_wide = zeroExtend<2 * SL>(r_mod);
+        ScalarRepr r0 = r_mod, r1 = lambda_;
+        Signed t0{ScalarRepr(0), false}, t1{ScalarRepr(1), false};
+        if (r1.isZero())
+            return false;
+        while (r1.mulFull(r1) >= r_wide) {
+            const auto dm = divmod(r0, r1);
+            const Signed t2 = signedSub(t0, mulSigned(dm.quot, t1));
+            r0 = r1;
+            r1 = dm.rem;
+            t0 = t1;
+            t1 = t2;
+            if (r1.isZero())
+                return false;
+        }
+        const auto dm = divmod(r0, r1);
+        const ScalarRepr r2 = dm.rem;
+        const Signed t2 = signedSub(t0, mulSigned(dm.quot, t1));
+
+        a1_ = Signed{r1, false};
+        b1_ = Signed{t1.mag, !t1.neg};
+        const auto vlen = [](const Signed& a, const Signed& b) {
+            return std::max(a.mag.bitLength(), b.mag.bitLength());
+        };
+        const Signed a2a{r0, false}, b2a{t0.mag, !t0.neg};
+        const Signed a2b{r2, false}, b2b{t2.mag, !t2.neg};
+        if (vlen(a2b, b2b) < vlen(a2a, b2a)) {
+            a2_ = a2b;
+            b2_ = b2b;
+        } else {
+            a2_ = a2a;
+            b2_ = b2a;
+        }
+        return true;
+    }
+
+    /** n = floor(2^(64*kShiftLimbs) * b / r); false on overflow. */
+    static bool
+    fixedPointRatio(const ScalarRepr& b_mag, const ScalarRepr& r_mod,
+                    BigInt<SL + 1>& out)
+    {
+        BigInt<WL> numer;
+        for (std::size_t i = 0; i < SL; ++i)
+            numer.limbs[i + kShiftLimbs] = b_mag.limbs[i];
+        const auto dm = divmod(numer, zeroExtend<WL>(r_mod));
+        if (dm.quot.bitLength() > 64 * (SL + 1))
+            return false;
+        out = truncate<SL + 1>(dm.quot);
+        return true;
+    }
+
+    bool
+    selfTest(const ScalarRepr& r_mod, const Scalar& lam_f) const
+    {
+        ScalarRepr r_m1 = r_mod;
+        r_m1.subInPlace(ScalarRepr(1));
+        ScalarRepr r_ml = r_mod;
+        r_ml.subInPlace(lambda_);
+        ScalarRepr r_half = r_mod;
+        r_half.shr1InPlace();
+        const ScalarRepr cases[] = {ScalarRepr(0), ScalarRepr(1),
+                                    r_m1,          lambda_,
+                                    r_ml,          r_half};
+        for (const ScalarRepr& k : cases) {
+            HalfScalar k1, k2;
+            decompose(k, k1, k2);
+            if (k1.mag.bitLength() > half_bits_ ||
+                k2.mag.bitLength() > half_bits_)
+                return false;
+            Scalar s1 =
+                Scalar::fromBigInt(zeroExtend<SL>(k1.mag));
+            Scalar s2 =
+                Scalar::fromBigInt(zeroExtend<SL>(k2.mag));
+            if (k1.neg)
+                s1 = -s1;
+            if (k2.neg)
+                s2 = -s2;
+            if (s1 + lam_f * s2 != Scalar::fromBigInt(k))
+                return false;
+        }
+        return true;
+    }
+
+    bool usable_ = false;
+    unsigned half_bits_ = 0;
+    Field beta_;
+    ScalarRepr lambda_;
+    Signed a1_, b1_, a2_, b2_;
+    Half a1h_, b1h_, a2h_, b2h_;
+    bool d_neg_ = false;
+    BigInt<SL + 1> n1_, n2_;
+};
+
+} // namespace zkp::ec
+
+#endif // ZKP_EC_GLV_H

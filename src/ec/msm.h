@@ -1,13 +1,13 @@
 /**
  * @file
  * Multi-scalar multiplication (Pippenger's bucket method with signed
- * windows).
+ * windows, batch-affine buckets, and GLV halving).
  *
  * MSM is the dominant kernel of the setup and proving stages; the
  * paper's related work (PipeZK, DistMSM, ZKProphet, SZKP) accelerates
  * exactly this computation, and identifies digit extraction and bucket
- * accumulation as the levers that matter. Two of those levers are
- * applied here:
+ * accumulation as the levers that matter. Those levers are applied
+ * here:
  *
  *  - window digits are read straight out of the scalar's 64-bit limbs
  *    (one shift/mask touching at most two limbs) instead of being
@@ -19,7 +19,18 @@
  *    2^(c-1) at every window position once per scalar makes each
  *    digit an independent O(1) limb read minus 2^(c-1), with no
  *    carry chain to walk (s = sum_w (y_w - 2^(c-1)) * 2^(wc) where
- *    y_w are the plain unsigned windows of s + bias).
+ *    y_w are the plain unsigned windows of s + bias);
+ *  - bucket accumulation is BATCH-AFFINE (BatchAffineAdder): buckets
+ *    stay affine and adds resolve through a shared Montgomery batch
+ *    inversion, cutting the per-add cost from ~16 Jacobian muls to
+ *    ~6 and routing the multiplies through the dispatched SIMD
+ *    ff::mulBatch kernels;
+ *  - scalars are HALVED by the GLV endomorphism where the curve
+ *    admits one (msmCurve / msmGlv): k = k1 + lambda*k2 with
+ *    |k1|,|k2| ~ sqrt(r) turns n full-width scalars into 2n
+ *    half-width ones, halving the window count. The max_bits
+ *    parameter threads the reduced scalar width through the window
+ *    machinery.
  *
  * Two parallel decompositions are provided: input chunking (each
  * worker runs a full signed Pippenger over a slice of the points) and
@@ -39,11 +50,15 @@
 #ifndef ZKP_EC_MSM_H
 #define ZKP_EC_MSM_H
 
+#include <algorithm>
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
+#include "ec/batch_add.h"
 #include "ec/curve.h"
+#include "ec/glv.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/counters.h"
@@ -58,27 +73,47 @@ enum MsmBranchSite : sim::u32
     kBranchMsmBucketOccupied = 2,
 };
 
-/** Heuristic Pippenger window size for @p n points. */
+/**
+ * Pippenger window size for @p n points of @p max_bits-bit scalars,
+ * chosen by cost model rather than the classic log2(n) - 3 rule of
+ * thumb. With batch-affine buckets an accumulation add costs ~6 field
+ * muls while the running-sum fold pays ~27 muls (one Jacobian mixed
+ * add plus one full add) per bucket, so for window width c:
+ *
+ *   cost(c) = windows(c) * (n * 6 + 2^(c-1) * 27),
+ *   windows(c) = max_bits / c + 1.
+ *
+ * Minimizing this directly adapts the window to the scalar width —
+ * essential once GLV halves max_bits — and grows c monotonically
+ * with n.
+ */
 inline unsigned
-msmWindowBits(std::size_t n)
+msmWindowBits(std::size_t n, std::size_t max_bits = 256)
 {
-    if (n < 32)
-        return 3;
-    unsigned log2n = 0;
-    while ((std::size_t(1) << (log2n + 1)) <= n)
-        ++log2n;
-    unsigned c = log2n > 3 ? log2n - 3 : 1;
-    return c > 16 ? 16 : c;
+    unsigned best_c = 1;
+    double best_cost = 0;
+    for (unsigned c = 1; c <= 16; ++c) {
+        const double windows = (double)(max_bits / c + 1);
+        const double cost =
+            windows *
+            ((double)n * 6.0 + (double)(std::size_t(1) << (c - 1)) * 27.0);
+        if (c == 1 || cost < best_cost) {
+            best_cost = cost;
+            best_c = c;
+        }
+    }
+    return best_c;
 }
 
-/** Signed-window count for width @p c: the windows of the biased
- *  scalar need one window of headroom past kBits, so arbitrary (even
- *  non-reduced) kBits-wide scalars are handled exactly. */
+/** Signed-window count for width @p c over @p max_bits-bit scalars:
+ *  the windows of the biased scalar need one window of headroom past
+ *  max_bits, so arbitrary (even non-reduced) max_bits-wide scalars
+ *  are handled exactly. */
 template <typename ScalarRepr>
 constexpr unsigned
-msmSignedWindows(unsigned c)
+msmSignedWindows(unsigned c, std::size_t max_bits = ScalarRepr::kBits)
 {
-    return (unsigned)(ScalarRepr::kBits / c + 1);
+    return (unsigned)(max_bits / c + 1);
 }
 
 /** One-limb-wider integer holding a bias-shifted scalar. */
@@ -89,10 +124,9 @@ using MsmBiased = BigInt<ScalarRepr::kLimbs + 1>;
  *  window so signed digits become independent unsigned limb reads. */
 template <typename ScalarRepr>
 MsmBiased<ScalarRepr>
-msmBias(unsigned c)
+msmBias(unsigned c, unsigned windows)
 {
     MsmBiased<ScalarRepr> bias;
-    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
     for (unsigned w = 0; w < windows; ++w) {
         const std::size_t pos = (std::size_t)w * c + c - 1;
         bias.limbs[pos / 64] |= u64(1) << (pos % 64);
@@ -100,12 +134,22 @@ msmBias(unsigned c)
     return bias;
 }
 
+template <typename ScalarRepr>
+MsmBiased<ScalarRepr>
+msmBias(unsigned c)
+{
+    return msmBias<ScalarRepr>(c, msmSignedWindows<ScalarRepr>(c));
+}
+
 /** Stage @p scalars[0..n) into their bias-shifted form. */
 template <typename ScalarRepr>
 std::vector<MsmBiased<ScalarRepr>>
-msmBiasScalars(const ScalarRepr* scalars, std::size_t n, unsigned c)
+msmBiasScalars(const ScalarRepr* scalars, std::size_t n, unsigned c,
+               unsigned windows = 0)
 {
-    const auto bias = msmBias<ScalarRepr>(c);
+    if (windows == 0)
+        windows = msmSignedWindows<ScalarRepr>(c);
+    const auto bias = msmBias<ScalarRepr>(c, windows);
     std::vector<MsmBiased<ScalarRepr>> biased(n);
     for (std::size_t i = 0; i < n; ++i) {
         biased[i] = zeroExtend<ScalarRepr::kLimbs + 1>(scalars[i]);
@@ -116,9 +160,10 @@ msmBiasScalars(const ScalarRepr* scalars, std::size_t n, unsigned c)
 
 /**
  * Accumulate the signed-window contribution of window @p w over
- * points[0..n) into @p buckets (bucket j holds digit magnitude j + 1),
- * then fold the buckets into the window sum via the running-sum trick.
- * @p buckets must hold 2^(c-1) entries; they are reset here.
+ * points[0..n) into the batch-affine accumulator @p acc (bucket j
+ * holds digit magnitude j + 1), then fold the buckets into the window
+ * sum via the running-sum trick. The accumulator is reset here to
+ * 2^(c-1) buckets, so one instance can be reused across windows.
  *
  * @p scalars is the original scalar array — it anchors the traced
  * access stream (element size and stride match the seed kernel);
@@ -128,11 +173,11 @@ template <typename Point, typename Affine, typename ScalarRepr>
 Point
 msmWindowSum(const Affine* points, const ScalarRepr* scalars,
              const MsmBiased<ScalarRepr>* biased, std::size_t n,
-             unsigned w, unsigned c, std::vector<Point>& buckets)
+             unsigned w, unsigned c,
+             BatchAffineAdder<typename Affine::FieldT>& acc)
 {
     const long half = (long)(1L << (c - 1));
-    for (auto& b : buckets)
-        b = Point::infinity();
+    acc.reset(std::size_t(1) << (c - 1));
 
     for (std::size_t i = 0; i < n; ++i) {
         sim::count(sim::PrimOp::MsmWindow);
@@ -148,19 +193,19 @@ msmWindowSum(const Affine* points, const ScalarRepr* scalars,
 
         sim::traceLoad(&points[i], sizeof(Affine));
         const std::size_t idx = (std::size_t)(d > 0 ? d : -d) - 1;
-        Point& bucket = buckets[idx];
-        sim::branchEvent(kBranchMsmBucketOccupied, !bucket.isInfinity());
-        bucket = d > 0 ? bucket.addMixed(points[i])
-                       : bucket.addMixed(points[i].negated());
-        sim::traceStore(&bucket, sizeof(Point));
+        sim::branchEvent(kBranchMsmBucketOccupied, acc.occupied(idx));
+        acc.add(idx, d > 0 ? points[i] : points[i].negated());
+        sim::traceStore(&acc.buckets()[idx], sizeof(Affine));
     }
+    acc.flush();
 
     // Running-sum over the buckets: sum_j (j + 1) * bucket_j.
+    const std::vector<Affine>& buckets = acc.buckets();
     Point running = Point::infinity();
     Point window_sum = Point::infinity();
     for (std::size_t j = buckets.size(); j-- > 0;) {
-        sim::traceLoad(&buckets[j], sizeof(Point));
-        running += buckets[j];
+        sim::traceLoad(&buckets[j], sizeof(Affine));
+        running = running.addMixed(buckets[j]);
         window_sum += running;
     }
     return window_sum;
@@ -168,23 +213,26 @@ msmWindowSum(const Affine* points, const ScalarRepr* scalars,
 
 /**
  * Serial signed-window Pippenger MSM over one chunk:
- * result = sum_i scalars[i] * points[i].
+ * result = sum_i scalars[i] * points[i]. Scalars must be below
+ * 2^max_bits (the GLV path passes a reduced width).
  *
  * @tparam Point Jacobian point type
  * @tparam ScalarRepr BigInt<M> canonical scalar representation
  */
 template <typename Point, typename Affine, typename ScalarRepr>
 Point
-msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
+msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n,
+          std::size_t max_bits = ScalarRepr::kBits)
 {
     if (n == 0)
         return Point::infinity();
 
     ZKP_TRACE_SCOPE("msm_chunk", "n", (obs::u64)n);
-    const unsigned c = msmWindowBits(n);
-    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
-    const auto biased = msmBiasScalars(scalars, n, c);
-    std::vector<Point> buckets(std::size_t(1) << (c - 1));
+    const unsigned c = msmWindowBits(n, max_bits);
+    const unsigned windows = msmSignedWindows<ScalarRepr>(c, max_bits);
+    const auto biased = msmBiasScalars(scalars, n, c, windows);
+    BatchAffineAdder<typename Affine::FieldT> acc(std::size_t(1)
+                                                 << (c - 1));
 
     Point result = Point::infinity();
     for (unsigned w = windows; w-- > 0;) {
@@ -194,7 +242,7 @@ msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
                 result = result.doubled();
         }
         result += msmWindowSum<Point>(points, scalars, biased.data(), n,
-                                      w, c, buckets);
+                                      w, c, acc);
     }
     return result;
 }
@@ -209,20 +257,21 @@ msmSerial(const Affine* points, const ScalarRepr* scalars, std::size_t n)
 template <typename Point, typename Affine, typename ScalarRepr>
 Point
 msmWindowParallel(const Affine* points, const ScalarRepr* scalars,
-                  std::size_t n, std::size_t threads)
+                  std::size_t n, std::size_t threads,
+                  std::size_t max_bits = ScalarRepr::kBits)
 {
     if (n == 0)
         return Point::infinity();
 
     ZKP_TRACE_SCOPE("msm_windows", "n", (obs::u64)n);
-    const unsigned c = msmWindowBits(n);
-    const unsigned windows = msmSignedWindows<ScalarRepr>(c);
+    const unsigned c = msmWindowBits(n, max_bits);
+    const unsigned windows = msmSignedWindows<ScalarRepr>(c, max_bits);
     std::vector<Point> window_sums(windows, Point::infinity());
 
     // Stage the biased scalars once; every window worker reads them.
     std::vector<MsmBiased<ScalarRepr>> biased(n);
     {
-        const auto bias = msmBias<ScalarRepr>(c);
+        const auto bias = msmBias<ScalarRepr>(c, windows);
         parallelFor(n, threads,
                     [&](std::size_t, std::size_t b, std::size_t e) {
                         for (std::size_t i = b; i < e; ++i) {
@@ -236,12 +285,12 @@ msmWindowParallel(const Affine* points, const ScalarRepr* scalars,
 
     parallelFor(windows, threads,
                 [&](std::size_t, std::size_t wb, std::size_t we) {
-                    std::vector<Point> buckets(std::size_t(1)
-                                               << (c - 1));
+                    BatchAffineAdder<typename Affine::FieldT> acc(
+                        std::size_t(1) << (c - 1));
                     for (std::size_t w = wb; w < we; ++w)
                         window_sums[w] = msmWindowSum<Point>(
                             points, scalars, biased.data(), n,
-                            (unsigned)w, c, buckets);
+                            (unsigned)w, c, acc);
                 });
 
     Point result = Point::infinity();
@@ -260,15 +309,25 @@ msmWindowParallel(const Affine* points, const ScalarRepr* scalars,
  *  chunk slices stay cache-resident). */
 constexpr std::size_t kMsmWindowParallelMin = 4096;
 
+/** Minimum points per chunk worker. A chunk below this runs its own
+ *  full Pippenger (bias staging, bucket array, fold) over too little
+ *  input to amortize it, which is what made mid-size MSMs flat from
+ *  1 to 8 threads: eight ~1k chunks cost about as much as one 8k
+ *  pass. Capping workers at n / kMsmChunkMin keeps every chunk
+ *  efficient and lets the remaining parallelism come from the
+ *  window-parallel path. */
+constexpr std::size_t kMsmChunkMin = 2048;
+
 /**
  * Multi-threaded MSM. For large inputs the windows are distributed
- * across @p threads workers; otherwise the input is chunked and the
- * per-chunk partial sums added.
+ * across @p threads workers; otherwise the input is chunked (with at
+ * least kMsmChunkMin points per worker) and the per-chunk partial
+ * sums added.
  */
 template <typename Point, typename Affine, typename ScalarRepr>
 Point
 msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
-    std::size_t threads = 1)
+    std::size_t threads = 1, std::size_t max_bits = ScalarRepr::kBits)
 {
     if (n == 0)
         return Point::infinity();
@@ -277,17 +336,28 @@ msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
     static obs::Histogram& sizes = obs::histogram("msm.points");
     calls.add();
     sizes.record(n);
-    // Chunking below ~256 points per worker hurts Pippenger; the
-    // single-worker path still routes through parallelFor so the
-    // work/span instrumentation sees MSM as parallelizable work.
-    const std::size_t workers =
-        (threads <= 1 || n < 256) ? 1 : threads;
+    // Workers are capped by BOTH the chunk floor and the physical
+    // core count: each window worker owns a bucket array plus batch
+    // staging (~hundreds of KB), so oversubscribing cores makes the
+    // interleaved working sets thrash the per-core cache — measured
+    // as 8 threads running ~25% SLOWER than 1 on a single-core host.
+    std::size_t workers = 1;
+    if (threads > 1) {
+        const std::size_t hw = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+        workers = std::min(
+            {threads, hw,
+             std::max<std::size_t>(1, n / kMsmChunkMin)});
+    }
 
     if (workers > 1 && n >= kMsmWindowParallelMin)
-        return msmWindowParallel<Point>(points, scalars, n, workers);
+        return msmWindowParallel<Point>(points, scalars, n, workers,
+                                        max_bits);
 
     // Input chunking: one tile per worker slot; a slot may claim
     // several tiles (pool load balancing), so partials accumulate.
+    // The single-worker path still routes through parallelFor so the
+    // work/span instrumentation sees MSM as parallelizable work.
     const std::size_t tiles = workers;
     const std::size_t per = (n + tiles - 1) / tiles;
     std::vector<Point> partial(workers, Point::infinity());
@@ -298,13 +368,81 @@ msm(const Affine* points, const ScalarRepr* scalars, std::size_t n,
                         const std::size_t e = b + per < n ? b + per : n;
                         if (b < e)
                             partial[slot] += msmSerial<Point>(
-                                points + b, scalars + b, e - b);
+                                points + b, scalars + b, e - b,
+                                max_bits);
                     }
                 });
     Point result = Point::infinity();
     for (const auto& p : partial)
         result += p;
     return result;
+}
+
+/** Below this size the GLV split's staging (decompose + endomorphism
+ *  copy of the base array) costs more than the halved windows save. */
+constexpr std::size_t kMsmGlvMin = 128;
+
+/**
+ * GLV-accelerated MSM: decompose every scalar as k = k1 + lambda*k2
+ * and run one half-width MSM over the doubled point set
+ * {P, phi(P)}, folding the k1/k2 signs into point negation. The
+ * halved scalar width flows into the window machinery via max_bits,
+ * cutting the window count (and with it the bucket-accumulation work)
+ * roughly in half.
+ *
+ * @pre Glv<Group>::instance().usable()
+ */
+template <typename Group>
+typename Group::Jacobian
+msmGlv(const typename Group::Affine* points,
+       const typename Group::Scalar::Repr* scalars, std::size_t n,
+       std::size_t threads = 1)
+{
+    using Jac = typename Group::Jacobian;
+    using Affine = typename Group::Affine;
+    using G = Glv<Group>;
+    const G& glv = G::instance();
+
+    std::vector<Affine> pts(2 * n);
+    std::vector<typename G::Half> sc(2 * n);
+    {
+        ZKP_TRACE_SCOPE("msm_glv_split", "n", (obs::u64)n);
+        parallelFor(n, threads,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+                        typename G::HalfScalar k1, k2;
+                        for (std::size_t i = b; i < e; ++i) {
+                            glv.decompose(scalars[i], k1, k2);
+                            const Affine& p = points[i];
+                            sc[2 * i] = k1.mag;
+                            pts[2 * i] = k1.neg ? p.negated() : p;
+                            const Affine q = glv.endo(p);
+                            sc[2 * i + 1] = k2.mag;
+                            pts[2 * i + 1] = k2.neg ? q.negated() : q;
+                        }
+                    });
+    }
+    return msm<Jac>(pts.data(), sc.data(), 2 * n, threads,
+                    glv.halfBits());
+}
+
+/**
+ * Curve-aware MSM front end: routes through the GLV endomorphism
+ * when the group supports it (G1 over a prime field, derivation
+ * self-test passed) and the input is large enough to amortize the
+ * split, and falls back to the generic signed-window MSM otherwise
+ * (G2, tiny inputs, or a curve where the derivation failed).
+ */
+template <typename Group>
+typename Group::Jacobian
+msmCurve(const typename Group::Affine* points,
+         const typename Group::Scalar::Repr* scalars, std::size_t n,
+         std::size_t threads = 1)
+{
+    if constexpr (GlvCapable<Group>) {
+        if (n >= kMsmGlvMin && Glv<Group>::instance().usable())
+            return msmGlv<Group>(points, scalars, n, threads);
+    }
+    return msm<typename Group::Jacobian>(points, scalars, n, threads);
 }
 
 /** Naive double-and-add MSM; ablation baseline for bench_ablation. */
@@ -330,8 +468,8 @@ msmField(const std::vector<typename Group::Affine>& points,
     std::vector<Repr> repr(scalars.size());
     for (std::size_t i = 0; i < scalars.size(); ++i)
         repr[i] = scalars[i].toBigInt();
-    return msm<typename Group::Jacobian>(points.data(), repr.data(),
-                                         points.size(), threads);
+    return msmCurve<Group>(points.data(), repr.data(), points.size(),
+                           threads);
 }
 
 } // namespace zkp::ec

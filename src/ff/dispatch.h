@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Runtime CPU dispatch for the vector/interleaved field-multiply
+ * kernels.
+ *
+ * The ff layer carries up to three implementations of the batched
+ * Montgomery multiply (ff/fp.h mulBatch):
+ *
+ *   - kScalar       one CIOS multiply per element (the reference path,
+ *                   identical to operator*);
+ *   - kInterleaved  four independent CIOS state machines advanced in
+ *                   one loop body, hiding the per-product carry-chain
+ *                   latency behind instruction-level parallelism;
+ *   - kIfma         AVX-512 IFMA (vpmadd52) radix-52 CIOS, eight
+ *                   products per call, for 4-limb (<= 256-bit) fields
+ *                   on CPUs that expose avx512ifma + avx512vl.
+ *
+ * The choice is made once per process from CPUID, and can be forced
+ * down to the scalar reference with ZKP_FF_FORCE_SCALAR=1 (CI runs the
+ * sanitizer jobs this way so both sides of every dispatch stay
+ * exercised). ZKP_FF_FORCE_INTERLEAVED=1 pins the interleaved path on
+ * IFMA machines, which is how bench_primitives measures the tiers
+ * against each other.
+ */
+
+#ifndef ZKP_FF_DISPATCH_H
+#define ZKP_FF_DISPATCH_H
+
+#include <cstdlib>
+
+// Defines ZKP_FF_HAVE_IFMA (and the kernel) when the compiler can
+// target AVX-512 IFMA; included here so every user of the dispatch
+// agrees on whether the kIfma tier exists.
+#include "ff/fp_ifma.h"
+
+namespace zkp::ff {
+
+enum class MulImpl
+{
+    kScalar,
+    kInterleaved,
+    kIfma,
+};
+
+/**
+ * True when this build AND this CPU can run the IFMA kernel (tests use
+ * it to decide whether the kIfma tier is exercisable).
+ */
+inline bool
+ifmaSupported()
+{
+#if defined(__x86_64__) && defined(__GNUC__) && defined(ZKP_FF_HAVE_IFMA)
+    return __builtin_cpu_supports("avx512ifma") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512dq");
+#else
+    return false;
+#endif
+}
+
+namespace detail {
+
+inline MulImpl
+detectMulImpl()
+{
+    const char* force = std::getenv("ZKP_FF_FORCE_SCALAR");
+    if (force && force[0] == '1')
+        return MulImpl::kScalar;
+    const char* inter = std::getenv("ZKP_FF_FORCE_INTERLEAVED");
+    if (inter && inter[0] == '1')
+        return MulImpl::kInterleaved;
+    if (ifmaSupported())
+        return MulImpl::kIfma;
+    return MulImpl::kInterleaved;
+}
+
+} // namespace detail
+
+/** The batched-multiply implementation selected for this process. */
+inline MulImpl
+mulImpl()
+{
+    static const MulImpl impl = detail::detectMulImpl();
+    return impl;
+}
+
+/** Diagnostic name of the active implementation. */
+inline const char*
+mulImplName()
+{
+    switch (mulImpl()) {
+    case MulImpl::kScalar:
+        return "scalar";
+    case MulImpl::kInterleaved:
+        return "interleaved4";
+    case MulImpl::kIfma:
+        return "avx512ifma";
+    }
+    return "?";
+}
+
+} // namespace zkp::ff
+
+#endif // ZKP_FF_DISPATCH_H

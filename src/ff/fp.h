@@ -15,6 +15,7 @@
 #ifndef ZKP_FF_FP_H
 #define ZKP_FF_FP_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/uint.h"
+#include "ff/dispatch.h"
 #include "sim/counters.h"
 
 namespace zkp::ff {
@@ -377,6 +379,45 @@ class Fp
     /** Name of the field (for diagnostics). */
     static const char* name() { return Params::kName; }
 
+    /**
+     * Batched multiply: out[i] = a[i] * b[i] for i < n.
+     *
+     * Dispatches once per process (ff/dispatch.h): the AVX-512 IFMA
+     * radix-52 kernel in blocks of eight where the CPU supports it,
+     * otherwise the 4-way interleaved CIOS, with the scalar CIOS
+     * covering the tail (and the whole batch under
+     * ZKP_FF_FORCE_SCALAR=1). All paths return identical limbs.
+     * In-place use (out == a or out == b) is allowed: each block is
+     * fully read before any of its outputs are written.
+     *
+     * @param impl override the process-wide dispatch (tests and
+     *             bench_primitives compare the tiers this way; kIfma
+     *             requires ff::ifmaSupported())
+     */
+    static void
+    mulBatch(Fp* out, const Fp* a, const Fp* b, std::size_t n,
+             MulImpl impl = mulImpl())
+    {
+        sim::count(sim::PrimOp::FieldMul, N, n);
+        std::size_t i = 0;
+        if (impl != MulImpl::kScalar) {
+#if ZKP_FF_HAVE_IFMA
+            if constexpr (N == 4) {
+                if (impl == MulImpl::kIfma)
+                    for (; i + 8 <= n; i += 8)
+                        ifma::montMul8x256(out[i].v_.limbs.data(),
+                                           a[i].v_.limbs.data(),
+                                           b[i].v_.limbs.data(),
+                                           kModulus.limbs.data(), kN0);
+            }
+#endif
+            for (; i + 4 <= n; i += 4)
+                montMulInterleaved<4>(out + i, a + i, b + i);
+        }
+        for (; i < n; ++i)
+            out[i].v_ = montMul(a[i].v_, b[i].v_);
+    }
+
   private:
     /** CIOS Montgomery multiplication: returns a*b*R^-1 mod p. */
     static Repr
@@ -412,18 +453,104 @@ class Fp
         return r;
     }
 
+    /**
+     * K-way interleaved CIOS: K independent products advanced
+     * limb-by-limb in one loop body. Each product's carry chain is
+     * serial, but the K chains are independent, so splitting every
+     * round into a K-wide lane loop lets the out-of-order core overlap
+     * them instead of stalling on one chain's latency.
+     */
+    template <std::size_t K>
+    static void
+    montMulInterleaved(Fp* out, const Fp* a, const Fp* b)
+    {
+        u64 t[K][N + 2] = {};
+        for (std::size_t i = 0; i < N; ++i) {
+            for (std::size_t l = 0; l < K; ++l) {
+                u64* tl = t[l];
+                const u64 ai = a[l].v_.limbs[i];
+                u64 carry = 0;
+                for (std::size_t j = 0; j < N; ++j)
+                    tl[j] = mulAdd2(ai, b[l].v_.limbs[j], tl[j],
+                                    carry, carry);
+                u64 c2 = 0;
+                tl[N] = addCarry(tl[N], carry, c2);
+                tl[N + 1] += c2;
+            }
+            for (std::size_t l = 0; l < K; ++l) {
+                u64* tl = t[l];
+                const u64 m = tl[0] * kN0;
+                u64 carry = 0;
+                (void)mulAdd2(m, kModulus.limbs[0], tl[0], carry, carry);
+                for (std::size_t j = 1; j < N; ++j)
+                    tl[j - 1] = mulAdd2(m, kModulus.limbs[j], tl[j],
+                                        carry, carry);
+                u64 c2 = 0;
+                tl[N - 1] = addCarry(tl[N], carry, c2);
+                tl[N] = tl[N + 1] + c2;
+                tl[N + 1] = 0;
+            }
+        }
+        for (std::size_t l = 0; l < K; ++l) {
+            Repr r;
+            for (std::size_t i = 0; i < N; ++i)
+                r.limbs[i] = t[l][i];
+            if (t[l][N] || r >= kModulus)
+                r.subInPlace(kModulus);
+            out[l].v_ = r;
+        }
+    }
+
     Repr v_{}; // Montgomery form
 };
 
 /**
- * Batch inversion (Montgomery's trick): inverts n elements with one
- * field inversion and 3(n-1) multiplications.
- *
- * @pre no element is zero
+ * Batched multiply for any field type: out[i] = a[i] * b[i]. Routes
+ * through the dispatched Fp::mulBatch kernel when F provides one
+ * (prime fields), falling back to operator* (extension fields).
  */
 template <typename F>
 void
-batchInverse(F* elems, std::size_t n)
+mulBatch(F* out, const F* a, const F* b, std::size_t n)
+{
+    if constexpr (requires { F::mulBatch(out, a, b, n); }) {
+        F::mulBatch(out, a, b, n);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * b[i];
+    }
+}
+
+/**
+ * Batched multiply by a broadcast constant: out[i] = a[i] * c. The
+ * constant is replicated into a small stack buffer so the products
+ * still flow through the dispatched batch kernels.
+ */
+template <typename F>
+void
+mulBatchConst(F* out, const F* a, const F& c, std::size_t n)
+{
+    if constexpr (requires { F::mulBatch(out, a, a, n); }) {
+        constexpr std::size_t B = 64;
+        F cs[B];
+        std::fill(cs, cs + B, c);
+        std::size_t i = 0;
+        for (; i + B <= n; i += B)
+            F::mulBatch(out + i, a + i, cs, B);
+        if (i < n)
+            F::mulBatch(out + i, a + i, cs, n - i);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * c;
+    }
+}
+
+namespace detail {
+
+/** Single-chain Montgomery batch inversion (reference form). */
+template <typename F>
+void
+batchInverseSerial(F* elems, std::size_t n)
 {
     if (n == 0)
         return;
@@ -438,6 +565,80 @@ batchInverse(F* elems, std::size_t n)
         F tmp = inv * prefix[i];
         inv *= elems[i];
         elems[i] = tmp;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Batch inversion (Montgomery's trick): inverts n elements with one
+ * field inversion and 3(n-1) multiplications.
+ *
+ * The prefix/suffix product passes are serial chains, so for large
+ * batches the array is split into eight contiguous blocks whose chains
+ * advance in lock-step through mulBatch — turning nearly all of the
+ * 3n multiplies into dispatched (interleaved / IFMA) batch work. The
+ * block partition puts all full-length chains first, so the set of
+ * still-active chains at any step is a prefix and the accumulators
+ * stay contiguous for mulBatch.
+ *
+ * @pre no element is zero
+ */
+template <typename F>
+void
+batchInverse(F* elems, std::size_t n)
+{
+    constexpr std::size_t K = 8;
+    if (n < 4 * K) {
+        detail::batchInverseSerial(elems, n);
+        return;
+    }
+
+    const std::size_t m = (n + K - 1) / K; // block length (last short)
+    std::size_t base[K], len[K];
+    std::size_t chains = 0;
+    for (std::size_t l = 0; l < K; ++l) {
+        base[l] = l * m;
+        len[l] = base[l] < n ? std::min(m, n - base[l]) : 0;
+        if (len[l])
+            ++chains;
+    }
+
+    std::vector<F> prefix(n);
+    F acc[K], gath[K], res[K];
+    for (std::size_t l = 0; l < K; ++l)
+        acc[l] = F::one();
+
+    for (std::size_t i = 0; i < m; ++i) {
+        std::size_t kc = 0;
+        for (std::size_t l = 0; l < K; ++l) {
+            if (i < len[l]) {
+                prefix[base[l] + i] = acc[l];
+                gath[kc++] = elems[base[l] + i];
+            }
+        }
+        mulBatch(acc, acc, gath, kc);
+    }
+
+    detail::batchInverseSerial(acc, chains);
+
+    for (std::size_t i = m; i-- > 0;) {
+        std::size_t kc = 0;
+        for (std::size_t l = 0; l < K; ++l)
+            if (i < len[l])
+                gath[kc++] = elems[base[l] + i];
+        // res = chain_inv * prefix (the answers); acc = chain_inv * elem
+        // (peeling this element off the chain inverse).
+        std::size_t k2 = 0;
+        for (std::size_t l = 0; l < K; ++l)
+            if (i < len[l])
+                res[k2] = prefix[base[l] + i], ++k2;
+        mulBatch(res, acc, res, kc);
+        mulBatch(acc, acc, gath, kc);
+        k2 = 0;
+        for (std::size_t l = 0; l < K; ++l)
+            if (i < len[l])
+                elems[base[l] + i] = res[k2++];
     }
 }
 

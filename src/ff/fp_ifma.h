@@ -1,0 +1,204 @@
+/**
+ * @file
+ * AVX-512 IFMA radix-52 Montgomery multiplication, eight products per
+ * call, for 4-limb (<= 256-bit) moduli.
+ *
+ * vpmadd52luq/vpmadd52huq multiply the low 52 bits of two 64-bit lanes
+ * and accumulate the low/high 52 bits of the 104-bit product into a
+ * 64-bit accumulator. Operands are therefore converted from the 4x64
+ * storage radix to 5x52, multiplied with a five-round CIOS whose
+ * redundant accumulators stay below 2^57 (no carry propagation inside
+ * the loop), then carried, conditionally reduced and converted back.
+ *
+ * Radix bridge: five 52-bit reduction rounds divide by R' = 2^260, but
+ * the rest of the system stores elements in Montgomery form with
+ * R = 2^256. The a-operand is pre-scaled by 2^4 during radix
+ * conversion (a fused shift, not a field multiply), so the kernel
+ * returns a*16*b/2^260 = a*b/2^256 — bit-identical to the scalar CIOS
+ * path. The scaled operand a*16 < 2^260 still fits five 52-bit limbs
+ * and keeps the final result below 2p for one conditional subtract.
+ *
+ * This header only defines ZKP_FF_HAVE_IFMA (and the kernel) when the
+ * compiler can target AVX-512 IFMA; callers must additionally check
+ * CPUID at runtime via ff::mulImpl() before calling in here.
+ */
+
+#ifndef ZKP_FF_FP_IFMA_H
+#define ZKP_FF_FP_IFMA_H
+
+#include "common/uint.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && \
+    (defined(__clang__) ? (__clang_major__ >= 8) : (__GNUC__ >= 8))
+#define ZKP_FF_HAVE_IFMA 1
+
+// GCC implements _mm512_set1_epi64 through _mm512_undefined_epi32 and
+// then (correctly) warns that the undefined vector is used; the value
+// is fully overwritten by the broadcast, so the warning is noise. The
+// diagnostic is attributed to the intrinsic header itself, so the
+// suppression has to cover the include too.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+namespace zkp::ff::ifma {
+
+inline constexpr u64 kMask52 = ((u64)1 << 52) - 1;
+
+/**
+ * Eight independent Montgomery products out[i] = a[i]*b[i]*2^-256 mod p.
+ *
+ * @param out  8 contiguous 4-limb little-endian elements (may alias a/b)
+ * @param a    8 contiguous 4-limb multiplicands, each < p
+ * @param b    8 contiguous 4-limb multiplicands, each < p
+ * @param mod  the 4-limb odd modulus p < 2^255
+ * @param n0   -p^-1 mod 2^64 (only the low 52 bits are used)
+ */
+__attribute__((target("avx512f,avx512dq,avx512vl,avx512ifma")))
+inline void
+montMul8x256(u64* out, const u64* a, const u64* b, const u64* mod, u64 n0)
+{
+    // Transpose element-major storage to limb-major vectors.
+    alignas(64) u64 la[4][8], lb[4][8];
+    for (int lane = 0; lane < 8; ++lane)
+        for (int j = 0; j < 4; ++j) {
+            la[j][lane] = a[lane * 4 + j];
+            lb[j][lane] = b[lane * 4 + j];
+        }
+    __m512i A64[4], B64[4];
+    for (int j = 0; j < 4; ++j) {
+        A64[j] = _mm512_load_si512(la[j]);
+        B64[j] = _mm512_load_si512(lb[j]);
+    }
+
+    const __m512i mask = _mm512_set1_epi64((long long)kMask52);
+    const __m512i zero = _mm512_setzero_si512();
+
+    // Radix 4x64 -> 5x52; the a side is fused with the *2^4 pre-scale
+    // (extracts bit window j*52-4 .. j*52+47 of the original value).
+    __m512i A[5], B[5], P[5];
+    A[0] = _mm512_and_si512(_mm512_slli_epi64(A64[0], 4), mask);
+    A[1] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(A64[0], 48),
+                        _mm512_slli_epi64(A64[1], 16)), mask);
+    A[2] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(A64[1], 36),
+                        _mm512_slli_epi64(A64[2], 28)), mask);
+    A[3] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(A64[2], 24),
+                        _mm512_slli_epi64(A64[3], 40)), mask);
+    A[4] = _mm512_srli_epi64(A64[3], 12);
+    B[0] = _mm512_and_si512(B64[0], mask);
+    B[1] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(B64[0], 52),
+                        _mm512_slli_epi64(B64[1], 12)), mask);
+    B[2] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(B64[1], 40),
+                        _mm512_slli_epi64(B64[2], 24)), mask);
+    B[3] = _mm512_and_si512(
+        _mm512_or_si512(_mm512_srli_epi64(B64[2], 28),
+                        _mm512_slli_epi64(B64[3], 36)), mask);
+    B[4] = _mm512_srli_epi64(B64[3], 16);
+
+    const u64 p52[5] = {
+        mod[0] & kMask52,
+        ((mod[0] >> 52) | (mod[1] << 12)) & kMask52,
+        ((mod[1] >> 40) | (mod[2] << 24)) & kMask52,
+        ((mod[2] >> 28) | (mod[3] << 36)) & kMask52,
+        mod[3] >> 16,
+    };
+    for (int j = 0; j < 5; ++j)
+        P[j] = _mm512_set1_epi64((long long)p52[j]);
+    const __m512i vn0 = _mm512_set1_epi64((long long)(n0 & kMask52));
+
+    // Five CIOS rounds. Accumulators are redundant (< 2^57): each round
+    // adds at most four 52-bit partial products per limb, so carries
+    // are only resolved once, after the loop.
+    __m512i T[6] = {zero, zero, zero, zero, zero, zero};
+    for (int i = 0; i < 5; ++i) {
+        const __m512i ai = A[i];
+        T[0] = _mm512_madd52lo_epu64(T[0], ai, B[0]);
+        T[1] = _mm512_madd52lo_epu64(T[1], ai, B[1]);
+        T[2] = _mm512_madd52lo_epu64(T[2], ai, B[2]);
+        T[3] = _mm512_madd52lo_epu64(T[3], ai, B[3]);
+        T[4] = _mm512_madd52lo_epu64(T[4], ai, B[4]);
+        T[1] = _mm512_madd52hi_epu64(T[1], ai, B[0]);
+        T[2] = _mm512_madd52hi_epu64(T[2], ai, B[1]);
+        T[3] = _mm512_madd52hi_epu64(T[3], ai, B[2]);
+        T[4] = _mm512_madd52hi_epu64(T[4], ai, B[3]);
+        T[5] = _mm512_madd52hi_epu64(T[5], ai, B[4]);
+
+        // m = lo52(t0) * n0 mod 2^52; t + m*p then has 52 zero low bits.
+        const __m512i m = _mm512_madd52lo_epu64(zero, T[0], vn0);
+        T[0] = _mm512_madd52lo_epu64(T[0], m, P[0]);
+        T[1] = _mm512_madd52lo_epu64(T[1], m, P[1]);
+        T[2] = _mm512_madd52lo_epu64(T[2], m, P[2]);
+        T[3] = _mm512_madd52lo_epu64(T[3], m, P[3]);
+        T[4] = _mm512_madd52lo_epu64(T[4], m, P[4]);
+        T[1] = _mm512_madd52hi_epu64(T[1], m, P[0]);
+        T[2] = _mm512_madd52hi_epu64(T[2], m, P[1]);
+        T[3] = _mm512_madd52hi_epu64(T[3], m, P[2]);
+        T[4] = _mm512_madd52hi_epu64(T[4], m, P[3]);
+        T[5] = _mm512_madd52hi_epu64(T[5], m, P[4]);
+
+        // Divide by 2^52: drop limb 0, folding its (redundant) high
+        // bits into the next limb.
+        const __m512i carry = _mm512_srli_epi64(T[0], 52);
+        T[0] = _mm512_add_epi64(T[1], carry);
+        T[1] = T[2];
+        T[2] = T[3];
+        T[3] = T[4];
+        T[4] = T[5];
+        T[5] = zero;
+    }
+
+    // Resolve redundancy to strict radix 52.
+    for (int j = 0; j < 4; ++j) {
+        T[j + 1] =
+            _mm512_add_epi64(T[j + 1], _mm512_srli_epi64(T[j], 52));
+        T[j] = _mm512_and_si512(T[j], mask);
+    }
+
+    // Result < 2p: subtract p once where res >= p (no final borrow).
+    __m512i D[5];
+    const __m512i one = _mm512_set1_epi64(1);
+    __mmask8 borrow = 0;
+    for (int j = 0; j < 5; ++j) {
+        __m512i d = _mm512_sub_epi64(T[j], P[j]);
+        d = _mm512_mask_sub_epi64(d, borrow, d, one);
+        borrow = _mm512_cmplt_epi64_mask(d, zero);
+        D[j] = _mm512_and_si512(d, mask);
+    }
+    for (int j = 0; j < 5; ++j)
+        T[j] = _mm512_mask_blend_epi64(borrow, D[j], T[j]);
+
+    // Radix 5x52 -> 4x64 and transpose back.
+    __m512i R64[4];
+    R64[0] = _mm512_or_si512(T[0], _mm512_slli_epi64(T[1], 52));
+    R64[1] = _mm512_or_si512(_mm512_srli_epi64(T[1], 12),
+                             _mm512_slli_epi64(T[2], 40));
+    R64[2] = _mm512_or_si512(_mm512_srli_epi64(T[2], 24),
+                             _mm512_slli_epi64(T[3], 28));
+    R64[3] = _mm512_or_si512(_mm512_srli_epi64(T[3], 36),
+                             _mm512_slli_epi64(T[4], 16));
+    alignas(64) u64 lr[4][8];
+    for (int j = 0; j < 4; ++j)
+        _mm512_store_si512(lr[j], R64[j]);
+    for (int lane = 0; lane < 8; ++lane)
+        for (int j = 0; j < 4; ++j)
+            out[lane * 4 + j] = lr[j][lane];
+}
+
+} // namespace zkp::ff::ifma
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif // compiler support
+
+#endif // ZKP_FF_FP_IFMA_H

@@ -18,8 +18,10 @@
 #ifndef ZKP_POLY_DOMAIN_H
 #define ZKP_POLY_DOMAIN_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -32,6 +34,24 @@
 #include "sim/memtrace.h"
 
 namespace zkp::poly {
+
+/**
+ * Minimum transform size that dispatches butterfly stages to the
+ * thread pool. Below this the fork-join cost of log2(n) parallel
+ * regions exceeds the stage work itself — measured at n = 16384 the
+ * 8-thread forward NTT ran SLOWER than single-threaded — so smaller
+ * transforms stay serial. Override with ZKP_NTT_PARALLEL_MIN.
+ */
+inline std::size_t
+nttParallelMin()
+{
+    static const std::size_t v = [] {
+        if (const char* e = std::getenv("ZKP_NTT_PARALLEL_MIN"))
+            return (std::size_t)std::strtoull(e, nullptr, 0);
+        return std::size_t(1) << 15;
+    }();
+    return v;
+}
 
 /** Two-adicity data shared by all domains of one field. */
 template <typename Fr>
@@ -146,10 +166,10 @@ class Domain
     {
         ZKP_TRACE_SCOPE("intt", "n", (obs::u64)size_);
         transform(a, kInverse, threads);
-        parallelFor(a.size(), threads,
+        parallelFor(a.size(), nttThreads(a.size(), threads),
                     [&](std::size_t, std::size_t b, std::size_t e) {
-                        for (std::size_t i = b; i < e; ++i)
-                            a[i] *= sizeInv_;
+                        ff::mulBatchConst(a.data() + b, a.data() + b,
+                                          sizeInv_, e - b);
                     });
     }
 
@@ -223,16 +243,24 @@ class Domain
         std::once_flag once;
         std::vector<Fr> fwd;
         std::vector<Fr> inv;
+        /// Stage-major copies: stagedFwd[h + k] = fwd[k * (n/2) / h]
+        /// for stage half-length h and k < h, so every butterfly
+        /// stage reads its twiddles CONTIGUOUSLY — the layout that
+        /// lets the stage multiply go through ff::mulBatch.
+        std::vector<Fr> stagedFwd;
+        std::vector<Fr> stagedInv;
     };
 
-    const std::vector<Fr>&
-    twiddles(Direction dir, std::size_t threads) const
+    const TwiddleCache&
+    twiddles(std::size_t threads) const
     {
         std::call_once(cache_->once, [&] {
             const std::size_t half = size_ / 2;
             cache_->fwd.resize(half);
             cache_->inv.resize(half);
-            sim::countAlloc(2 * half * sizeof(Fr));
+            cache_->stagedFwd.resize(size_);
+            cache_->stagedInv.resize(size_);
+            sim::countAlloc(6 * half * sizeof(Fr));
             auto fill = [&](std::vector<Fr>& out, const Fr& base) {
                 parallelFor(out.size(), threads,
                             [&](std::size_t, std::size_t b,
@@ -246,8 +274,28 @@ class Domain
             };
             fill(cache_->fwd, omega_);
             fill(cache_->inv, omegaInv_);
+            auto stage = [&](std::vector<Fr>& out,
+                             const std::vector<Fr>& flat) {
+                for (std::size_t h = 1; h <= half; h <<= 1)
+                    for (std::size_t k = 0; k < h; ++k)
+                        out[h + k] = flat[k * (half / h)];
+            };
+            stage(cache_->stagedFwd, cache_->fwd);
+            stage(cache_->stagedInv, cache_->inv);
         });
-        return dir == kForward ? cache_->fwd : cache_->inv;
+        return *cache_;
+    }
+
+    /** Serialize transforms too small to amortize pool dispatch, and
+     *  never run more butterfly workers than physical cores. */
+    static std::size_t
+    nttThreads(std::size_t n, std::size_t threads)
+    {
+        if (threads > 1 && n < nttParallelMin())
+            return 1;
+        return std::min(threads,
+                        std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency()));
     }
 
     /** Reverse the low @p bits of @p x. */
@@ -279,13 +327,18 @@ class Domain
         transforms.add();
         butterflies.add((obs::u64)(n / 2) * log2n_);
 
-        const std::vector<Fr>& tw = twiddles(dir, threads);
+        const std::size_t workers = nttThreads(n, threads);
+        const TwiddleCache& tc = twiddles(workers);
+        const std::vector<Fr>& tw =
+            dir == kForward ? tc.fwd : tc.inv;
+        const std::vector<Fr>& staged =
+            dir == kForward ? tc.stagedFwd : tc.stagedInv;
 
         // Bit-reversal permutation: each index pairs with its
         // reversal exactly once (i < j), so pairs are disjoint and the
         // permutation parallelizes without synchronization.
         const std::size_t log2n = log2n_;
-        parallelFor(n, threads,
+        parallelFor(n, workers,
                     [&](std::size_t, std::size_t b, std::size_t e) {
                         for (std::size_t i = b; i < e; ++i) {
                             const std::size_t j = reverseBits(i, log2n);
@@ -294,12 +347,44 @@ class Domain
                         }
                     });
 
+        // Above this stage half-length the twiddle multiplies of a
+        // block go through ff::mulBatch (contiguous hi-range times
+        // the stage-major twiddle slice) instead of one scalar
+        // Montgomery multiply per butterfly.
+        constexpr std::size_t kBatchHalfMin = 8;
+        std::vector<std::vector<Fr>> scratch(workers);
+
         for (std::size_t len = 2; len <= n; len <<= 1) {
             const std::size_t half = len >> 1;
             const std::size_t stride = n / len;
             const std::size_t blocks = n / len;
-            parallelFor(blocks, threads,
-                        [&](std::size_t, std::size_t bb, std::size_t be) {
+            parallelFor(blocks, workers,
+                        [&](std::size_t slot, std::size_t bb,
+                            std::size_t be) {
+                if (half >= kBatchHalfMin) {
+                    std::vector<Fr>& v = scratch[slot];
+                    if (v.size() < half)
+                        v.resize(half);
+                    for (std::size_t b = bb; b < be; ++b) {
+                        const std::size_t base = b * len;
+                        sim::count(sim::PrimOp::NttButterfly, Fr::N,
+                                   half);
+                        ff::mulBatch(v.data(), a.data() + base + half,
+                                     staged.data() + half, half);
+                        for (std::size_t k = 0; k < half; ++k) {
+                            Fr& lo = a[base + k];
+                            Fr& hi = a[base + k + half];
+                            sim::traceLoad(&lo, sizeof(Fr));
+                            sim::traceLoad(&hi, sizeof(Fr));
+                            const Fr u = lo;
+                            lo = u + v[k];
+                            hi = u - v[k];
+                            sim::traceStore(&lo, sizeof(Fr));
+                            sim::traceStore(&hi, sizeof(Fr));
+                        }
+                    }
+                    return;
+                }
                 for (std::size_t b = bb; b < be; ++b) {
                     const std::size_t base = b * len;
                     for (std::size_t k = 0; k < half; ++k) {
@@ -309,7 +394,8 @@ class Domain
                         sim::traceLoad(&lo, sizeof(Fr));
                         sim::traceLoad(&hi, sizeof(Fr));
                         Fr u = lo;
-                        Fr v = hi * tw[k * stride];
+                        // The k = 0 twiddle is one: skip the multiply.
+                        Fr v = k == 0 ? hi : hi * tw[k * stride];
                         lo = u + v;
                         hi = u - v;
                         sim::traceStore(&lo, sizeof(Fr));
@@ -320,20 +406,35 @@ class Domain
         }
     }
 
-    /** a[i] *= s^i. The one pow() per claimed chunk re-anchors the
-     *  running power; the serial tail multiply per element is the
-     *  dominant (and unavoidable) cost. */
+    /** a[i] *= s^i. The power table is built by prefix doubling —
+     *  pw[m..2m) = pw[0..m) * s^m — so both the table build and the
+     *  elementwise scale run as dispatched batch multiplies instead
+     *  of a serial running-product chain. */
     void
     scaleByPowers(std::vector<Fr>& a, const Fr& s,
                   std::size_t threads) const
     {
-        parallelFor(a.size(), threads,
+        const std::size_t n = a.size();
+        if (n < 64) {
+            Fr cur = Fr::one();
+            for (std::size_t i = 0; i < n; ++i) {
+                a[i] *= cur;
+                cur *= s;
+            }
+            return;
+        }
+        std::vector<Fr> pw(n);
+        sim::countAlloc(n * sizeof(Fr));
+        pw[0] = Fr::one();
+        for (std::size_t m = 1; m < n; m <<= 1) {
+            const Fr sm = pw[m - 1] * s; // s^m
+            ff::mulBatchConst(pw.data() + m, pw.data(), sm,
+                              std::min(m, n - m));
+        }
+        parallelFor(n, nttThreads(n, threads),
                     [&](std::size_t, std::size_t b, std::size_t e) {
-                        Fr cur = s.pow((u64)b);
-                        for (std::size_t i = b; i < e; ++i) {
-                            a[i] *= cur;
-                            cur *= s;
-                        }
+                        ff::mulBatch(a.data() + b, a.data() + b,
+                                     pw.data() + b, e - b);
                     });
     }
 

@@ -291,29 +291,31 @@ class Groth16
         const G2Jac delta2{pk.delta2};
 
         // A = alpha + sum z_i [A_i] + r*delta.
-        G1Jac a_acc = ec::msm<G1Jac>(pk.aQuery.data(), z_repr.data(),
-                                     z_repr.size(), threads);
+        G1Jac a_acc = ec::msmCurve<G1>(pk.aQuery.data(), z_repr.data(),
+                                       z_repr.size(), threads);
         a_acc += G1Jac{pk.alpha1};
         a_acc += delta1.mulScalar(r.toBigInt());
 
         // B (G2 and the G1 copy needed for C).
-        G2Jac b_acc = ec::msm<G2Jac>(pk.b2Query.data(), z_repr.data(),
-                                     z_repr.size(), threads);
+        G2Jac b_acc = ec::msmCurve<G2>(pk.b2Query.data(), z_repr.data(),
+                                       z_repr.size(), threads);
         b_acc += G2Jac{pk.beta2};
         b_acc += delta2.mulScalar(s.toBigInt());
 
-        G1Jac b1_acc = ec::msm<G1Jac>(pk.b1Query.data(), z_repr.data(),
-                                      z_repr.size(), threads);
+        G1Jac b1_acc = ec::msmCurve<G1>(pk.b1Query.data(),
+                                        z_repr.data(), z_repr.size(),
+                                        threads);
         b1_acc += G1Jac{pk.beta1};
         b1_acc += delta1.mulScalar(s.toBigInt());
 
         // C = sum_priv z_i [L_i] + sum_k h_k [H_k] + s*A + r*B1 - rs*delta.
         const std::size_t npub = pk.numPublic;
-        G1Jac c_acc = ec::msm<G1Jac>(pk.lQuery.data(),
-                                     z_repr.data() + npub + 1,
-                                     z_repr.size() - npub - 1, threads);
-        c_acc += ec::msm<G1Jac>(pk.hQuery.data(), h_repr.data(),
-                                h_repr.size(), threads);
+        G1Jac c_acc = ec::msmCurve<G1>(pk.lQuery.data(),
+                                       z_repr.data() + npub + 1,
+                                       z_repr.size() - npub - 1,
+                                       threads);
+        c_acc += ec::msmCurve<G1>(pk.hQuery.data(), h_repr.data(),
+                                  h_repr.size(), threads);
         c_acc += a_acc.mulScalar(s.toBigInt());
         c_acc += b1_acc.mulScalar(r.toBigInt());
         c_acc += (-delta1).mulScalar((r * s).toBigInt());
@@ -337,8 +339,8 @@ class Groth16
         std::vector<FrRepr> repr(public_inputs.size());
         for (std::size_t i = 0; i < public_inputs.size(); ++i)
             repr[i] = public_inputs[i].toBigInt();
-        G1Jac vkx = ec::msm<G1Jac>(vk.ic.data() + 1, repr.data(),
-                                   repr.size());
+        G1Jac vkx = ec::msmCurve<G1>(vk.ic.data() + 1, repr.data(),
+                                     repr.size());
         vkx += G1Jac{vk.ic[0]};
         const G1Affine vkx_aff = vkx.toAffine();
 
@@ -395,8 +397,8 @@ class Groth16
             std::vector<FrRepr> repr(public_inputs[k].size());
             for (std::size_t i = 0; i < repr.size(); ++i)
                 repr[i] = public_inputs[k][i].toBigInt();
-            G1Jac vkx = ec::msm<G1Jac>(vk.ic.data() + 1, repr.data(),
-                                       repr.size());
+            G1Jac vkx = ec::msmCurve<G1>(vk.ic.data() + 1, repr.data(),
+                                         repr.size());
             vkx += G1Jac{vk.ic[0]};
 
             vkx_sum += vkx.mulScalar(r.toBigInt());

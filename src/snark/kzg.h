@@ -103,8 +103,8 @@ class Kzg
         std::vector<FrRepr> repr(coeffs.size());
         for (std::size_t i = 0; i < coeffs.size(); ++i)
             repr[i] = coeffs[i].toBigInt();
-        return ec::msm<G1Jac>(srs.g1Powers.data(), repr.data(),
-                              repr.size(), threads)
+        return ec::msmCurve<G1>(srs.g1Powers.data(), repr.data(),
+                                repr.size(), threads)
             .toAffine();
     }
 

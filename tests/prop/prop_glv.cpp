@@ -1,0 +1,222 @@
+/**
+ * @file
+ * GLV endomorphism and batch-affine accumulator properties.
+ *
+ * The endomorphism path rewrites every scalar as k1 + lambda*k2 with
+ * half-width k1, k2 and doubles the point set; any error in the
+ * lattice arithmetic or the sign handling silently corrupts proofs.
+ * These suites pin (a) the decomposition congruence itself on the
+ * adversarial scalar set {0, 1, r-1, lambda, r-lambda} plus random
+ * values, (b) end-to-end MSM-with-endomorphism against the naive
+ * double-and-add reference, and (c) the batch-affine bucket adder
+ * against Jacobian accumulation under adversarial bucket collisions
+ * (every scheduling path: direct store, chord, tangent, P + (-P),
+ * carry queue, mid-stream flush).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ec/batch_add.h"
+#include "ec/glv.h"
+#include "ec/groups.h"
+#include "ec/msm.h"
+#include "zkcheck.h"
+
+namespace zkp::prop {
+namespace {
+
+template <typename G>
+class GlvLaws : public ::testing::Test
+{
+};
+
+using GlvGroups = ::testing::Types<ec::Bn254G1, ec::Bls381G1>;
+TYPED_TEST_SUITE(GlvLaws, GlvGroups);
+
+/** The recoding-hostile scalar set the ISSUE pins, plus randoms. */
+template <typename G>
+std::vector<typename G::Scalar::Repr>
+adversarialScalars(Rng& rng, std::size_t extra)
+{
+    using Fr = typename G::Scalar;
+    const auto& glv = ec::Glv<G>::instance();
+    const Fr lam = Fr::fromBigInt(glv.lambda());
+    std::vector<typename Fr::Repr> out{
+        Fr::zero().toBigInt(),  Fr::one().toBigInt(),
+        (-Fr::one()).toBigInt(), // r - 1
+        glv.lambda(),
+        (-lam).toBigInt(), // r - lambda
+    };
+    for (std::size_t i = 0; i < extra; ++i)
+        out.push_back(Fr::random(rng).toBigInt());
+    return out;
+}
+
+TYPED_TEST(GlvLaws, DecompositionIsCongruentAndShort)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    using Repr = typename Fr::Repr;
+    using GlvT = ec::Glv<G>;
+
+    const GlvT& glv = GlvT::instance();
+    ASSERT_TRUE(glv.usable());
+    const Fr lam = Fr::fromBigInt(glv.lambda());
+
+    forAll("glv_congruence", 8, [&](Rng& rng, std::size_t) {
+        for (const Repr& k : adversarialScalars<G>(rng, 8)) {
+            typename GlvT::HalfScalar k1, k2;
+            glv.decompose(k, k1, k2);
+
+            EXPECT_LE(k1.mag.bitLength(), glv.halfBits());
+            EXPECT_LE(k2.mag.bitLength(), glv.halfBits());
+
+            Fr s1 = Fr::fromBigInt(zeroExtend<Repr::kLimbs>(k1.mag));
+            Fr s2 = Fr::fromBigInt(zeroExtend<Repr::kLimbs>(k2.mag));
+            if (k1.neg)
+                s1 = -s1;
+            if (k2.neg)
+                s2 = -s2;
+            EXPECT_EQ(s1 + lam * s2, Fr::fromBigInt(k));
+        }
+    });
+}
+
+TYPED_TEST(GlvLaws, EndomorphismActsAsLambda)
+{
+    using G = TypeParam;
+    using Jac = typename G::Jacobian;
+
+    const auto& glv = ec::Glv<G>::instance();
+    ASSERT_TRUE(glv.usable());
+
+    forAll("glv_endo_is_lambda", 4, [&](Rng& rng, std::size_t) {
+        const auto p = genPoint<G>(rng);
+        const auto phi = glv.endo(p);
+        EXPECT_TRUE(phi.isOnCurve(G::b()));
+        EXPECT_EQ(Jac{phi}, Jac{p}.mulScalar(glv.lambda()));
+        // phi(infinity) == infinity.
+        EXPECT_TRUE(glv.endo(typename G::Affine()).infinity);
+    });
+}
+
+TYPED_TEST(GlvLaws, MsmWithEndoMatchesNaive)
+{
+    using G = TypeParam;
+    using Jac = typename G::Jacobian;
+
+    forAll("glv_msm_vs_naive", 4, [&](Rng& rng, std::size_t) {
+        auto scalars = adversarialScalars<G>(rng, 6 + rng.nextBelow(8));
+        const std::size_t n = scalars.size();
+        const Jac g{G::generator()};
+        std::vector<typename G::Affine> pts;
+        for (std::size_t i = 0; i < n; ++i)
+            pts.push_back(
+                g.mulScalar(rng.nextBelow(1000) + 1).toAffine());
+        pts[0] = typename G::Affine(); // infinity point through endo()
+
+        const auto naive =
+            ec::msmNaive<Jac>(pts.data(), scalars.data(), n);
+        EXPECT_EQ(ec::msmGlv<G>(pts.data(), scalars.data(), n), naive);
+        EXPECT_EQ(ec::msmGlv<G>(pts.data(), scalars.data(), n, 2),
+                  naive);
+        // The dispatching front end (below the GLV size floor here).
+        EXPECT_EQ(ec::msmCurve<G>(pts.data(), scalars.data(), n),
+                  naive);
+    });
+}
+
+// One case above kMsmGlvMin so msmCurve actually takes the GLV branch.
+TYPED_TEST(GlvLaws, MsmCurveDispatchesGlvAboveFloor)
+{
+    using G = TypeParam;
+    using Fr = typename G::Scalar;
+    using Jac = typename G::Jacobian;
+
+    forAll("glv_msm_dispatch", 1, [&](Rng& rng, std::size_t) {
+        const std::size_t n = ec::kMsmGlvMin + 16;
+        const Jac g{G::generator()};
+        std::vector<typename G::Affine> pts;
+        std::vector<typename Fr::Repr> scalars;
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(
+                g.mulScalar(rng.nextBelow(4096) + 1).toAffine());
+            scalars.push_back(Fr::random(rng).toBigInt());
+        }
+        EXPECT_EQ(ec::msmCurve<G>(pts.data(), scalars.data(), n),
+                  ec::msmSerial<Jac>(pts.data(), scalars.data(), n));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Batch-affine accumulator vs Jacobian reference under collisions
+// ---------------------------------------------------------------------
+
+TYPED_TEST(GlvLaws, BatchAffineMatchesJacobianUnderCollisions)
+{
+    using G = TypeParam;
+    using Field = typename G::Field;
+    using Aff = typename G::Affine;
+    using Jac = typename G::Jacobian;
+
+    forAll("batch_affine_colliding", 6, [&](Rng& rng, std::size_t) {
+        const Jac g{G::generator()};
+        // A small pool makes doublings (bucket == incoming point) and
+        // P + (-P) cancellations occur organically.
+        std::vector<Aff> pool;
+        for (std::size_t i = 0; i < 5; ++i) {
+            pool.push_back(
+                g.mulScalar(rng.nextBelow(64) + 1).toAffine());
+            pool.push_back(pool.back().negated());
+        }
+
+        const std::size_t buckets = 4;
+        // Tiny batch cap: forces many mid-stream flushes and keeps the
+        // carry queue busy.
+        ec::BatchAffineAdder<Field> acc(buckets, 4);
+        acc.reset(buckets);
+        std::vector<Jac> ref(buckets);
+
+        const std::size_t adds = 48 + rng.nextBelow(48);
+        for (std::size_t i = 0; i < adds; ++i) {
+            // Heavily biased toward one bucket: the adversarial
+            // stream the carry queue exists for.
+            const std::size_t b =
+                rng.nextBool() ? 0 : rng.nextBelow(buckets);
+            const Aff& p = pool[rng.nextBelow(pool.size())];
+            acc.add(b, p);
+            ref[b] = ref[b].addMixed(p);
+        }
+        acc.flush();
+        for (std::size_t b = 0; b < buckets; ++b)
+            EXPECT_EQ(Jac{acc.buckets()[b]}, ref[b]) << "bucket " << b;
+    });
+}
+
+TYPED_TEST(GlvLaws, BatchAffineSingleBucketWorstCase)
+{
+    using G = TypeParam;
+    using Field = typename G::Field;
+    using Aff = typename G::Affine;
+    using Jac = typename G::Jacobian;
+
+    forAll("batch_affine_one_bucket", 3, [&](Rng& rng, std::size_t) {
+        const Jac g{G::generator()};
+        ec::BatchAffineAdder<Field> acc(1, 8);
+        acc.reset(1);
+        Jac ref;
+        const std::size_t adds = 32 + rng.nextBelow(32);
+        for (std::size_t i = 0; i < adds; ++i) {
+            Aff p = g.mulScalar(rng.nextBelow(8) + 1).toAffine();
+            if (rng.nextBool())
+                p = p.negated();
+            acc.add(0, p); // every add collides: one apply per flush
+            ref = ref.addMixed(p);
+        }
+        acc.flush();
+        EXPECT_EQ(Jac{acc.buckets()[0]}, ref);
+    });
+}
+
+} // namespace
+} // namespace zkp::prop

@@ -153,6 +153,68 @@ TYPED_TEST(PrimeFieldTest, BatchInverseMatchesSingle)
         EXPECT_EQ(batch[i], v[i].inverse());
 }
 
+TYPED_TEST(PrimeFieldTest, MulBatchAllImplsMatchOperator)
+{
+    using F = TypeParam;
+    Rng rng(7);
+    // Odd length so every path exercises its tail handling.
+    constexpr std::size_t kN = 37;
+    std::vector<F> a(kN), b(kN), expect(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        a[i] = F::random(rng);
+        b[i] = F::random(rng);
+        expect[i] = a[i] * b[i];
+    }
+    // Edge values among random ones.
+    a[0] = F::zero();
+    b[1] = F::zero();
+    a[2] = F::one();
+    b[3] = -F::one();
+    for (std::size_t i = 0; i < 4; ++i)
+        expect[i] = a[i] * b[i];
+
+    std::vector<MulImpl> impls = {MulImpl::kScalar, MulImpl::kInterleaved};
+    if (ifmaSupported())
+        impls.push_back(MulImpl::kIfma);
+    for (MulImpl impl : impls) {
+        std::vector<F> out(kN);
+        F::mulBatch(out.data(), a.data(), b.data(), kN, impl);
+        for (std::size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(out[i], expect[i]) << "impl=" << (int)impl
+                                         << " i=" << i;
+    }
+
+    // In-place aliasing: out == a.
+    for (MulImpl impl : impls) {
+        std::vector<F> inplace = a;
+        F::mulBatch(inplace.data(), inplace.data(), b.data(), kN, impl);
+        for (std::size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(inplace[i], expect[i]) << "impl=" << (int)impl
+                                             << " i=" << i;
+    }
+
+    // The generic helper routes prime fields through the same kernel.
+    std::vector<F> generic(kN);
+    mulBatch(generic.data(), a.data(), b.data(), kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(generic[i], expect[i]);
+}
+
+TEST(MulBatch, ExtensionFieldFallback)
+{
+    using F2 = Bn254Tower::Fq2;
+    Rng rng(8);
+    constexpr std::size_t kN = 9;
+    std::vector<F2> a(kN), b(kN), out(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        a[i] = F2::random(rng);
+        b[i] = F2::random(rng);
+    }
+    mulBatch(out.data(), a.data(), b.data(), kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(out[i], a[i] * b[i]);
+}
+
 TEST(FieldParams, ModulusProperties)
 {
     // Both base fields are 3 mod 4 (so u^2 = -1 builds Fp2) and both
