@@ -1,147 +1,188 @@
 /**
  * @file
- * E12 — zk-harness-style multi-circuit benchmark. The paper builds on
- * zk-Bench [19] and zk-harness [60], which compare proving systems
- * across circuit families; this bench runs the full Groth16 pipeline
- * over every circuit in this library's catalogue (exponentiation,
- * MiMC preimage, range proof, Merkle membership) on both curves.
+ * E12 — zk-harness-style multi-circuit benchmark, driven by the
+ * circuit-zoo catalog (src/r1cs/zoo.h). The paper builds on zk-Bench
+ * [19] and zk-harness [60], which compare proving systems across
+ * circuit families; this bench runs the full pipeline over every zoo
+ * entry — exponentiation, MiMC, Poseidon, SHA-256, Merkle, range,
+ * Schnorr — under both Groth16 and PlonK (through the generic
+ * R1CS->PlonK lowering) on both curves.
+ *
+ * Modes:
+ *   (default)       full sweep at each entry's default scale
+ *   --list          print the catalog (name, family, scale meaning,
+ *                   default scale, constraint model) and exit
+ *   --smoke         tiny-scale Groth16 prove/verify of every entry on
+ *                   bn254; exits nonzero on any failure (CI gate)
+ *   --full          also run PlonK for entries whose lowering exceeds
+ *                   the default gate budget (SHA-256: ~114k gates and
+ *                   a ~520k-point SRS — minutes of single-core work)
+ *
+ * Env knobs: ZKP_CSV=1 adds CSV blocks; ZKP_BENCH_THREADS sets the
+ * worker count (default 1, matching the paper's single-thread runs).
  */
+
+#include <cstdio>
 
 #include "bench_util.h"
 #include "common/timer.h"
-#include "r1cs/circuits.h"
+#include "r1cs/witness.h"
+#include "r1cs/zoo.h"
 #include "snark/groth16.h"
+#include "snark/plonk.h"
+#include "snark/plonk_from_r1cs.h"
 
 namespace zkp::bench {
 namespace {
 
-template <typename Curve>
-struct PipelineTimes
+/** PlonK runs above this many lowered gates only under --full. */
+constexpr std::size_t kPlonkGateBudget = 1 << 16;
+
+struct ZooTimes
 {
     std::size_t constraints = 0;
-    double compile = 0, setup = 0, witness = 0, prove = 0, verify = 0;
-    bool ok = false;
+    std::size_t gates = 0; // lowered PlonK gate count
+    double compile = 0, g16_setup = 0, witness = 0, g16_prove = 0,
+           g16_verify = 0;
+    double pl_setup = 0, pl_prove = 0, pl_verify = 0;
+    bool g16_ok = false;
+    bool pl_ok = false;
+    bool pl_ran = false;
 };
 
-/** Run the full pipeline for an already-described circuit. */
-template <typename Curve, typename Builder>
-PipelineTimes<Curve>
-runPipeline(Builder& builder, const std::vector<typename Curve::Fr>& pub,
-            const std::vector<typename Curve::Fr>& priv)
+template <typename Curve>
+ZooTimes
+runEntry(const r1cs::zoo::Entry<typename Curve::Fr>& e,
+         std::size_t scale, std::size_t threads,
+         std::size_t plonk_gate_budget)
 {
-    using Scheme = snark::Groth16<Curve>;
-    PipelineTimes<Curve> out;
-    Rng rng(7);
+    using Fr = typename Curve::Fr;
+    ZooTimes out;
+    Rng rng(0x7a6f6f42u);
 
     Timer t;
-    auto cs = builder.compile();
+    auto builder = e.build(scale);
+    auto cs = builder.compile(threads);
     out.compile = t.seconds();
     out.constraints = cs.numConstraints();
 
-    r1cs::WitnessCalculator<typename Curve::Fr> calc(
-        builder.witnessProgram());
+    r1cs::WitnessCalculator<Fr> calc(builder.witnessProgram());
+    auto w = e.sample(scale, rng);
 
     t.reset();
-    auto keys = Scheme::setup(cs, rng);
-    out.setup = t.lap();
-
-    auto z = calc.compute(pub, priv);
+    auto keys = snark::Groth16<Curve>::setup(cs, rng, threads);
+    out.g16_setup = t.lap();
+    auto z = calc.compute(w.pub, w.priv, threads);
     out.witness = t.lap();
+    auto proof =
+        snark::Groth16<Curve>::prove(keys.pk, cs, z, rng, threads);
+    out.g16_prove = t.lap();
+    out.g16_ok = snark::Groth16<Curve>::verify(keys.vk, w.pub, proof);
+    out.g16_verify = t.seconds();
 
-    auto proof = Scheme::prove(keys.pk, cs, z, rng);
-    out.prove = t.lap();
-
-    out.ok = Scheme::verify(keys.vk, pub, proof);
-    out.verify = t.seconds();
+    snark::PlonkFromR1cs<Fr> lowered(cs);
+    out.gates = lowered.builder.numGates();
+    if (out.gates > plonk_gate_budget)
+        return out;
+    out.pl_ran = true;
+    t.reset();
+    auto pkeys = snark::Plonk<Curve>::setup(lowered.builder, rng,
+                                            threads);
+    out.pl_setup = t.lap();
+    auto values = lowered.assign(z);
+    auto pproof = snark::Plonk<Curve>::prove(pkeys.pk, values, w.pub,
+                                             rng, threads);
+    out.pl_prove = t.lap();
+    out.pl_ok = snark::Plonk<Curve>::verify(pkeys.vk, w.pub, pproof);
+    out.pl_verify = t.seconds();
     return out;
 }
 
 template <typename Curve>
 void
-runCurve()
+runCurve(bool full, std::size_t threads)
 {
     using Fr = typename Curve::Fr;
-    Rng rng(99);
-
     TextTable table;
-    table.setHeader({"circuit", "constraints", "compile", "setup",
-                     "witness", "prove", "verify", "ok"});
-    auto add_row = [&](const char* name,
-                       const PipelineTimes<Curve>& p) {
-        table.addRow({name, std::to_string(p.constraints),
-                      fmtSeconds(p.compile), fmtSeconds(p.setup),
-                      fmtSeconds(p.witness), fmtSeconds(p.prove),
-                      fmtSeconds(p.verify), p.ok ? "yes" : "NO"});
-    };
-
-    {
-        r1cs::ExponentiationCircuit<Fr> circ(1 << 10);
-        Fr x = Fr::random(rng);
-        add_row("exponentiation (2^10)",
-                runPipeline<Curve>(circ.builder, {circ.evaluate(x)},
-                                   {x}));
+    table.setHeader({"circuit", "scale", "r1cs", "gates", "compile",
+                     "g16 setup", "witness", "g16 prove", "g16 verify",
+                     "plonk setup", "plonk prove", "plonk verify",
+                     "ok"});
+    const std::size_t budget =
+        full ? ~std::size_t(0) : kPlonkGateBudget;
+    for (const auto& e : r1cs::zoo::all<Fr>()) {
+        auto r = runEntry<Curve>(e, e.defaultScale, threads, budget);
+        const bool ok = r.g16_ok && (!r.pl_ran || r.pl_ok);
+        table.addRow(
+            {e.name, std::to_string(e.defaultScale),
+             std::to_string(r.constraints), std::to_string(r.gates),
+             fmtSeconds(r.compile), fmtSeconds(r.g16_setup),
+             fmtSeconds(r.witness), fmtSeconds(r.g16_prove),
+             fmtSeconds(r.g16_verify),
+             r.pl_ran ? fmtSeconds(r.pl_setup) : "--full",
+             r.pl_ran ? fmtSeconds(r.pl_prove) : "--full",
+             r.pl_ran ? fmtSeconds(r.pl_verify) : "--full",
+             ok ? "yes" : "NO"});
     }
-    {
-        // MiMC preimage knowledge: h = MiMC(x, 0).
-        r1cs::CircuitBuilder<Fr> b;
-        auto pub = b.publicInput();
-        auto x = b.privateInput();
-        auto h = r1cs::Mimc<Fr>::hash2Gadget(b, x,
-                                             b.constant(Fr::zero()));
-        b.assertEqual(h, pub);
-        Fr secret = Fr::random(rng);
-        struct Wrap
-        {
-            r1cs::CircuitBuilder<Fr>& b;
-            auto compile() { return b.compile(); }
-            auto witnessProgram() { return b.witnessProgram(); }
-        } wrap{b};
-        add_row("mimc preimage",
-                runPipeline<Curve>(
-                    wrap, {r1cs::Mimc<Fr>::hash2(secret, Fr::zero())},
-                    {secret}));
-    }
-    {
-        r1cs::gadgets::RangeCircuit<Fr> circ(64);
-        Fr v = Fr::fromU64(123456789);
-        add_row("range 64-bit",
-                runPipeline<Curve>(
-                    circ.builder,
-                    {r1cs::gadgets::RangeCircuit<Fr>::commitment(v)},
-                    {v}));
-    }
-    {
-        const std::size_t depth = 8;
-        r1cs::gadgets::MerkleCircuit<Fr> circ(depth);
-        Fr leaf = Fr::random(rng);
-        std::vector<Fr> sib;
-        std::vector<bool> dirs;
-        for (std::size_t i = 0; i < depth; ++i) {
-            sib.push_back(Fr::random(rng));
-            dirs.push_back(rng.next() & 1);
-        }
-        Fr root = r1cs::gadgets::MerkleCircuit<Fr>::computeRoot(
-            leaf, sib, dirs);
-        add_row("merkle depth-8",
-                runPipeline<Curve>(
-                    circ.builder, {root},
-                    r1cs::gadgets::MerkleCircuit<Fr>::privateInputs(
-                        leaf, sib, dirs)));
-    }
-    printTable(std::string("circuit catalogue pipeline times, ") +
+    printTable(std::string("circuit zoo pipeline times, ") +
                    Curve::kName,
                table);
+}
+
+void
+listCatalog()
+{
+    using Fr = snark::Bn254::Fr;
+    TextTable table;
+    table.setHeader({"name", "family", "scale meaning", "default",
+                     "constraints@default", "description"});
+    for (const auto& e : r1cs::zoo::all<Fr>())
+        table.addRow({e.name, e.family, e.scaleMeaning,
+                      std::to_string(e.defaultScale),
+                      std::to_string(
+                          e.predictedConstraints(e.defaultScale)),
+                      e.description});
+    printTable("circuit zoo catalog", table);
+}
+
+/** Tiny-scale Groth16 prove/verify of every entry; CI smoke gate. */
+int
+smoke()
+{
+    using Curve = snark::Bn254;
+    using Fr = Curve::Fr;
+    int failures = 0;
+    for (const auto& e : r1cs::zoo::all<Fr>()) {
+        const std::size_t scale =
+            e.name == "exp" ? 64 : (e.name == "range" ? 16 : 1);
+        auto r = runEntry<Curve>(e, scale, 1, 0);
+        std::printf("smoke %-10s scale=%-3zu r1cs=%-6zu %s\n",
+                    e.name.c_str(), scale, r.constraints,
+                    r.g16_ok ? "ok" : "FAIL");
+        if (!r.g16_ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
 }
 
 } // namespace
 } // namespace zkp::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    std::printf("bench_circuits: zk-harness-style sweep over the "
-                "circuit catalogue\n");
-    zkp::bench::runCurve<zkp::snark::Bn254>();
-    zkp::bench::runCurve<zkp::snark::Bls381>();
+    using namespace zkp::bench;
+    if (hasFlag(argc, argv, "--list")) {
+        listCatalog();
+        return 0;
+    }
+    if (hasFlag(argc, argv, "--smoke"))
+        return smoke();
+    const bool full = hasFlag(argc, argv, "--full");
+    const auto threads = (std::size_t)envLong("ZKP_BENCH_THREADS", 1);
+    std::printf("bench_circuits: zoo sweep under Groth16 and PlonK "
+                "(--list / --smoke / --full)\n");
+    runCurve<zkp::snark::Bn254>(full, threads);
+    runCurve<zkp::snark::Bls381>(full, threads);
     return 0;
 }

@@ -14,11 +14,19 @@
  *   --socket P   wire client against a running zkperfd at path P
  *
  * Run: ./build/bench/bench_serve [--clients <n>] [--seconds <s>]
- *          [--requests <n>] [--log2 <k>] [--verify-frac <f>]
- *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
- *          [--socket <path>] [--out <file>] [--smoke]
- *          [--stats-dump <file>]
+ *          [--requests <n>] [--log2 <k>] [--circuit <zoo>[:scale]]
+ *          [--verify-frac <f>] [--workers <n>] [--queue <n>]
+ *          [--prove-threads <n>] [--socket <path>] [--out <file>]
+ *          [--smoke] [--stats-dump <file>]
  *
+ *   --circuit    adds a circuit-zoo entry (wire id "<zoo>:<scale>",
+ *                scale defaulting to the catalog default) to the
+ *                workload mix; repeatable. Clients pick uniformly
+ *                among the mix per iteration and generate each
+ *                circuit's witnesses with its zoo sampler. Without
+ *                the flag the mix is the classic single "exp<k>"
+ *                workload. In socket mode the daemon must have
+ *                registered the same ids (zkperfd --circuit).
  *   --smoke      CI shape: 200 requests total at 2^8 constraints
  *                (explicit --requests/--log2 still win)
  *   --stats-dump scrape-only mode: send a stats/v2 request to the
@@ -78,6 +86,7 @@ struct Options
     double seconds = 10;
     std::uint64_t requests = 0; // 0 = run for --seconds
     std::size_t log2N = 12;
+    std::vector<std::string> circuitSpecs;
     double verifyFrac = 0.25;
     std::size_t workers = 0;
     std::size_t queue = 0;
@@ -93,7 +102,8 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--clients <n>] [--seconds <s>] [--requests <n>]\n"
-        "          [--log2 <k>] [--verify-frac <f>] [--workers <n>]\n"
+        "          [--log2 <k>] [--circuit <zoo>[:scale]]\n"
+        "          [--verify-frac <f>] [--workers <n>]\n"
         "          [--queue <n>] [--prove-threads <n>]\n"
         "          [--socket <path>] [--out <file>] [--smoke]\n"
         "          [--stats-dump <file>]\n",
@@ -138,6 +148,53 @@ struct RunControl
     }
 };
 
+/** One circuit in the workload mix. */
+struct MixItem
+{
+    std::string id; ///< wire-protocol circuit id
+    const r1cs::zoo::Entry<snark::Bn254::Fr>* entry = nullptr;
+    std::size_t scale = 0;
+};
+
+/**
+ * Parse --circuit specs (plus the default exp workload when none are
+ * given) into resolved mix items. Returns false on an unknown name.
+ */
+bool
+resolveMix(const Options& opt, std::vector<MixItem>& mix)
+{
+    using Fr = snark::Bn254::Fr;
+    if (opt.circuitSpecs.empty()) {
+        MixItem item;
+        item.id = "exp" + std::to_string(opt.log2N);
+        item.entry = r1cs::zoo::find<Fr>("exp");
+        item.scale = std::size_t(1) << opt.log2N;
+        mix.push_back(std::move(item));
+        return true;
+    }
+    for (const std::string& spec : opt.circuitSpecs) {
+        MixItem item;
+        std::string name = spec;
+        if (auto colon = spec.find(':'); colon != std::string::npos) {
+            name = spec.substr(0, colon);
+            item.scale =
+                (std::size_t)std::atol(spec.c_str() + colon + 1);
+        }
+        item.entry = r1cs::zoo::find<Fr>(name);
+        if (!item.entry) {
+            std::fprintf(stderr,
+                         "bench_serve: unknown zoo circuit \"%s\"\n",
+                         name.c_str());
+            return false;
+        }
+        if (item.scale == 0)
+            item.scale = item.entry->defaultScale;
+        item.id = name + ":" + std::to_string(item.scale);
+        mix.push_back(std::move(item));
+    }
+    return true;
+}
+
 /** One client iteration's generated workload. */
 struct Workload
 {
@@ -145,17 +202,15 @@ struct Workload
     std::vector<std::uint8_t> privateInputs;
 };
 
-template <typename Curve>
 Workload
-makeWorkload(Rng& rng, std::size_t constraints)
+makeWorkload(Rng& rng, const MixItem& item)
 {
-    using Fr = typename Curve::Fr;
-    const Fr x = Fr::random(rng);
-    const Fr y = x.pow(BigInt<1>((u64)constraints));
-    Workload w;
-    w.publicInputs = serve::encodeScalars<Fr>({y});
-    w.privateInputs = serve::encodeScalars<Fr>({x});
-    return w;
+    using Fr = snark::Bn254::Fr;
+    auto w = item.entry->sample(item.scale, rng);
+    Workload out;
+    out.publicInputs = serve::encodeScalars<Fr>(w.pub);
+    out.privateInputs = serve::encodeScalars<Fr>(w.priv);
+    return out;
 }
 
 /** True on the verify-frac schedule (deterministic per client). */
@@ -182,21 +237,22 @@ recordOutcome(ClientStats& stats, serve::Status status, bool is_verify,
 
 void
 clientLoopInproc(serve::ProofService& service,
-                 const std::string& circuit, const Options& opt,
+                 const std::vector<MixItem>& mix, const Options& opt,
                  RunControl& ctl, std::size_t index,
                  ClientStats& stats)
 {
     Rng rng(7001 + (u64)index);
     std::vector<std::uint8_t> lastProof;
     std::vector<std::uint8_t> lastPublic;
-    const std::size_t constraints = std::size_t(1) << opt.log2N;
+    std::string lastCircuit;
 
     while (ctl.claim()) {
         const bool verify =
             wantVerify(rng, opt.verifyFrac, !lastProof.empty());
+        const MixItem& item =
+            mix[mix.size() == 1 ? 0 : rng.nextBelow(mix.size())];
         const Workload w =
-            verify ? Workload{} : makeWorkload<snark::Bn254>(
-                                      rng, constraints);
+            verify ? Workload{} : makeWorkload(rng, item);
         const double t0 = wallNow();
         serve::Response r;
         while (true) {
@@ -204,9 +260,9 @@ clientLoopInproc(serve::ProofService& service,
             ropt.priority = verify ? serve::Priority::Batch
                                    : serve::Priority::Interactive;
             auto ticket =
-                verify ? service.submitVerify(circuit, lastPublic,
+                verify ? service.submitVerify(lastCircuit, lastPublic,
                                               lastProof, ropt)
-                       : service.submitProve(circuit, w.publicInputs,
+                       : service.submitProve(item.id, w.publicInputs,
                                              w.privateInputs, ropt);
             r = ticket.result.get();
             if (r.status != serve::Status::QueueFull)
@@ -220,12 +276,13 @@ clientLoopInproc(serve::ProofService& service,
         if (!verify && r.status == serve::Status::Ok) {
             lastProof = std::move(r.proof);
             lastPublic = w.publicInputs;
+            lastCircuit = item.id;
         }
     }
 }
 
 void
-clientLoopSocket(const std::string& circuit, const Options& opt,
+clientLoopSocket(const std::vector<MixItem>& mix, const Options& opt,
                  RunControl& ctl, std::size_t index,
                  ClientStats& stats, std::atomic<bool>& connect_failed)
 {
@@ -238,15 +295,16 @@ clientLoopSocket(const std::string& circuit, const Options& opt,
     Rng rng(7001 + (u64)index);
     std::vector<std::uint8_t> lastProof;
     std::vector<std::uint8_t> lastPublic;
-    const std::size_t constraints = std::size_t(1) << opt.log2N;
+    std::string lastCircuit;
     std::uint64_t next_id = (std::uint64_t)index << 32;
 
     while (ctl.claim()) {
         const bool verify =
             wantVerify(rng, opt.verifyFrac, !lastProof.empty());
+        const MixItem& item =
+            mix[mix.size() == 1 ? 0 : rng.nextBelow(mix.size())];
         const Workload w =
-            verify ? Workload{} : makeWorkload<snark::Bn254>(
-                                      rng, constraints);
+            verify ? Workload{} : makeWorkload(rng, item);
         const double t0 = wallNow();
         wire::Result result;
         bool io_ok = true;
@@ -256,14 +314,14 @@ clientLoopSocket(const std::string& circuit, const Options& opt,
             if (verify) {
                 wire::VerifyRequest m;
                 m.priority = serve::Priority::Batch;
-                m.circuit = circuit;
+                m.circuit = lastCircuit;
                 m.publicInputs = lastPublic;
                 m.proof = lastProof;
                 req.type = wire::MsgType::VerifyRequest;
                 req.body = wire::encodeVerifyRequest(m);
             } else {
                 wire::ProveRequest m;
-                m.circuit = circuit;
+                m.circuit = item.id;
                 m.publicInputs = w.publicInputs;
                 m.privateInputs = w.privateInputs;
                 req.type = wire::MsgType::ProveRequest;
@@ -297,6 +355,7 @@ clientLoopSocket(const std::string& circuit, const Options& opt,
         if (!verify && result.status == serve::Status::Ok) {
             lastProof = std::move(result.proof);
             lastPublic = w.publicInputs;
+            lastCircuit = item.id;
         }
     }
     ::close(fd);
@@ -651,6 +710,8 @@ main(int argc, char** argv)
         } else if (const char* v = value("--log2")) {
             opt.log2N = (std::size_t)std::atoi(v);
             log2_given = true;
+        } else if (const char* v = value("--circuit")) {
+            opt.circuitSpecs.emplace_back(v);
         } else if (const char* v = value("--verify-frac")) {
             opt.verifyFrac = std::atof(v);
         } else if (const char* v = value("--workers")) {
@@ -707,15 +768,17 @@ main(int argc, char** argv)
         return 0;
     }
 
-    char circuit_name[32];
-    std::snprintf(circuit_name, sizeof(circuit_name), "exp%zu",
-                  opt.log2N);
-    const std::string circuit = circuit_name;
+    std::vector<MixItem> mix;
+    if (!resolveMix(opt, mix))
+        return usage(argv[0]);
+    std::string mix_label;
+    for (const auto& item : mix)
+        mix_label += (mix_label.empty() ? "" : ",") + item.id;
 
-    std::printf("bench_serve: %s mode, circuit=%s clients=%zu %s "
+    std::printf("bench_serve: %s mode, circuits=%s clients=%zu %s "
                 "verify_frac=%.2f\n",
                 opt.socketPath.empty() ? "in-process" : "socket",
-                circuit.c_str(), opt.clients,
+                mix_label.c_str(), opt.clients,
                 opt.requests
                     ? (std::string("requests=") +
                        std::to_string(opt.requests))
@@ -740,11 +803,12 @@ main(int argc, char** argv)
         cfg.queueCapacity = opt.queue;
         cfg.proveThreads = opt.proveThreads;
         serve::ProofService service(cfg);
-        service.registerCircuit(
-            serve::makeExponentiationHost<snark::Bn254>(
-                circuit, std::size_t(1) << opt.log2N, 2024,
+        for (const auto& item : mix) {
+            service.registerCircuit(serve::makeZooHost<snark::Bn254>(
+                item.id, item.entry->name, item.scale, 2024,
                 service.config().proveThreads));
-        service.prewarm(circuit);
+            service.prewarm(item.id);
+        }
         std::printf("bench_serve: workers=%zu queue=%zu "
                     "prove-threads=%zu (keys prewarmed)\n",
                     service.config().workers,
@@ -755,7 +819,7 @@ main(int argc, char** argv)
         t_start = wallNow();
         for (std::size_t c = 0; c < opt.clients; ++c)
             clients.emplace_back([&, c] {
-                clientLoopInproc(service, circuit, opt, ctl, c,
+                clientLoopInproc(service, mix, opt, ctl, c,
                                  stats[c]);
             });
         if (opt.requests == 0) {
@@ -775,7 +839,7 @@ main(int argc, char** argv)
         t_start = wallNow();
         for (std::size_t c = 0; c < opt.clients; ++c)
             clients.emplace_back([&, c] {
-                clientLoopSocket(circuit, opt, ctl, c, stats[c],
+                clientLoopSocket(mix, opt, ctl, c, stats[c],
                                  connect_failed);
             });
         if (opt.requests == 0) {
@@ -873,7 +937,7 @@ main(int argc, char** argv)
                 elapsed > 0 ? (double)total.completed / elapsed : 0);
 
     const std::string json =
-        serveJson(opt, circuit, total, elapsed, entries);
+        serveJson(opt, mix_label, total, elapsed, entries);
     if (!bench::writeKernelJson(opt.outPath, json)) {
         std::fprintf(stderr, "bench_serve: cannot write %s\n",
                      opt.outPath.c_str());

@@ -6,6 +6,14 @@
  *
  * Run: ./build/examples/profile_pipeline [log2_constraints] [threads]
  *                                        [--json <path>]
+ *                                        [--circuit <zoo name>]
+ *                                        [--scale <n>]
+ *
+ * --circuit selects a circuit-zoo entry (see `bench_circuits --list`;
+ * default "exp", the paper's exponentiation chain, whose scale is the
+ * constraint count 2^log2_constraints). --scale overrides the entry's
+ * default scale; for "exp" the positional log2_constraints argument
+ * keeps its meaning.
  *
  * --json <path> additionally writes the machine-readable run report
  * (one JSON record per instrumented stage execution: stage, curve,
@@ -22,6 +30,7 @@
 #include "common/table.h"
 #include "core/analysis.h"
 #include "obs/pmu.h"
+#include "r1cs/zoo.h"
 #include "snark/curve.h"
 
 int
@@ -31,11 +40,14 @@ main(int argc, char** argv)
     std::size_t log_n = 11;
     std::size_t threads = 2;
     std::string json_path;
+    std::string circuit = "exp";
+    long scale_arg = -1;
     int positional = 0;
     auto usage = [&] {
         std::fprintf(stderr,
                      "usage: %s [log2_constraints] [threads] "
-                     "[--json <path>]\n",
+                     "[--json <path>] [--circuit <zoo name>] "
+                     "[--scale <n>]\n",
                      argv[0]);
         return 2;
     };
@@ -46,6 +58,18 @@ main(int argc, char** argv)
                 return usage();
             }
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--circuit") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--circuit requires a value\n");
+                return usage();
+            }
+            circuit = argv[++i];
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--scale requires a value\n");
+                return usage();
+            }
+            scale_arg = std::atol(argv[++i]);
         } else if (argv[i][0] == '-' || positional >= 2) {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return usage();
@@ -58,13 +82,30 @@ main(int argc, char** argv)
     if (threads == 0)
         threads = 1;
 
-    core::SweepConfig cfg;
-    cfg.sizes = {std::size_t(1) << log_n};
-    cfg.threads = threads;
-    std::printf("profile_pipeline: characterizing the BN254 pipeline at "
-                "2^%zu constraints (%zu threads)\n\n", log_n, threads);
+    using Fr = snark::Bn254::Fr;
+    const auto* entry = r1cs::zoo::find<Fr>(circuit);
+    if (!entry) {
+        std::fprintf(stderr, "unknown circuit \"%s\"; available:",
+                     circuit.c_str());
+        for (const auto& name : r1cs::zoo::names<Fr>())
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    const std::size_t scale =
+        scale_arg >= 0 ? (std::size_t)scale_arg
+                       : (circuit == "exp" ? std::size_t(1) << log_n
+                                           : entry->defaultScale);
 
-    core::StageRunner<snark::Bn254> runner(cfg.sizes[0]);
+    core::SweepConfig cfg;
+    cfg.sizes = {entry->predictedConstraints(scale)};
+    cfg.threads = threads;
+    std::printf("profile_pipeline: characterizing the BN254 \"%s\" "
+                "pipeline at scale %zu (%zu constraints, %zu "
+                "threads)\n\n",
+                circuit.c_str(), scale, cfg.sizes[0], threads);
+
+    core::StageRunner<snark::Bn254> runner(*entry, scale);
 
     const bool hw = obs::pmu::enabled();
     if (hw)

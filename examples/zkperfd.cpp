@@ -5,13 +5,17 @@
  * protocol of serve/protocol.h.
  *
  * Run: ./build/examples/zkperfd [--socket <path>] [--log2 <k>]
- *          [--workers <n>] [--queue <n>] [--prove-threads <n>]
- *          [--no-prewarm] [--metrics-interval <sec>]
- *          [--metrics-file <path>]
+ *          [--circuit <zoo>[:scale]] [--workers <n>] [--queue <n>]
+ *          [--prove-threads <n>] [--no-prewarm]
+ *          [--metrics-interval <sec>] [--metrics-file <path>]
  *
  *   --socket         listening path (default /tmp/zkperfd.sock)
  *   --log2           registers the exponentiation circuit "exp<k>"
  *                    at 2^k constraints on BN254 (default 12)
+ *   --circuit        additionally registers a circuit-zoo entry on
+ *                    BN254 under the wire id "<zoo>:<scale>" (scale
+ *                    defaults to the catalog's default). Repeatable;
+ *                    see `bench_circuits --list` for names.
  *   --workers        service worker threads (ZKP_SERVE_THREADS)
  *   --queue          bounded queue capacity (ZKP_SERVE_QUEUE)
  *   --prove-threads  parallelFor width per prove (default: all cores)
@@ -75,7 +79,8 @@ usage(const char* argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket <path>] [--log2 <k>] [--workers <n>]\n"
+        "usage: %s [--socket <path>] [--log2 <k>]\n"
+        "          [--circuit <zoo>[:scale]] [--workers <n>]\n"
         "          [--queue <n>] [--prove-threads <n>] [--no-prewarm]\n"
         "          [--metrics-interval <sec>] [--metrics-file <path>]\n",
         argv0);
@@ -220,6 +225,7 @@ main(int argc, char** argv)
 
     std::string socket_path = "/tmp/zkperfd.sock";
     std::size_t log2_constraints = 12;
+    std::vector<std::string> circuit_specs;
     std::size_t workers = 0, queue = 0, prove_threads = 0;
     bool prewarm = true;
     double metrics_interval = 0;
@@ -239,6 +245,8 @@ main(int argc, char** argv)
             socket_path = v;
         } else if (const char* v = value("--log2")) {
             log2_constraints = (std::size_t)std::atoi(v);
+        } else if (const char* v = value("--circuit")) {
+            circuit_specs.emplace_back(v);
         } else if (const char* v = value("--workers")) {
             workers = (std::size_t)std::atoi(v);
         } else if (const char* v = value("--queue")) {
@@ -274,11 +282,41 @@ main(int argc, char** argv)
         serve::makeExponentiationHost<snark::Bn254>(
             circuit_name, std::size_t(1) << log2_constraints, 2024,
             service.config().proveThreads));
+    // Zoo-keyed circuits: "<zoo>[:scale]" -> wire id "<zoo>:<scale>".
+    std::vector<std::string> zoo_ids;
+    for (const std::string& spec : circuit_specs) {
+        std::string zoo_name = spec;
+        std::size_t scale = 0;
+        if (auto colon = spec.find(':'); colon != std::string::npos) {
+            zoo_name = spec.substr(0, colon);
+            scale = (std::size_t)std::atol(spec.c_str() + colon + 1);
+        }
+        const auto* entry =
+            r1cs::zoo::find<snark::Bn254::Fr>(zoo_name);
+        if (!entry) {
+            std::fprintf(stderr,
+                         "zkperfd: unknown zoo circuit \"%s\"\n",
+                         zoo_name.c_str());
+            return usage(argv[0]);
+        }
+        if (scale == 0)
+            scale = entry->defaultScale;
+        std::string id = zoo_name + ":" + std::to_string(scale);
+        service.registerCircuit(serve::makeZooHost<snark::Bn254>(
+            id, zoo_name, scale, 2024,
+            service.config().proveThreads));
+        zoo_ids.push_back(std::move(id));
+    }
     if (prewarm) {
         std::printf("zkperfd: prewarming keys for %s (2^%zu "
                     "constraints)...\n",
                     circuit_name, log2_constraints);
         service.prewarm(circuit_name);
+        for (const std::string& id : zoo_ids) {
+            std::printf("zkperfd: prewarming keys for %s...\n",
+                        id.c_str());
+            service.prewarm(id);
+        }
     }
 
     const int listen_fd = serve::wire::listenUnix(socket_path);

@@ -24,6 +24,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "r1cs/circuits.h"
+#include "r1cs/zoo.h"
 #include "sim/memtrace.h"
 #include "snark/groth16.h"
 
@@ -67,8 +68,10 @@ countersDelta(const sim::Counters& before, const sim::Counters& after)
 }
 
 /**
- * Runs the exponentiation-circuit pipeline for one curve at one
- * constraint count.
+ * Runs one zoo circuit's pipeline for one curve at one scale. The
+ * default constructor keeps the paper's exponentiation chain, where
+ * the scale parameter IS the constraint count (the sweep variable);
+ * the zoo constructor measures any catalog entry the same way.
  *
  * @tparam Curve snark::Bn254 or snark::Bls381
  */
@@ -84,16 +87,29 @@ class StageRunner
      * @param seed deterministic seed for inputs and toxic waste
      */
     explicit StageRunner(std::size_t constraints, u64 seed = 2024)
-        : constraints_(constraints), seed_(seed)
+        : StageRunner(*r1cs::zoo::find<Fr>("exp"), constraints, seed)
+    {
+    }
+
+    /**
+     * @param entry zoo catalog entry (r1cs/zoo.h)
+     * @param scale the entry's scale parameter
+     * @param seed deterministic seed for inputs and toxic waste
+     */
+    StageRunner(const r1cs::zoo::Entry<Fr>& entry, std::size_t scale,
+                u64 seed = 2024)
+        : entry_(&entry), scale_(scale),
+          constraints_(entry.predictedConstraints(scale)), seed_(seed)
     {
         sim::installWorkerMergeHook();
         Scheme::prewarmTables();
         Rng rng(seed_);
-        x_ = Fr::random(rng);
-        y_ = x_.pow(BigInt<1>((u64)constraints_));
+        w_ = entry_->sample(scale_, rng);
     }
 
     std::size_t constraints() const { return constraints_; }
+    const r1cs::zoo::Entry<Fr>& entry() const { return *entry_; }
+    std::size_t scale() const { return scale_; }
 
     /**
      * Execute stage @p s under instrumentation.
@@ -225,21 +241,22 @@ class StageRunner
     execute(Stage s, std::size_t threads)
     {
         switch (s) {
-          case Stage::Compile:
+          case Stage::Compile: {
             // The compile stage covers what circom does: walking the
             // circuit description into gates, then materializing the
             // R1CS and the witness program.
-            circ_.emplace(constraints_);
-            cs_ = circ_->builder.compile(threads);
-            calc_.emplace(circ_->builder.witnessProgram());
+            auto builder = entry_->build(scale_);
+            cs_ = builder.compile(threads);
+            calc_.emplace(builder.witnessProgram());
             break;
+          }
           case Stage::Setup: {
             Rng rng(seed_ + 1);
             keys_ = Scheme::setup(*cs_, rng, threads);
             break;
           }
           case Stage::Witness:
-            z_ = calc_->compute({y_}, {x_}, threads);
+            z_ = calc_->compute(w_.pub, w_.priv, threads);
             break;
           case Stage::Proving: {
             Rng rng(seed_ + 2);
@@ -247,7 +264,7 @@ class StageRunner
             break;
           }
           case Stage::Verifying:
-            verifyOk_ = Scheme::verify(keys_->vk, {y_}, *proof_);
+            verifyOk_ = Scheme::verify(keys_->vk, w_.pub, *proof_);
             assert(verifyOk_ && "pipeline produced a rejected proof");
             break;
           default:
@@ -255,10 +272,11 @@ class StageRunner
         }
     }
 
+    const r1cs::zoo::Entry<Fr>* entry_;
+    std::size_t scale_;
     std::size_t constraints_;
     u64 seed_;
-    std::optional<r1cs::ExponentiationCircuit<Fr>> circ_;
-    Fr x_, y_;
+    r1cs::zoo::Witness<Fr> w_;
     std::optional<r1cs::R1cs<Fr>> cs_;
     std::optional<r1cs::WitnessCalculator<Fr>> calc_;
     std::optional<typename Scheme::Keypair> keys_;

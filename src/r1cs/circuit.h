@@ -164,6 +164,7 @@ class CircuitBuilder
     assertEqual(const LC& a, const LC& b)
     {
         constraints_.push_back({a, constant(Fr::one()), b});
+        recordGate(constraints_.back());
     }
 
     /** Boolean constraint a * (1 - a) = 0. */

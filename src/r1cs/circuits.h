@@ -1,18 +1,26 @@
 /**
  * @file
  * Circuit library: the paper's exponentiation benchmark circuit plus
- * the gadgets used by the domain examples (MiMC-style hashing, range
- * decomposition, Merkle membership).
+ * the gadget zoo under r1cs/gadgets/ (MiMC, Poseidon, SHA-256,
+ * Merkle, range, embedded-Edwards Schnorr). The individual gadget
+ * headers moved to src/r1cs/gadgets/; this header keeps the umbrella
+ * include and the exponentiation circuit itself.
  */
 
 #ifndef ZKP_R1CS_CIRCUITS_H
 #define ZKP_R1CS_CIRCUITS_H
 
 #include <cstddef>
-#include <vector>
 
-#include "common/rng.h"
 #include "r1cs/circuit.h"
+#include "r1cs/gadgets/bits.h"
+#include "r1cs/gadgets/edwards.h"
+#include "r1cs/gadgets/merkle.h"
+#include "r1cs/gadgets/mimc.h"
+#include "r1cs/gadgets/poseidon.h"
+#include "r1cs/gadgets/range.h"
+#include "r1cs/gadgets/schnorr.h"
+#include "r1cs/gadgets/sha256.h"
 #include "r1cs/witness.h"
 
 namespace zkp::r1cs {
@@ -48,205 +56,6 @@ struct ExponentiationCircuit
     }
 };
 
-/**
- * MiMC-style keyed permutation with exponent-7 rounds.
- *
- * Round constants derive from a fixed seed; this is a benchmark
- * workload shaped like circom's MiMC7 gadget, not a vetted production
- * hash (see DESIGN.md).
- */
-template <typename Fr>
-class Mimc
-{
-  public:
-    static constexpr std::size_t kRounds = 91;
-
-    /** The deterministic per-round constants (c_0 = 0 as in MiMC7). */
-    static const std::vector<Fr>&
-    roundConstants()
-    {
-        static const std::vector<Fr> cs = [] {
-            std::vector<Fr> v(kRounds);
-            Rng rng(0x4d694d43u); // "MiMC"
-            v[0] = Fr::zero();
-            for (std::size_t i = 1; i < kRounds; ++i)
-                v[i] = Fr::random(rng);
-            return v;
-        }();
-        return cs;
-    }
-
-    /** Native permutation: rounds of t = (x + k + c_i)^7, then + k. */
-    static Fr
-    permute(const Fr& x, const Fr& k)
-    {
-        Fr t = x;
-        for (std::size_t i = 0; i < kRounds; ++i)
-            t = pow7(t + k + roundConstants()[i]);
-        return t + k;
-    }
-
-    /** Native 2-to-1 compression (Miyaguchi-Preneel shape). */
-    static Fr
-    hash2(const Fr& l, const Fr& r)
-    {
-        return permute(r, l) + l + r;
-    }
-
-    /** Circuit version of permute(); 4 constraints per round. */
-    static LinearCombination<Fr>
-    permuteGadget(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
-                  const LinearCombination<Fr>& k)
-    {
-        auto t = x;
-        for (std::size_t i = 0; i < kRounds; ++i) {
-            auto u = t + k + b.constant(roundConstants()[i]);
-            auto u2 = b.mul(u, u);
-            auto u4 = b.mul(u2, u2);
-            auto u6 = b.mul(u4, u2);
-            t = b.mul(u6, u);
-        }
-        return t + k;
-    }
-
-    /** Circuit version of hash2(). */
-    static LinearCombination<Fr>
-    hash2Gadget(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& l,
-                const LinearCombination<Fr>& r)
-    {
-        return permuteGadget(b, r, l) + l + r;
-    }
-
-  private:
-    static Fr
-    pow7(const Fr& x)
-    {
-        Fr x2 = x.squared();
-        Fr x4 = x2.squared();
-        return x4 * x2 * x;
-    }
-};
-
-namespace gadgets {
-
-/**
- * Constrain <x,z> to fit in @p bits bits and return the bit wires
- * (LSB first). Adds bits+1 constraints (booleanity + recomposition).
- */
-template <typename Fr>
-std::vector<LinearCombination<Fr>>
-bitDecompose(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
-             unsigned bits)
-{
-    std::vector<LinearCombination<Fr>> out;
-    out.reserve(bits);
-    LinearCombination<Fr> sum;
-    Fr weight = Fr::one();
-    for (unsigned i = 0; i < bits; ++i) {
-        auto bit = b.bitOf(x, i);
-        sum = sum + bit.scaled(weight);
-        weight = weight.doubled();
-        out.push_back(bit);
-    }
-    b.assertEqual(sum, x);
-    return out;
-}
-
-/**
- * Merkle-membership circuit over the MiMC compression.
- *
- * Public input: the root. Private inputs: the leaf and, per level,
- * the sibling hash and a direction bit.
- */
-template <typename Fr>
-struct MerkleCircuit
-{
-    CircuitBuilder<Fr> builder;
-    std::size_t depth;
-
-    explicit MerkleCircuit(std::size_t tree_depth) : depth(tree_depth)
-    {
-        auto root = builder.publicInput();
-        auto leaf = builder.privateInput();
-        std::vector<LinearCombination<Fr>> siblings, dirs;
-        for (std::size_t i = 0; i < depth; ++i) {
-            siblings.push_back(builder.privateInput());
-            dirs.push_back(builder.privateInput());
-        }
-        auto h = leaf;
-        for (std::size_t i = 0; i < depth; ++i) {
-            builder.assertBoolean(dirs[i]);
-            // left = h + d*(s - h); right = s + h - left.
-            auto left = h + builder.mul(dirs[i], siblings[i] - h);
-            auto right = siblings[i] + h - left;
-            h = Mimc<Fr>::hash2Gadget(builder, left, right);
-        }
-        builder.assertEqual(h, root);
-    }
-
-    /**
-     * Build the private-input vector for a path.
-     *
-     * @param leaf leaf value
-     * @param siblings sibling hash per level (leaf level first)
-     * @param dirs direction bits (true = current node is the right child)
-     */
-    static std::vector<Fr>
-    privateInputs(const Fr& leaf, const std::vector<Fr>& siblings,
-                  const std::vector<bool>& dirs)
-    {
-        std::vector<Fr> in{leaf};
-        for (std::size_t i = 0; i < siblings.size(); ++i) {
-            in.push_back(siblings[i]);
-            in.push_back(dirs[i] ? Fr::one() : Fr::zero());
-        }
-        return in;
-    }
-
-    /** Reference root computation. */
-    static Fr
-    computeRoot(const Fr& leaf, const std::vector<Fr>& siblings,
-                const std::vector<bool>& dirs)
-    {
-        Fr h = leaf;
-        for (std::size_t i = 0; i < siblings.size(); ++i) {
-            Fr left = dirs[i] ? siblings[i] : h;
-            Fr right = dirs[i] ? h : siblings[i];
-            h = Mimc<Fr>::hash2(left, right);
-        }
-        return h;
-    }
-};
-
-/**
- * Range-proof circuit: prove a private x satisfies x < 2^bits, with a
- * public MiMC commitment binding x.
- */
-template <typename Fr>
-struct RangeCircuit
-{
-    CircuitBuilder<Fr> builder;
-    unsigned bits;
-
-    explicit RangeCircuit(unsigned range_bits) : bits(range_bits)
-    {
-        auto commitment = builder.publicInput();
-        auto x = builder.privateInput();
-        bitDecompose(builder, x, bits);
-        auto h = Mimc<Fr>::hash2Gadget(builder, x,
-                                       builder.constant(Fr::zero()));
-        builder.assertEqual(h, commitment);
-    }
-
-    /** The public commitment for a given x. */
-    static Fr
-    commitment(const Fr& x)
-    {
-        return Mimc<Fr>::hash2(x, Fr::zero());
-    }
-};
-
-} // namespace gadgets
 } // namespace zkp::r1cs
 
 #endif // ZKP_R1CS_CIRCUITS_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bit-level gadgets: decomposition, boolean algebra on bit wires, and
+ * word packing. These are the shared substrate for the boolean-heavy
+ * circuits (SHA-256, range proofs, scalar-mul bit loops).
+ */
+
+#ifndef ZKP_R1CS_GADGETS_BITS_H
+#define ZKP_R1CS_GADGETS_BITS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "r1cs/circuit.h"
+
+namespace zkp::r1cs::gadgets {
+
+/**
+ * Constrain <x,z> to fit in @p bits bits and return the bit wires
+ * (LSB first). Adds bits+1 constraints (booleanity + recomposition).
+ */
+template <typename Fr>
+std::vector<LinearCombination<Fr>>
+bitDecompose(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
+             unsigned bits)
+{
+    std::vector<LinearCombination<Fr>> out;
+    out.reserve(bits);
+    LinearCombination<Fr> sum;
+    Fr weight = Fr::one();
+    for (unsigned i = 0; i < bits; ++i) {
+        auto bit = b.bitOf(x, i);
+        sum = sum + bit.scaled(weight);
+        weight = weight.doubled();
+        out.push_back(bit);
+    }
+    b.assertEqual(sum, x);
+    return out;
+}
+
+/** Pack bit LCs (LSB first) into a single linear combination; free. */
+template <typename Fr>
+LinearCombination<Fr>
+packBits(const std::vector<LinearCombination<Fr>>& bits)
+{
+    LinearCombination<Fr> sum;
+    Fr weight = Fr::one();
+    for (const auto& bit : bits) {
+        sum = sum + bit.scaled(weight);
+        weight = weight.doubled();
+    }
+    return sum;
+}
+
+/** XOR of two boolean LCs: x + y - 2xy. One constraint. */
+template <typename Fr>
+LinearCombination<Fr>
+xorBit(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
+       const LinearCombination<Fr>& y)
+{
+    auto xy = b.mul(x, y);
+    return x + y - xy - xy;
+}
+
+/** AND of two boolean LCs. One constraint. */
+template <typename Fr>
+LinearCombination<Fr>
+andBit(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
+       const LinearCombination<Fr>& y)
+{
+    return b.mul(x, y);
+}
+
+/** NOT of a boolean LC; free. */
+template <typename Fr>
+LinearCombination<Fr>
+notBit(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x)
+{
+    return b.constant(Fr::one()) - x;
+}
+
+/**
+ * Two-way select on a boolean wire: sel ? a : b, computed as
+ * b + sel*(a - b). One constraint.
+ */
+template <typename Fr>
+LinearCombination<Fr>
+selectBit(CircuitBuilder<Fr>& bld, const LinearCombination<Fr>& sel,
+          const LinearCombination<Fr>& a, const LinearCombination<Fr>& b)
+{
+    return b + bld.mul(sel, a - b);
+}
+
+} // namespace zkp::r1cs::gadgets
+
+#endif // ZKP_R1CS_GADGETS_BITS_H

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Embedded twisted Edwards curve over the SNARK scalar field, for
+ * in-circuit elliptic-curve arithmetic (Schnorr/EdDSA-style gadgets).
+ *
+ * Over bn254.Fr this is Baby Jubjub (a = 168700, d = 168696); over
+ * bls381.Fr it is Jubjub (a = -1, d = -10240/10241). Both satisfy the
+ * completeness condition (a square, d non-square), so one addition
+ * formula covers every input including doubling and the identity —
+ * checked at startup. The generator is derived at runtime: the first
+ * y-line point with a square x^2, cleared of the cofactor by
+ * multiplying by 8. The subgroup order is deliberately never used
+ * (see the truncated Schnorr scheme in gadgets/schnorr.h), so no
+ * memorized order constant can silently be wrong.
+ */
+
+#ifndef ZKP_R1CS_GADGETS_EDWARDS_H
+#define ZKP_R1CS_GADGETS_EDWARDS_H
+
+#include <cassert>
+#include <cstring>
+
+#include "common/uint.h"
+#include "r1cs/circuit.h"
+
+namespace zkp::r1cs {
+
+template <typename Fr>
+class EmbeddedEdwards
+{
+  public:
+    /** Affine point; (0, 1) is the identity. */
+    struct Point
+    {
+        Fr x = Fr::zero();
+        Fr y = Fr::one();
+
+        bool
+        operator==(const Point& o) const
+        {
+            return x == o.x && y == o.y;
+        }
+    };
+
+    static const Fr&
+    paramA()
+    {
+        static const Fr a = isBn() ? Fr::fromU64(168700)
+                                   : Fr::zero() - Fr::one();
+        return a;
+    }
+
+    static const Fr&
+    paramD()
+    {
+        static const Fr d =
+            isBn() ? Fr::fromU64(168696)
+                   : Fr::zero() - Fr::fromU64(10240) *
+                                      Fr::fromU64(10241).inverse();
+        return d;
+    }
+
+    static Point
+    identity()
+    {
+        return Point{};
+    }
+
+    /** a*x^2 + y^2 == 1 + d*x^2*y^2. */
+    static bool
+    onCurve(const Point& p)
+    {
+        Fr x2 = p.x.squared(), y2 = p.y.squared();
+        return paramA() * x2 + y2 == Fr::one() + paramD() * x2 * y2;
+    }
+
+    /** Complete addition (valid for doubling and identity too). */
+    static Point
+    add(const Point& p, const Point& q)
+    {
+        Fr x1y2 = p.x * q.y, y1x2 = p.y * q.x;
+        Fr x1x2 = p.x * q.x, y1y2 = p.y * q.y;
+        Fr t = paramD() * x1x2 * y1y2;
+        Point r;
+        r.x = (x1y2 + y1x2) * (Fr::one() + t).inverse();
+        r.y = (y1y2 - paramA() * x1x2) * (Fr::one() - t).inverse();
+        return r;
+    }
+
+    /** Double-and-add scalar multiplication, k as a canonical BigInt. */
+    template <std::size_t N>
+    static Point
+    scalarMul(const Point& p, const BigInt<N>& k)
+    {
+        Point acc = identity();
+        for (std::size_t i = k.bitLength(); i-- > 0;) {
+            acc = add(acc, acc);
+            if (k.bit(i))
+                acc = add(acc, p);
+        }
+        return acc;
+    }
+
+    /**
+     * The runtime-derived generator: smallest y >= 2 giving a curve
+     * point, times 8 (cofactor clearing for both embedded curves).
+     */
+    static const Point&
+    generator()
+    {
+        static const Point g = [] {
+            // Completeness self-check: a must be a QR, d must not be.
+            assert(paramA().legendre() == 1 &&
+                   paramD().legendre() == -1 &&
+                   "embedded curve addition not complete");
+            for (u64 yi = 2;; ++yi) {
+                Fr y = Fr::fromU64(yi);
+                Fr y2 = y.squared();
+                Fr den = paramA() - paramD() * y2;
+                if (den.isZero())
+                    continue;
+                Fr x2 = (Fr::one() - y2) * den.inverse();
+                Fr x;
+                if (!x2.sqrt(x))
+                    continue;
+                Point p{x, y};
+                assert(onCurve(p));
+                Point p8 = add(p, p);   // 2P
+                p8 = add(p8, p8);       // 4P
+                p8 = add(p8, p8);       // 8P
+                if (p8 == identity())
+                    continue;
+                return p8;
+            }
+        }();
+        return g;
+    }
+
+  private:
+    static bool
+    isBn()
+    {
+        return std::strcmp(Fr::name(), "bn254.Fr") == 0;
+    }
+};
+
+namespace gadgets {
+
+/**
+ * Circuit-side Edwards arithmetic on LC coordinate pairs. 9
+ * constraints per addition (5 products, 2 inverses for the complete
+ * denominators, 2 output products).
+ */
+template <typename Fr>
+struct EdwardsGadget
+{
+    using LC = LinearCombination<Fr>;
+    using Curve = EmbeddedEdwards<Fr>;
+
+    struct Point
+    {
+        LC x, y;
+    };
+
+    /** The constant identity (0, 1). */
+    static Point
+    identity(CircuitBuilder<Fr>& b)
+    {
+        return {LC(), b.constant(Fr::one())};
+    }
+
+    /** Constrain (x, y) to lie on the curve; 4 constraints. */
+    static void
+    assertOnCurve(CircuitBuilder<Fr>& b, const Point& p)
+    {
+        auto x2 = b.mul(p.x, p.x);
+        auto y2 = b.mul(p.y, p.y);
+        auto x2y2 = b.mul(x2, y2);
+        b.assertEqual(x2.scaled(Curve::paramA()) + y2,
+                      b.constant(Fr::one()) +
+                          x2y2.scaled(Curve::paramD()));
+    }
+
+    /** Complete addition; 9 constraints. */
+    static Point
+    add(CircuitBuilder<Fr>& b, const Point& p, const Point& q)
+    {
+        auto x1y2 = b.mul(p.x, q.y);
+        auto y1x2 = b.mul(p.y, q.x);
+        auto x1x2 = b.mul(p.x, q.x);
+        auto y1y2 = b.mul(p.y, q.y);
+        auto t = b.mul(x1x2, y1y2).scaled(Curve::paramD());
+        auto one = b.constant(Fr::one());
+        // Completeness guarantees 1 +- t != 0, so the inverse gates
+        // (which also assert non-zero) always have witnesses.
+        auto inv_p = b.inverse(one + t);
+        auto inv_m = b.inverse(one - t);
+        Point r;
+        r.x = b.mul(x1y2 + y1x2, inv_p);
+        r.y = b.mul(y1y2 - x1x2.scaled(Curve::paramA()), inv_m);
+        return r;
+    }
+
+    /**
+     * Fixed-base scalar mul from boolean bit wires (LSB first) and a
+     * constant base: per bit, select 2^i*B or the identity (free — the
+     * coordinates are scalings of the bit) and add. 9 constraints/bit.
+     */
+    static Point
+    scalarMulFixed(CircuitBuilder<Fr>& b,
+                   const std::vector<LC>& bits,
+                   const typename Curve::Point& base)
+    {
+        Point acc = identity(b);
+        typename Curve::Point pow = base;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if (i)
+                pow = Curve::add(pow, pow);
+            Point addend;
+            addend.x = bits[i].scaled(pow.x);
+            addend.y = b.constant(Fr::one()) +
+                       bits[i].scaled(pow.y - Fr::one());
+            acc = add(b, acc, addend);
+        }
+        return acc;
+    }
+
+    /**
+     * Variable-base scalar mul, MSB-first double-and-add: double (9),
+     * select the addend (2), add (9) — 20 constraints per bit.
+     */
+    static Point
+    scalarMulVar(CircuitBuilder<Fr>& b, const std::vector<LC>& bits,
+                 const Point& base)
+    {
+        Point acc = identity(b);
+        auto one = b.constant(Fr::one());
+        for (std::size_t i = bits.size(); i-- > 0;) {
+            acc = add(b, acc, acc);
+            Point addend;
+            addend.x = b.mul(bits[i], base.x);
+            addend.y = one + b.mul(bits[i], base.y - one);
+            acc = add(b, acc, addend);
+        }
+        return acc;
+    }
+};
+
+} // namespace gadgets
+} // namespace zkp::r1cs
+
+#endif // ZKP_R1CS_GADGETS_EDWARDS_H

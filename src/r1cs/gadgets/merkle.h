@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Merkle-membership circuit over the MiMC compression.
+ */
+
+#ifndef ZKP_R1CS_GADGETS_MERKLE_H
+#define ZKP_R1CS_GADGETS_MERKLE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "r1cs/circuit.h"
+#include "r1cs/gadgets/mimc.h"
+
+namespace zkp::r1cs::gadgets {
+
+/**
+ * Merkle-membership circuit over the MiMC compression.
+ *
+ * Public input: the root. Private inputs: the leaf and, per level,
+ * the sibling hash and a direction bit.
+ */
+template <typename Fr>
+struct MerkleCircuit
+{
+    CircuitBuilder<Fr> builder;
+    std::size_t depth;
+
+    explicit MerkleCircuit(std::size_t tree_depth) : depth(tree_depth)
+    {
+        auto root = builder.publicInput();
+        auto leaf = builder.privateInput();
+        std::vector<LinearCombination<Fr>> siblings, dirs;
+        for (std::size_t i = 0; i < depth; ++i) {
+            siblings.push_back(builder.privateInput());
+            dirs.push_back(builder.privateInput());
+        }
+        auto h = leaf;
+        for (std::size_t i = 0; i < depth; ++i) {
+            builder.assertBoolean(dirs[i]);
+            // left = h + d*(s - h); right = s + h - left.
+            auto left = h + builder.mul(dirs[i], siblings[i] - h);
+            auto right = siblings[i] + h - left;
+            h = Mimc<Fr>::hash2Gadget(builder, left, right);
+        }
+        builder.assertEqual(h, root);
+    }
+
+    /**
+     * Build the private-input vector for a path.
+     *
+     * @param leaf leaf value
+     * @param siblings sibling hash per level (leaf level first)
+     * @param dirs direction bits (true = current node is the right child)
+     */
+    static std::vector<Fr>
+    privateInputs(const Fr& leaf, const std::vector<Fr>& siblings,
+                  const std::vector<bool>& dirs)
+    {
+        std::vector<Fr> in{leaf};
+        for (std::size_t i = 0; i < siblings.size(); ++i) {
+            in.push_back(siblings[i]);
+            in.push_back(dirs[i] ? Fr::one() : Fr::zero());
+        }
+        return in;
+    }
+
+    /** Reference root computation. */
+    static Fr
+    computeRoot(const Fr& leaf, const std::vector<Fr>& siblings,
+                const std::vector<bool>& dirs)
+    {
+        Fr h = leaf;
+        for (std::size_t i = 0; i < siblings.size(); ++i) {
+            Fr left = dirs[i] ? siblings[i] : h;
+            Fr right = dirs[i] ? h : siblings[i];
+            h = Mimc<Fr>::hash2(left, right);
+        }
+        return h;
+    }
+};
+
+} // namespace zkp::r1cs::gadgets
+
+#endif // ZKP_R1CS_GADGETS_MERKLE_H

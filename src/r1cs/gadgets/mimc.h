@@ -1,0 +1,95 @@
+/**
+ * @file
+ * MiMC-style keyed permutation with exponent-7 rounds.
+ *
+ * Round constants derive from a fixed seed; this is a benchmark
+ * workload shaped like circom's MiMC7 gadget, not a vetted production
+ * hash (see DESIGN.md).
+ */
+
+#ifndef ZKP_R1CS_GADGETS_MIMC_H
+#define ZKP_R1CS_GADGETS_MIMC_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "r1cs/circuit.h"
+
+namespace zkp::r1cs {
+
+template <typename Fr>
+class Mimc
+{
+  public:
+    static constexpr std::size_t kRounds = 91;
+
+    /** The deterministic per-round constants (c_0 = 0 as in MiMC7). */
+    static const std::vector<Fr>&
+    roundConstants()
+    {
+        static const std::vector<Fr> cs = [] {
+            std::vector<Fr> v(kRounds);
+            Rng rng(0x4d694d43u); // "MiMC"
+            v[0] = Fr::zero();
+            for (std::size_t i = 1; i < kRounds; ++i)
+                v[i] = Fr::random(rng);
+            return v;
+        }();
+        return cs;
+    }
+
+    /** Native permutation: rounds of t = (x + k + c_i)^7, then + k. */
+    static Fr
+    permute(const Fr& x, const Fr& k)
+    {
+        Fr t = x;
+        for (std::size_t i = 0; i < kRounds; ++i)
+            t = pow7(t + k + roundConstants()[i]);
+        return t + k;
+    }
+
+    /** Native 2-to-1 compression (Miyaguchi-Preneel shape). */
+    static Fr
+    hash2(const Fr& l, const Fr& r)
+    {
+        return permute(r, l) + l + r;
+    }
+
+    /** Circuit version of permute(); 4 constraints per round. */
+    static LinearCombination<Fr>
+    permuteGadget(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& x,
+                  const LinearCombination<Fr>& k)
+    {
+        auto t = x;
+        for (std::size_t i = 0; i < kRounds; ++i) {
+            auto u = t + k + b.constant(roundConstants()[i]);
+            auto u2 = b.mul(u, u);
+            auto u4 = b.mul(u2, u2);
+            auto u6 = b.mul(u4, u2);
+            t = b.mul(u6, u);
+        }
+        return t + k;
+    }
+
+    /** Circuit version of hash2(). */
+    static LinearCombination<Fr>
+    hash2Gadget(CircuitBuilder<Fr>& b, const LinearCombination<Fr>& l,
+                const LinearCombination<Fr>& r)
+    {
+        return permuteGadget(b, r, l) + l + r;
+    }
+
+  private:
+    static Fr
+    pow7(const Fr& x)
+    {
+        Fr x2 = x.squared();
+        Fr x4 = x2.squared();
+        return x4 * x2 * x;
+    }
+};
+
+} // namespace zkp::r1cs
+
+#endif // ZKP_R1CS_GADGETS_MIMC_H

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Poseidon permutation and sponge hash (t = 3, alpha = 5), native and
+ * as a circuit gadget.
+ *
+ * The shape follows the Poseidon paper's x^5 instance for ~254-bit BN
+ * and BLS scalar fields: RF = 8 full rounds, RP = 56 partial rounds, a
+ * 3x3 Cauchy MDS matrix, and additive round constants. As with the
+ * MiMC gadget, the constants derive from a fixed in-repo seed rather
+ * than the reference grain-LFSR stream, so this is a benchmark
+ * workload with the right arithmetic profile, not a vetted production
+ * hash (see DESIGN.md). gcd(5, r - 1) = 1 on both supported fields, so
+ * x^5 is a permutation.
+ *
+ * Circuit cost: the S-box x^5 costs 3 mul gates, so a permutation is
+ * 3 * (RF * t + RP) = 3 * 80 = 240 constraints; the linear layer and
+ * constant additions fold into linear combinations for free.
+ */
+
+#ifndef ZKP_R1CS_GADGETS_POSEIDON_H
+#define ZKP_R1CS_GADGETS_POSEIDON_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "r1cs/circuit.h"
+
+namespace zkp::r1cs {
+
+template <typename Fr>
+class Poseidon
+{
+  public:
+    static constexpr std::size_t kT = 3;            ///< state width
+    static constexpr std::size_t kFullRounds = 8;   ///< RF (split 4+4)
+    static constexpr std::size_t kPartialRounds = 56; ///< RP
+    static constexpr std::size_t kRounds = kFullRounds + kPartialRounds;
+    static constexpr std::size_t kRate = kT - 1;    ///< sponge rate
+
+    /** Mul gates per permutation (3 per S-box application). */
+    static constexpr std::size_t kConstraintsPerPermutation =
+        3 * (kFullRounds * kT + kPartialRounds);
+
+    using State = std::array<Fr, kT>;
+    using LC = LinearCombination<Fr>;
+    using LcState = std::array<LC, kT>;
+
+    /** Per-round additive constants, seeded deterministically. */
+    static const std::vector<std::array<Fr, kT>>&
+    roundConstants()
+    {
+        static const std::vector<std::array<Fr, kT>> cs = [] {
+            std::vector<std::array<Fr, kT>> v(kRounds);
+            Rng rng(0x506f7331u); // "Pos1"
+            for (auto& round : v)
+                for (auto& c : round)
+                    c = Fr::random(rng);
+            return v;
+        }();
+        return cs;
+    }
+
+    /**
+     * The 3x3 MDS matrix m[i][j] = 1 / (x_i + y_j) with x_i = i,
+     * y_j = t + j — a Cauchy matrix, hence every square submatrix is
+     * invertible (the MDS property).
+     */
+    static const std::array<std::array<Fr, kT>, kT>&
+    mdsMatrix()
+    {
+        static const std::array<std::array<Fr, kT>, kT> m = [] {
+            std::array<std::array<Fr, kT>, kT> out;
+            for (std::size_t i = 0; i < kT; ++i)
+                for (std::size_t j = 0; j < kT; ++j)
+                    out[i][j] =
+                        Fr::fromU64((u64)(i + kT + j)).inverse();
+            return out;
+        }();
+        return m;
+    }
+
+    /** Native permutation. */
+    static State
+    permute(State s)
+    {
+        const auto& rc = roundConstants();
+        for (std::size_t r = 0; r < kRounds; ++r) {
+            for (std::size_t i = 0; i < kT; ++i)
+                s[i] = s[i] + rc[r][i];
+            if (isFullRound(r)) {
+                for (auto& x : s)
+                    x = pow5(x);
+            } else {
+                s[0] = pow5(s[0]);
+            }
+            s = mix(s);
+        }
+        return s;
+    }
+
+    /**
+     * Sponge hash of an arbitrary input vector: rate 2, capacity 1,
+     * zero-padded, with the input length absorbed into the capacity
+     * element as a domain tag. Output is state[0] after the final
+     * permutation.
+     */
+    static Fr
+    hash(const std::vector<Fr>& in)
+    {
+        State s{Fr::zero(), Fr::zero(), Fr::fromU64((u64)in.size())};
+        for (std::size_t i = 0; i < in.size(); i += kRate) {
+            s[0] = s[0] + in[i];
+            if (i + 1 < in.size())
+                s[1] = s[1] + in[i + 1];
+            s = permute(s);
+        }
+        if (in.empty())
+            s = permute(s);
+        return s[0];
+    }
+
+    /** Permutations a hash of @p n inputs performs. */
+    static std::size_t
+    hashPermutations(std::size_t n)
+    {
+        return n == 0 ? 1 : (n + kRate - 1) / kRate;
+    }
+
+    /** Circuit version of permute(). 240 constraints. */
+    static LcState
+    permuteGadget(CircuitBuilder<Fr>& b, LcState s)
+    {
+        const auto& rc = roundConstants();
+        const auto& m = mdsMatrix();
+        for (std::size_t r = 0; r < kRounds; ++r) {
+            for (std::size_t i = 0; i < kT; ++i)
+                s[i] = s[i] + b.constant(rc[r][i]);
+            if (isFullRound(r)) {
+                for (auto& x : s)
+                    x = pow5Gadget(b, x);
+            } else {
+                s[0] = pow5Gadget(b, s[0]);
+            }
+            LcState mixed;
+            for (std::size_t i = 0; i < kT; ++i) {
+                LC acc;
+                for (std::size_t j = 0; j < kT; ++j)
+                    acc = acc + s[j].scaled(m[i][j]);
+                mixed[i] = acc;
+            }
+            s = mixed;
+        }
+        return s;
+    }
+
+    /** Circuit version of hash(). */
+    static LC
+    hashGadget(CircuitBuilder<Fr>& b, const std::vector<LC>& in)
+    {
+        LcState s{LC(), LC(),
+                  b.constant(Fr::fromU64((u64)in.size()))};
+        for (std::size_t i = 0; i < in.size(); i += kRate) {
+            s[0] = s[0] + in[i];
+            if (i + 1 < in.size())
+                s[1] = s[1] + in[i + 1];
+            s = permuteGadget(b, s);
+        }
+        if (in.empty())
+            s = permuteGadget(b, s);
+        return s[0];
+    }
+
+  private:
+    static bool
+    isFullRound(std::size_t r)
+    {
+        return r < kFullRounds / 2 || r >= kFullRounds / 2 + kPartialRounds;
+    }
+
+    static Fr
+    pow5(const Fr& x)
+    {
+        Fr x2 = x.squared();
+        return x2.squared() * x;
+    }
+
+    static LC
+    pow5Gadget(CircuitBuilder<Fr>& b, const LC& x)
+    {
+        auto x2 = b.mul(x, x);
+        auto x4 = b.mul(x2, x2);
+        return b.mul(x4, x);
+    }
+
+    static State
+    mix(const State& s)
+    {
+        const auto& m = mdsMatrix();
+        State out;
+        for (std::size_t i = 0; i < kT; ++i) {
+            Fr acc = Fr::zero();
+            for (std::size_t j = 0; j < kT; ++j)
+                acc = acc + m[i][j] * s[j];
+            out[i] = acc;
+        }
+        return out;
+    }
+};
+
+namespace gadgets {
+
+/**
+ * Poseidon preimage circuit: prove knowledge of 2*chains field
+ * elements hashing (pairwise, 2-to-1 sponge) to a public digest.
+ *
+ * Public input: the digest of the final pair. Private inputs: the
+ * 2*chains preimage elements; pair i+1 absorbs the digest of pair i
+ * as its first element, so the permutations chain serially like a
+ * Merkle-Damgard walk. Constraints: chains * 240 + 1.
+ */
+template <typename Fr>
+struct PoseidonCircuit
+{
+    CircuitBuilder<Fr> builder;
+    std::size_t chains;
+
+    explicit PoseidonCircuit(std::size_t n_chains) : chains(n_chains)
+    {
+        auto digest = builder.publicInput();
+        std::vector<LinearCombination<Fr>> pre;
+        for (std::size_t i = 0; i < 2 * chains; ++i)
+            pre.push_back(builder.privateInput());
+        LinearCombination<Fr> h;
+        for (std::size_t i = 0; i < chains; ++i) {
+            typename Poseidon<Fr>::LcState s{
+                h + pre[2 * i], pre[2 * i + 1],
+                builder.constant(Fr::fromU64(2))};
+            s = Poseidon<Fr>::permuteGadget(builder, s);
+            h = s[0];
+        }
+        builder.assertEqual(h, digest);
+    }
+
+    /** Reference digest for a preimage vector (size 2*chains). */
+    static Fr
+    digest(const std::vector<Fr>& pre)
+    {
+        Fr h = Fr::zero();
+        for (std::size_t i = 0; 2 * i + 1 < pre.size(); ++i) {
+            typename Poseidon<Fr>::State s{h + pre[2 * i],
+                                           pre[2 * i + 1], Fr::fromU64(2)};
+            s = Poseidon<Fr>::permute(s);
+            h = s[0];
+        }
+        return h;
+    }
+};
+
+} // namespace gadgets
+} // namespace zkp::r1cs
+
+#endif // ZKP_R1CS_GADGETS_POSEIDON_H

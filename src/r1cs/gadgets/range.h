@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Range-proof circuit: prove a private x satisfies x < 2^bits, with a
+ * public MiMC commitment binding x.
+ */
+
+#ifndef ZKP_R1CS_GADGETS_RANGE_H
+#define ZKP_R1CS_GADGETS_RANGE_H
+
+#include "r1cs/circuit.h"
+#include "r1cs/gadgets/bits.h"
+#include "r1cs/gadgets/mimc.h"
+
+namespace zkp::r1cs::gadgets {
+
+template <typename Fr>
+struct RangeCircuit
+{
+    CircuitBuilder<Fr> builder;
+    unsigned bits;
+
+    explicit RangeCircuit(unsigned range_bits) : bits(range_bits)
+    {
+        auto commitment = builder.publicInput();
+        auto x = builder.privateInput();
+        bitDecompose(builder, x, bits);
+        auto h = Mimc<Fr>::hash2Gadget(builder, x,
+                                       builder.constant(Fr::zero()));
+        builder.assertEqual(h, commitment);
+    }
+
+    /** The public commitment for a given x. */
+    static Fr
+    commitment(const Fr& x)
+    {
+        return Mimc<Fr>::hash2(x, Fr::zero());
+    }
+};
+
+} // namespace zkp::r1cs::gadgets
+
+#endif // ZKP_R1CS_GADGETS_RANGE_H

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), native and as a circuit gadget.
+ *
+ * The gadget is the R1CS stress case: every 32-bit word lives as 32
+ * boolean wires, rotations are free rewirings, XOR costs one mul gate
+ * per bit, and modular 2^32 additions re-decompose their sums. One
+ * compression-function block costs ~27.6k constraints — two orders of
+ * magnitude above the field-native hashes, which is exactly the
+ * boolean-circuit blow-up the paper's scaling analysis motivates.
+ *
+ * Layout conventions: words are LSB-first bit vectors; message blocks
+ * are the 16 big-endian words of the padded FIPS message schedule.
+ */
+
+#ifndef ZKP_R1CS_GADGETS_SHA256_H
+#define ZKP_R1CS_GADGETS_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "r1cs/circuit.h"
+#include "r1cs/gadgets/bits.h"
+
+namespace zkp::r1cs {
+
+/** Native FIPS 180-4 SHA-256 (reference for the gadget). */
+class Sha256
+{
+  public:
+    using u8 = std::uint8_t;
+    using u32 = std::uint32_t;
+    using State = std::array<u32, 8>;
+    using Block = std::array<u32, 16>;
+
+    static constexpr State kIv = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u,
+                                  0xa54ff53au, 0x510e527fu, 0x9b05688cu,
+                                  0x1f83d9abu, 0x5be0cd19u};
+
+    static constexpr std::array<u32, 64> kK = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+        0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+        0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+        0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+        0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+        0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+        0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+        0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+        0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+        0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+        0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+    static u32 rotr(u32 x, unsigned n) { return (x >> n) | (x << (32 - n)); }
+
+    /** One compression-function application. */
+    static State
+    compress(const State& state, const Block& w_in)
+    {
+        std::array<u32, 64> w{};
+        for (std::size_t i = 0; i < 16; ++i)
+            w[i] = w_in[i];
+        for (std::size_t i = 16; i < 64; ++i) {
+            u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                     (w[i - 15] >> 3);
+            u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                     (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        u32 a = state[0], b = state[1], c = state[2], d = state[3];
+        u32 e = state[4], f = state[5], g = state[6], h = state[7];
+        for (std::size_t i = 0; i < 64; ++i) {
+            u32 S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            u32 ch = (e & f) ^ (~e & g);
+            u32 t1 = h + S1 + ch + kK[i] + w[i];
+            u32 S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            u32 maj = (a & b) ^ (a & c) ^ (b & c);
+            u32 t2 = S0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        return {state[0] + a, state[1] + b, state[2] + c, state[3] + d,
+                state[4] + e, state[5] + f, state[6] + g, state[7] + h};
+    }
+
+    /** FIPS padding: message bytes -> 512-bit blocks of 32-bit words. */
+    static std::vector<Block>
+    pad(const std::vector<u8>& msg)
+    {
+        std::vector<u8> buf = msg;
+        const std::uint64_t bit_len = (std::uint64_t)msg.size() * 8;
+        buf.push_back(0x80);
+        while (buf.size() % 64 != 56)
+            buf.push_back(0x00);
+        for (int i = 7; i >= 0; --i)
+            buf.push_back((u8)(bit_len >> (8 * i)));
+        std::vector<Block> blocks(buf.size() / 64);
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            for (std::size_t i = 0; i < 16; ++i)
+                blocks[b][i] = ((u32)buf[64 * b + 4 * i] << 24) |
+                               ((u32)buf[64 * b + 4 * i + 1] << 16) |
+                               ((u32)buf[64 * b + 4 * i + 2] << 8) |
+                               (u32)buf[64 * b + 4 * i + 3];
+        return blocks;
+    }
+
+    /** Full hash of a byte message. */
+    static std::array<u8, 32>
+    hash(const std::vector<u8>& msg)
+    {
+        State s = kIv;
+        for (const auto& blk : pad(msg))
+            s = compress(s, blk);
+        std::array<u8, 32> out{};
+        for (std::size_t i = 0; i < 8; ++i) {
+            out[4 * i] = (u8)(s[i] >> 24);
+            out[4 * i + 1] = (u8)(s[i] >> 16);
+            out[4 * i + 2] = (u8)(s[i] >> 8);
+            out[4 * i + 3] = (u8)s[i];
+        }
+        return out;
+    }
+};
+
+namespace gadgets {
+
+/**
+ * SHA-256 compression circuit over @p blocks raw 512-bit blocks
+ * (chained from the standard IV; padding, if wanted, is the caller's
+ * job via Sha256::pad).
+ *
+ * Public inputs: the 8 digest words. Private inputs: the 16*blocks
+ * message words. Constraints: kConstraintsPerBlock * blocks + 8.
+ */
+template <typename Fr>
+struct Sha256Circuit
+{
+    using LC = LinearCombination<Fr>;
+    /** A 32-bit word as boolean LCs, LSB first. */
+    struct Word
+    {
+        std::array<LC, 32> bits;
+    };
+
+    // 16 input decompositions + 48 schedule words (two sigmas + one
+    // 34-bit sum) + 64 rounds (three big sigmas, ch, maj, two 35-bit
+    // sums) + 8 chaining additions. See docs/CIRCUITS.md.
+    static constexpr std::size_t kConstraintsPerBlock =
+        16 * 33 + 48 * (2 * 64 + 35) + 64 * (3 * 64 + 32 + 2 * 36) +
+        8 * 34;
+
+    CircuitBuilder<Fr> builder;
+    std::size_t blocks;
+
+    explicit Sha256Circuit(std::size_t n_blocks) : blocks(n_blocks)
+    {
+        std::array<LC, 8> digest;
+        for (auto& d : digest)
+            d = builder.publicInput();
+        std::vector<LC> msg;
+        for (std::size_t i = 0; i < 16 * blocks; ++i)
+            msg.push_back(builder.privateInput());
+
+        std::array<Word, 8> state;
+        for (std::size_t i = 0; i < 8; ++i)
+            state[i] = constWord(Sha256::kIv[i]);
+        for (std::size_t b = 0; b < blocks; ++b) {
+            std::array<Word, 16> w;
+            for (std::size_t i = 0; i < 16; ++i)
+                w[i] = inputWord(msg[16 * b + i]);
+            state = compressGadget(state, w);
+        }
+        for (std::size_t i = 0; i < 8; ++i)
+            builder.assertEqual(pack(state[i]), digest[i]);
+    }
+
+    /** Public inputs (digest words) for raw blocks, from the native. */
+    static std::vector<Fr>
+    publicInputs(const std::vector<Sha256::Block>& blks)
+    {
+        Sha256::State s = Sha256::kIv;
+        for (const auto& b : blks)
+            s = Sha256::compress(s, b);
+        std::vector<Fr> out;
+        for (auto word : s)
+            out.push_back(Fr::fromU64(word));
+        return out;
+    }
+
+    /** Private inputs (message words) for raw blocks. */
+    static std::vector<Fr>
+    privateInputs(const std::vector<Sha256::Block>& blks)
+    {
+        std::vector<Fr> out;
+        for (const auto& b : blks)
+            for (auto word : b)
+                out.push_back(Fr::fromU64(word));
+        return out;
+    }
+
+  private:
+    Word
+    constWord(Sha256::u32 v)
+    {
+        Word w;
+        for (std::size_t i = 0; i < 32; ++i)
+            w.bits[i] = (v >> i) & 1 ? builder.constant(Fr::one()) : LC();
+        return w;
+    }
+
+    /** Decompose an input LC into a constrained 32-bit word. */
+    Word
+    inputWord(const LC& x)
+    {
+        auto bits = bitDecompose(builder, x, 32);
+        Word w;
+        for (std::size_t i = 0; i < 32; ++i)
+            w.bits[i] = bits[i];
+        return w;
+    }
+
+    LC
+    pack(const Word& w) const
+    {
+        LC sum;
+        Fr weight = Fr::one();
+        for (const auto& bit : w.bits) {
+            sum = sum + bit.scaled(weight);
+            weight = weight.doubled();
+        }
+        return sum;
+    }
+
+    /**
+     * Reduce a sum of words (value < 2^max_bits) mod 2^32: decompose
+     * into max_bits fresh bit wires, keep the low 32.
+     */
+    Word
+    wordFromSum(const LC& sum, unsigned max_bits)
+    {
+        auto bits = bitDecompose(builder, sum, max_bits);
+        Word w;
+        for (std::size_t i = 0; i < 32; ++i)
+            w.bits[i] = bits[i];
+        return w;
+    }
+
+    static Word
+    rotrWord(const Word& w, unsigned n)
+    {
+        Word out;
+        for (std::size_t i = 0; i < 32; ++i)
+            out.bits[i] = w.bits[(i + n) % 32];
+        return out;
+    }
+
+    Word
+    shrWord(const Word& w, unsigned n)
+    {
+        Word out;
+        for (std::size_t i = 0; i < 32; ++i)
+            out.bits[i] = i + n < 32 ? w.bits[i + n] : LC();
+        return out;
+    }
+
+    /** Bitwise XOR of three words: 2 mul gates per bit. */
+    Word
+    xor3(const Word& x, const Word& y, const Word& z)
+    {
+        Word out;
+        for (std::size_t i = 0; i < 32; ++i)
+            out.bits[i] = xorBit(builder,
+                                 xorBit(builder, x.bits[i], y.bits[i]),
+                                 z.bits[i]);
+        return out;
+    }
+
+    /** Ch(e,f,g) = e ? f : g, one mul per bit: e*(f-g)+g. */
+    Word
+    chWord(const Word& e, const Word& f, const Word& g)
+    {
+        Word out;
+        for (std::size_t i = 0; i < 32; ++i)
+            out.bits[i] =
+                builder.mul(e.bits[i], f.bits[i] - g.bits[i]) + g.bits[i];
+        return out;
+    }
+
+    /** Maj(a,b,c) = a*(b+c-2bc) + bc, two muls per bit. */
+    Word
+    majWord(const Word& a, const Word& b, const Word& c)
+    {
+        Word out;
+        for (std::size_t i = 0; i < 32; ++i) {
+            auto bc = builder.mul(b.bits[i], c.bits[i]);
+            out.bits[i] =
+                builder.mul(a.bits[i], b.bits[i] + c.bits[i] - bc - bc) +
+                bc;
+        }
+        return out;
+    }
+
+    std::array<Word, 8>
+    compressGadget(const std::array<Word, 8>& in,
+                   const std::array<Word, 16>& block)
+    {
+        std::array<Word, 64> w;
+        for (std::size_t i = 0; i < 16; ++i)
+            w[i] = block[i];
+        for (std::size_t i = 16; i < 64; ++i) {
+            auto s0 = xor3(rotrWord(w[i - 15], 7), rotrWord(w[i - 15], 18),
+                           shrWord(w[i - 15], 3));
+            auto s1 = xor3(rotrWord(w[i - 2], 17), rotrWord(w[i - 2], 19),
+                           shrWord(w[i - 2], 10));
+            // Four words: the sum fits in 34 bits.
+            w[i] = wordFromSum(
+                pack(w[i - 16]) + pack(s0) + pack(w[i - 7]) + pack(s1),
+                34);
+        }
+        Word a = in[0], b = in[1], c = in[2], d = in[3];
+        Word e = in[4], f = in[5], g = in[6], h = in[7];
+        for (std::size_t i = 0; i < 64; ++i) {
+            auto S1 = xor3(rotrWord(e, 6), rotrWord(e, 11),
+                           rotrWord(e, 25));
+            auto ch = chWord(e, f, g);
+            // t1/t2 stay unreduced; mod-2^32 distributes over the sums.
+            LC t1 = pack(h) + pack(S1) + pack(ch) +
+                    builder.constant(Fr::fromU64(Sha256::kK[i])) +
+                    pack(w[i]);
+            auto S0 = xor3(rotrWord(a, 2), rotrWord(a, 13),
+                           rotrWord(a, 22));
+            auto mj = majWord(a, b, c);
+            LC t2 = pack(S0) + pack(mj);
+            h = g;
+            g = f;
+            f = e;
+            e = wordFromSum(pack(d) + t1, 35); // d + 5 words
+            d = c;
+            c = b;
+            b = a;
+            a = wordFromSum(t1 + t2, 35); // 7 words
+        }
+        std::array<Word, 8> next = {a, b, c, d, e, f, g, h};
+        std::array<Word, 8> out;
+        for (std::size_t i = 0; i < 8; ++i)
+            out[i] = wordFromSum(pack(in[i]) + pack(next[i]), 33);
+        return out;
+    }
+};
+
+} // namespace gadgets
+} // namespace zkp::r1cs
+
+#endif // ZKP_R1CS_GADGETS_SHA256_H

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <memory>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 
 #include "common/rng.h"
 #include "r1cs/circuits.h"
+#include "r1cs/zoo.h"
 #include "serve/service.h"
 #include "snark/curve.h"
 #include "snark/serialize.h"
@@ -116,39 +118,45 @@ proveSeed()
 } // namespace detail
 
 /**
- * Host for the paper's exponentiation benchmark circuit (public y,
- * private x, x^constraints = y) on @p Curve.
+ * Host for any circuit-zoo entry (r1cs/zoo.h) on @p Curve. The zoo
+ * name + scale become the served circuit: artifacts (R1CS, witness
+ * program, Groth16 keys) build lazily through the key cache, and the
+ * generic prove/verify paths work off the artifact shape alone.
  *
  * @param name registry name (also the wire-protocol circuit id)
- * @param constraints circuit size (the paper's sweep variable)
+ * @param zooName catalog entry ("exp", "poseidon", "sha256", ...)
+ * @param scale the entry's scale parameter
  * @param setupSeed deterministic toxic-waste seed, so every replica
  *        of a serving fleet derives the same keys
  * @param setupThreads parallelFor width for compile+setup
  */
 template <typename Curve>
 CircuitHost
-makeExponentiationHost(std::string name, std::size_t constraints,
-                       u64 setupSeed = 2024,
-                       std::size_t setupThreads = 1)
+makeZooHost(std::string name, const std::string& zooName,
+            std::size_t scale, u64 setupSeed = 2024,
+            std::size_t setupThreads = 1)
 {
     using Fr = typename Curve::Fr;
     using Scheme = snark::Groth16<Curve>;
     using Artifacts = CircuitArtifacts<Curve>;
 
+    const auto* entry = r1cs::zoo::find<Fr>(zooName);
+    if (!entry)
+        throw std::invalid_argument("unknown zoo circuit: " + zooName);
+
     CircuitHost host;
     host.name = std::move(name);
     host.curve = Curve::kName;
-    host.constraints = constraints;
+    host.constraints = entry->predictedConstraints(scale);
 
-    host.build = [constraints, setupSeed, setupThreads] {
+    host.build = [entry, scale, setupSeed, setupThreads] {
         Scheme::prewarmTables();
-        r1cs::ExponentiationCircuit<Fr> circ(constraints);
-        auto cs = circ.builder.compile(setupThreads);
+        auto builder = entry->build(scale);
+        auto cs = builder.compile(setupThreads);
         Rng rng(setupSeed);
         auto keys = Scheme::setup(cs, rng, setupThreads);
         auto artifacts = std::make_shared<const Artifacts>(
-            std::move(cs), circ.builder.witnessProgram(),
-            std::move(keys));
+            std::move(cs), builder.witnessProgram(), std::move(keys));
         KeyCache::Built built;
         built.bytes = artifacts->keys.pk.footprintBytes() +
                       artifacts->cs.numConstraints() * 64;
@@ -228,6 +236,21 @@ makeExponentiationHost(std::string name, std::size_t constraints,
     };
 
     return host;
+}
+
+/**
+ * Host for the paper's exponentiation benchmark circuit (public y,
+ * private x, x^constraints = y) on @p Curve — the zoo "exp" entry,
+ * kept as a named convenience for the original serving workload.
+ */
+template <typename Curve>
+CircuitHost
+makeExponentiationHost(std::string name, std::size_t constraints,
+                       u64 setupSeed = 2024,
+                       std::size_t setupThreads = 1)
+{
+    return makeZooHost<Curve>(std::move(name), "exp", constraints,
+                              setupSeed, setupThreads);
 }
 
 } // namespace zkp::serve

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Generic R1CS -> PlonK lowering: compile any CircuitBuilder circuit
+ * once and obtain the equivalent PlonK gate list plus a witness
+ * extension program.
+ *
+ * Every R1CS variable becomes a PlonK wire variable. Public inputs
+ * become public-input gates (first, as the builder requires), the
+ * constant-one variable is pinned with a ql/qc gate, multi-term
+ * linear combinations fold pairwise through addition-style gates
+ * (ql*a + qr*b + qc = w), and each rank-1 constraint becomes one
+ * final qm gate relating the folded wires. The fold gates' outputs
+ * are recorded as an aux program so a full R1CS assignment z extends
+ * to the PlonK value vector without re-interpreting the circuit.
+ *
+ * This is the dual-lowering path the circuit zoo rides: gadgets are
+ * written once against CircuitBuilder and this adapter carries them
+ * to PlonK (tests/prop/zkcheck.h's RandomCircuit does the same by
+ * hand for its random circuits).
+ */
+
+#ifndef ZKP_SNARK_PLONK_FROM_R1CS_H
+#define ZKP_SNARK_PLONK_FROM_R1CS_H
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/uint.h"
+#include "r1cs/r1cs.h"
+#include "snark/plonk.h"
+
+namespace zkp::snark {
+
+template <typename Fr>
+class PlonkFromR1cs
+{
+  public:
+    PlonkBuilder<Fr> builder;
+
+    explicit PlonkFromR1cs(const r1cs::R1cs<Fr>& cs)
+    {
+        vars_.resize(cs.numVars());
+        for (std::size_t i = 0; i < cs.numVars(); ++i)
+            vars_[i] = builder.newVar();
+        for (std::size_t j = 0; j < cs.numPublic(); ++j)
+            builder.addPublicInput(vars_[1 + j]);
+        // Pin the constant-one variable: 1*v0 + (-1) = 0.
+        builder.addGate({Fr::zero(), Fr::one(), Fr::zero(), Fr::zero(),
+                         -Fr::one()},
+                        vars_[0], vars_[0], vars_[0]);
+        for (const auto& cst : cs.constraints()) {
+            auto [va, sa] = lower(cst.a);
+            auto [vb, sb] = lower(cst.b);
+            auto [vc, sc] = lower(cst.c);
+            builder.addGate({sa * sb, Fr::zero(), Fr::zero(), -sc,
+                             Fr::zero()},
+                            va, vb, vc);
+        }
+    }
+
+    /**
+     * Extend a full R1CS assignment (z, with z[0] = 1) to the PlonK
+     * value vector by replaying the fold program.
+     */
+    std::vector<Fr>
+    assign(const std::vector<Fr>& z) const
+    {
+        std::vector<Fr> values(builder.numVars(), Fr::zero());
+        for (std::size_t i = 0; i < vars_.size(); ++i)
+            values[vars_[i]] = z[i];
+        for (const auto& op : aux_)
+            values[op.out] = op.ca * values[op.a] +
+                             op.cb * values[op.b] + op.c0;
+        return values;
+    }
+
+    /** PlonK public inputs for an R1CS assignment: z[1..numPublic]. */
+    std::vector<Fr>
+    publicInputs(const std::vector<Fr>& z) const
+    {
+        return {z.begin() + 1, z.begin() + 1 + builder.numPublic()};
+    }
+
+  private:
+    /** out = ca*v[a] + cb*v[b] + c0, in emission order. */
+    struct AuxOp
+    {
+        PlonkVar out, a, b;
+        Fr ca, cb, c0;
+    };
+
+    /**
+     * Reduce an LC to (wire, scale) with value = scale * v[wire],
+     * emitting fold gates for multi-term combinations. Folds are
+     * memoized on the (normalized) term list, so an LC shared by
+     * several constraints — both sides of a squaring, a reused
+     * running sum — costs its gates once.
+     */
+    std::pair<PlonkVar, Fr>
+    lower(const r1cs::LinearCombination<Fr>& lc)
+    {
+        Fr c0 = Fr::zero();
+        std::vector<std::pair<PlonkVar, Fr>> terms;
+        for (const auto& [v, coeff] : lc.terms) {
+            if (v == 0)
+                c0 += coeff;
+            else
+                terms.emplace_back(vars_[v], coeff);
+        }
+        if (terms.empty())
+            return {vars_[0], c0}; // constant: c0 * v0 (v0 == 1)
+        if (terms.size() == 1 && c0.isZero())
+            return terms[0];
+
+        std::vector<u64> key;
+        key.reserve(lc.terms.size() * (1 + Fr::N));
+        for (const auto& [v, coeff] : lc.terms) {
+            key.push_back(v);
+            const auto raw = coeff.raw();
+            for (std::size_t i = 0; i < Fr::N; ++i)
+                key.push_back(raw.limbs[i]);
+        }
+        if (auto it = memo_.find(key); it != memo_.end())
+            return it->second;
+        // Fold pairwise; the running constant rides in the last gate.
+        auto [acc, ca] = terms[0];
+        for (std::size_t i = 1; i < terms.size(); ++i) {
+            const bool last = i + 1 == terms.size();
+            Fr qc = last ? c0 : Fr::zero();
+            PlonkVar w = builder.newVar();
+            builder.addGate({Fr::zero(), ca, terms[i].second, -Fr::one(),
+                             qc},
+                            acc, terms[i].first, w);
+            aux_.push_back({w, acc, terms[i].first, ca, terms[i].second,
+                            qc});
+            acc = w;
+            ca = Fr::one();
+        }
+        if (terms.size() == 1) { // single term + constant
+            PlonkVar w = builder.newVar();
+            builder.addGate({Fr::zero(), ca, Fr::zero(), -Fr::one(), c0},
+                            acc, vars_[0], w);
+            aux_.push_back({w, acc, vars_[0], ca, Fr::zero(), c0});
+            acc = w;
+            ca = Fr::one();
+        }
+        memo_.emplace(std::move(key), std::pair{acc, ca});
+        return {acc, ca};
+    }
+
+    std::vector<PlonkVar> vars_;
+    std::vector<AuxOp> aux_;
+    std::map<std::vector<u64>, std::pair<PlonkVar, Fr>> memo_;
+};
+
+} // namespace zkp::snark
+
+#endif // ZKP_SNARK_PLONK_FROM_R1CS_H

@@ -566,6 +566,61 @@ deserializePlonkProof(const std::vector<std::uint8_t>& bytes)
     return proof;
 }
 
+/**
+ * Serialize a PlonK verifying key: domain size, public-input count,
+ * the 8 selector/permutation commitments, and the two G2 points of
+ * the KZG pairing check. Unlike the proving key this is SRS-free, so
+ * a pinned VK lets a verifier check proofs without regenerating the
+ * (expensive) setup.
+ */
+template <typename Curve>
+std::vector<std::uint8_t>
+serializePlonkVerifyingKey(const typename Plonk<Curve>::VerifyingKey& vk)
+{
+    ByteWriter w;
+    w.putU64((u64)vk.n);
+    w.putU64((u64)vk.numPublic);
+    for (const auto* c : {&vk.qm, &vk.ql, &vk.qr, &vk.qo, &vk.qc,
+                          &vk.s1, &vk.s2, &vk.s3})
+        writeG1<typename Curve::G1>(w, *c);
+    writeG2<typename Curve::G2>(w, vk.g2);
+    writeG2<typename Curve::G2>(w, vk.g2Tau);
+    return w.bytes();
+}
+
+/**
+ * Parse and validate a PlonK verifying key; empty on malformed input.
+ * Selector commitments may be the identity (commitment to the zero
+ * polynomial), matching the proof deserializer's convention.
+ */
+template <typename Curve>
+std::optional<typename Plonk<Curve>::VerifyingKey>
+deserializePlonkVerifyingKey(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    typename Plonk<Curve>::VerifyingKey vk;
+    u64 n = 0, num_public = 0;
+    if (!r.getU64(n) || !r.getU64(num_public))
+        return std::nullopt;
+    // The domain must be a power of two large enough for the quotient
+    // split (see Plonk::domainSize) and able to hold the publics.
+    if (n < 8 || (n & (n - 1)) != 0 || num_public > n)
+        return std::nullopt;
+    vk.n = (std::size_t)n;
+    vk.numPublic = (std::size_t)num_public;
+    for (auto* c : {&vk.qm, &vk.ql, &vk.qr, &vk.qo, &vk.qc, &vk.s1,
+                    &vk.s2, &vk.s3})
+        if (!readG1<typename Curve::G1>(r, *c))
+            return std::nullopt;
+    if (!readG2<typename Curve::G2>(r, vk.g2))
+        return std::nullopt;
+    if (!readG2<typename Curve::G2>(r, vk.g2Tau))
+        return std::nullopt;
+    if (!r.atEnd())
+        return std::nullopt;
+    return vk;
+}
+
 } // namespace zkp::snark
 
 #endif // ZKP_SNARK_SERIALIZE_H

@@ -15,9 +15,12 @@
 #include <gtest/gtest.h>
 
 #include "r1cs/circuits.h"
+#include "r1cs/witness.h"
+#include "r1cs/zoo.h"
 #include "snark/curve.h"
 #include "snark/groth16.h"
 #include "snark/plonk.h"
+#include "snark/plonk_from_r1cs.h"
 #include "snark/serialize.h"
 #include "zkcheck.h"
 
@@ -269,6 +272,220 @@ TEST(Mutation, PlonkRejectsAllSampledMutations)
     });
     EXPECT_EQ(rejected, total);
     EXPECT_GE(total, scaledIters(200));
+}
+
+// ---------------------------------------------------------------------
+// Circuit zoo: the same adversary against realistic circuits
+// ---------------------------------------------------------------------
+
+/** A proven zoo statement under Groth16 (fixture for mutations). */
+struct ZooG16Fixture
+{
+    snark::Groth16<Curve>::Keypair kp;
+    std::vector<Fr> pub;
+    snark::Groth16<Curve>::Proof proof;
+    std::vector<std::uint8_t> bytes;
+};
+
+ZooG16Fixture
+makeZooG16Fixture(const char* name, std::size_t scale, u64 seed)
+{
+    using Scheme = snark::Groth16<Curve>;
+    const auto* e = r1cs::zoo::find<Fr>(name);
+    auto builder = e->build(scale);
+    const auto cs = builder.compile();
+    r1cs::WitnessCalculator<Fr> calc(builder.witnessProgram());
+    Rng fixtureRng(seed);
+    auto w = e->sample(scale, fixtureRng);
+    const auto z = calc.compute(w.pub, w.priv);
+    ZooG16Fixture f;
+    f.kp = Scheme::setup(cs, fixtureRng);
+    f.pub = std::move(w.pub);
+    f.proof = Scheme::prove(f.kp.pk, cs, z, fixtureRng);
+    f.bytes = snark::serializeProof<Curve>(f.proof);
+    return f;
+}
+
+/**
+ * Proof mutations over realistic circuits: a Poseidon preimage proof
+ * and a Schnorr signature proof. The mutation space mirrors the
+ * exponentiation test; nothing about rejection may depend on the
+ * circuit being the trivial chain.
+ */
+TEST(Mutation, ZooGroth16RejectsAllSampledMutations)
+{
+    using Scheme = snark::Groth16<Curve>;
+
+    ZooG16Fixture fixtures[] = {
+        makeZooG16Fixture("poseidon", 1, 0x7a503031u),
+        makeZooG16Fixture("schnorr", 1, 0x7a534331u),
+    };
+    const std::size_t g1Len = 1 + sizeof(G1::Field::Repr);
+    const std::size_t g2Len = 1 + 2 * sizeof(G1::Field::Repr);
+    const Segment segA{0, g1Len};
+    const Segment segB{g1Len, g2Len};
+    const Segment segC{g1Len + g2Len, g1Len};
+    for (const auto& f : fixtures) {
+        ASSERT_EQ(f.bytes.size(), 2 * g1Len + g2Len);
+        ASSERT_TRUE(Scheme::verify(f.kp.vk, f.pub, f.proof));
+    }
+
+    std::size_t total = 0, rejected = 0;
+    forAll("zoo_groth16_mutations", 120, [&](Rng& rng, std::size_t) {
+        const auto& f = fixtures[rng.nextBelow(2)];
+        std::vector<std::uint8_t> m = f.bytes;
+        switch (rng.nextBelow(8)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            m = corrupt(rng, std::move(m), rng.nextBelow(4));
+            break;
+          case 4:
+            swapSegments(m, segA, segC);
+            break;
+          case 5: {
+            snark::ByteWriter w;
+            if (rng.nextBool()) {
+                snark::writeG2<G2>(w, genPoint<G2>(rng));
+                std::copy(w.bytes().begin(), w.bytes().end(),
+                          m.begin() + segB.off);
+            } else {
+                snark::writeG1<G1>(w, genPoint<G1>(rng));
+                const auto& s = rng.nextBool() ? segA : segC;
+                std::copy(w.bytes().begin(), w.bytes().end(),
+                          m.begin() + s.off);
+            }
+            break;
+          }
+          case 6: {
+            const Segment* segs[] = {&segA, &segB, &segC};
+            m[segs[rng.nextBelow(3)]->off] ^= 1;
+            break;
+          }
+          case 7: {
+            auto p = f.proof;
+            switch (rng.nextBelow(3)) {
+              case 0: p.a = G1::Affine(); break;
+              case 1: p.b = G2::Affine(); break;
+              case 2: p.c = G1::Affine(); break;
+            }
+            m = snark::serializeProof<Curve>(p);
+            break;
+          }
+        }
+        ensureChanged(rng, f.bytes, m);
+
+        ++total;
+        const auto parsed = snark::deserializeProof<Curve>(m);
+        const bool rej =
+            !parsed || !Scheme::verify(f.kp.vk, f.pub, *parsed);
+        EXPECT_TRUE(rej) << "zoo mutant survived deserialize+verify";
+        rejected += rej;
+    });
+    EXPECT_EQ(rejected, total);
+    EXPECT_GE(total, scaledIters(120));
+}
+
+/** Proof mutations over the Poseidon circuit lowered to PlonK. */
+TEST(Mutation, ZooPlonkRejectsAllSampledMutations)
+{
+    using Scheme = snark::Plonk<Curve>;
+
+    const auto* e = r1cs::zoo::find<Fr>("poseidon");
+    auto builder = e->build(1);
+    const auto cs = builder.compile();
+    r1cs::WitnessCalculator<Fr> calc(builder.witnessProgram());
+    Rng fixtureRng(0x7a504c31u);
+    auto w = e->sample(1, fixtureRng);
+    const auto z = calc.compute(w.pub, w.priv);
+    snark::PlonkFromR1cs<Fr> lowered(cs);
+    const auto values = lowered.assign(z);
+    const auto kp = Scheme::setup(lowered.builder, fixtureRng);
+    ASSERT_TRUE(Scheme::satisfied(kp.pk, values, w.pub));
+    const auto proof =
+        Scheme::prove(kp.pk, values, w.pub, fixtureRng);
+    ASSERT_TRUE(Scheme::verify(kp.vk, w.pub, proof));
+    const auto& pub = w.pub;
+
+    const auto bytes = snark::serializePlonkProof<Curve>(proof);
+    const std::size_t g1Len = 1 + sizeof(G1::Field::Repr);
+    const std::size_t frLen = sizeof(Fr::Repr);
+    ASSERT_EQ(bytes.size(), 7 * g1Len + 14 * frLen);
+    std::vector<Segment> points;
+    for (std::size_t i = 0; i < 5; ++i)
+        points.push_back({i * g1Len, g1Len});
+    const std::size_t wOff = 5 * g1Len + 14 * frLen;
+    points.push_back({wOff, g1Len});
+    points.push_back({wOff + g1Len, g1Len});
+
+    std::size_t total = 0, rejected = 0;
+    forAll("zoo_plonk_mutations", 120, [&](Rng& rng, std::size_t) {
+        bool viaBytes = true;
+        std::vector<std::uint8_t> m = bytes;
+        auto p = proof;
+        switch (rng.nextBelow(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            m = corrupt(rng, std::move(m), rng.nextBelow(4));
+            break;
+          case 4: {
+            const auto i = rng.nextBelow(points.size());
+            auto j = rng.nextBelow(points.size() - 1);
+            j += j >= i;
+            swapSegments(m, points[i], points[j]);
+            break;
+          }
+          case 5: {
+            snark::ByteWriter w2;
+            snark::writeG1<G1>(w2, genPoint<G1>(rng));
+            const auto& s = points[rng.nextBelow(points.size())];
+            std::copy(w2.bytes().begin(), w2.bytes().end(),
+                      m.begin() + s.off);
+            break;
+          }
+          case 6:
+            m[points[rng.nextBelow(points.size())].off] ^= 1;
+            break;
+          case 7:
+            viaBytes = false;
+            if (rng.nextBool())
+                p.evals[rng.nextBelow(p.evals.size())] += Fr::one();
+            else
+                p.zOmega += Fr::one();
+            break;
+          case 8:
+            viaBytes = false;
+            std::swap(p.wZeta, p.wZetaOmega);
+            break;
+          case 9:
+            viaBytes = false;
+            switch (rng.nextBelow(4)) {
+              case 0: p.a = G1::Affine(); break;
+              case 1: p.z = G1::Affine(); break;
+              case 2: p.t = G1::Affine(); break;
+              case 3: p.wZeta = G1::Affine(); break;
+            }
+            break;
+        }
+
+        ++total;
+        bool rej;
+        if (viaBytes) {
+            ensureChanged(rng, bytes, m);
+            const auto parsed =
+                snark::deserializePlonkProof<Curve>(m);
+            rej = !parsed || !Scheme::verify(kp.vk, pub, *parsed);
+        } else {
+            rej = !Scheme::verify(kp.vk, pub, p);
+        }
+        EXPECT_TRUE(rej) << "zoo mutant survived deserialize+verify";
+        rejected += rej;
+    });
+    EXPECT_EQ(rejected, total);
+    EXPECT_GE(total, scaledIters(120));
 }
 
 } // namespace

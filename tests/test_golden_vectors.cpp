@@ -100,5 +100,86 @@ TYPED_TEST(GoldenVectors, FreshGenerationMatchesCheckedInBytes)
         << "public-input byte format drifted";
 }
 
+// --- circuit-zoo vectors (bn254, one Poseidon + one SHA-256 proof
+// per scheme) ---------------------------------------------------------
+//
+// The checked-in PlonK vectors matter beyond format pinning: PlonK
+// *verification* needs only the serialized VK, while regenerating a
+// proof needs the SRS (minutes for SHA-256's ~114k gates on one
+// core). Verifying the pinned SHA-256 PlonK proof is therefore the
+// permanent cheap CI coverage for that path; fresh-regeneration
+// byte checks run only for the cases cheap enough to re-prove here.
+
+using ZooCurve = snark::Bn254;
+
+TEST(GoldenZooVectors, CheckedInGroth16VectorsVerify)
+{
+    using Scheme = snark::Groth16<ZooCurve>;
+    for (const auto& c : golden::kZooCases) {
+        const std::string base =
+            std::string("zoo_") + c.circuit + "_groth16_";
+        const auto vk = snark::deserializeVerifyingKey<ZooCurve>(
+            loadHexFile(base + "vk.hex"));
+        ASSERT_TRUE(vk.has_value()) << base;
+        const auto proof = snark::deserializeProof<ZooCurve>(
+            loadHexFile(base + "proof.hex"));
+        ASSERT_TRUE(proof.has_value()) << base;
+        const auto pub = golden::decodePublics<ZooCurve::Fr>(
+            loadHexFile(base + "pub.hex"));
+        ASSERT_TRUE(pub.has_value()) << base;
+        EXPECT_TRUE(Scheme::verify(*vk, *pub, *proof)) << base;
+    }
+}
+
+TEST(GoldenZooVectors, CheckedInPlonkVectorsVerify)
+{
+    using Scheme = snark::Plonk<ZooCurve>;
+    for (const auto& c : golden::kZooCases) {
+        const std::string base =
+            std::string("zoo_") + c.circuit + "_plonk_";
+        const auto vk = snark::deserializePlonkVerifyingKey<ZooCurve>(
+            loadHexFile(base + "vk.hex"));
+        ASSERT_TRUE(vk.has_value()) << base;
+        const auto proof = snark::deserializePlonkProof<ZooCurve>(
+            loadHexFile(base + "proof.hex"));
+        ASSERT_TRUE(proof.has_value()) << base;
+        const auto pub = golden::decodePublics<ZooCurve::Fr>(
+            loadHexFile(base + "pub.hex"));
+        ASSERT_TRUE(pub.has_value()) << base;
+        EXPECT_TRUE(Scheme::verify(*vk, *pub, *proof)) << base;
+    }
+}
+
+TEST(GoldenZooVectors, FreshGroth16GenerationMatchesCheckedInBytes)
+{
+    for (const auto& c : golden::kZooCases) {
+        const std::string base =
+            std::string("zoo_") + c.circuit + "_groth16_";
+        const auto fresh = golden::generateZooGroth16<ZooCurve>(c);
+        EXPECT_EQ(fresh.vk, loadHexFile(base + "vk.hex"))
+            << base << "vk drifted; regenerate if intentional";
+        EXPECT_EQ(fresh.proof, loadHexFile(base + "proof.hex"))
+            << base << "proof drifted";
+        EXPECT_EQ(fresh.pub, loadHexFile(base + "pub.hex"))
+            << base << "publics drifted";
+    }
+}
+
+// SHA-256 is deliberately absent here: re-proving it under PlonK
+// rebuilds a ~0.5M-point SRS. Its byte pinning is maintained by the
+// gen_golden_vectors tool; its verification runs above.
+TEST(GoldenZooVectors, FreshPlonkPoseidonGenerationMatchesCheckedInBytes)
+{
+    const golden::ZooCase c{"poseidon", 1};
+    const std::string base = "zoo_poseidon_plonk_";
+    const auto fresh = golden::generateZooPlonk<ZooCurve>(c);
+    EXPECT_EQ(fresh.vk, loadHexFile(base + "vk.hex"))
+        << "PlonK vk drifted; regenerate if intentional";
+    EXPECT_EQ(fresh.proof, loadHexFile(base + "proof.hex"))
+        << "PlonK proof drifted";
+    EXPECT_EQ(fresh.pub, loadHexFile(base + "pub.hex"))
+        << "PlonK publics drifted";
+}
+
 } // namespace
 } // namespace zkp

@@ -572,8 +572,11 @@ TEST(Telemetry, SnapshotStatsAndJsonReflectTraffic)
     const Response proved =
         service.submitProve("exp6", pub, priv).result.get();
     ASSERT_EQ(proved.status, Status::Ok);
+    RequestOptions batchOpts;
+    batchOpts.priority = Priority::Batch;
     const Response verified =
-        service.submitVerify("exp6", pub, proved.proof).result.get();
+        service.submitVerify("exp6", pub, proved.proof, batchOpts)
+            .result.get();
     ASSERT_EQ(verified.status, Status::Ok);
 
     const ServiceStatsSnapshot snap = service.snapshotStats();

@@ -10,9 +10,13 @@
 #include <gtest/gtest.h>
 
 #include "r1cs/circuits.h"
+#include "r1cs/gadgets/sha256.h"
+#include "r1cs/witness.h"
+#include "r1cs/zoo.h"
 #include "snark/curve.h"
 #include "snark/groth16.h"
 #include "snark/plonk.h"
+#include "snark/plonk_from_r1cs.h"
 #include "snark/serialize.h"
 
 namespace zkp {
@@ -292,6 +296,123 @@ TYPED_TEST(PlonkNegative, TruncatedBytesRejected)
                          .has_value())
             << "prefix length " << n;
     }
+}
+
+// ---------------------------------------------------------------------
+// Circuit zoo (bn254): the same deterministic negative paths against
+// realistic circuits — a wrong public digest at proof level under
+// both schemes, and tampered witnesses that must be unsatisfiable.
+// The randomized counterparts live in tests/prop/prop_mutation.cpp.
+// ---------------------------------------------------------------------
+
+using ZooCurve = snark::Bn254;
+using ZooFr = ZooCurve::Fr;
+
+/** Shared Poseidon (scale 1) state: compiled circuit, assignment and
+ *  a Groth16 proof, built once. */
+struct ZooPoseidonState
+{
+    r1cs::R1cs<ZooFr> cs;
+    std::vector<ZooFr> z, pub;
+    snark::Groth16<ZooCurve>::Keypair kp;
+    snark::Groth16<ZooCurve>::Proof proof;
+
+    static const ZooPoseidonState&
+    get()
+    {
+        static const ZooPoseidonState s;
+        return s;
+    }
+
+  private:
+    ZooPoseidonState()
+    {
+        const auto* e = r1cs::zoo::find<ZooFr>("poseidon");
+        auto builder = e->build(1);
+        cs = builder.compile();
+        Rng rng(0x5a4e4547u);
+        const auto w = e->sample(1, rng);
+        pub = w.pub;
+        z = r1cs::WitnessCalculator<ZooFr>(builder.witnessProgram())
+                .compute(w.pub, w.priv);
+        kp = snark::Groth16<ZooCurve>::setup(cs, rng);
+        proof = snark::Groth16<ZooCurve>::prove(kp.pk, cs, z, rng);
+    }
+};
+
+TEST(ZooNegative, PoseidonGroth16WrongDigestRejected)
+{
+    using Scheme = snark::Groth16<ZooCurve>;
+    const auto& s = ZooPoseidonState::get();
+    ASSERT_TRUE(Scheme::verify(s.kp.vk, s.pub, s.proof));
+    EXPECT_FALSE(
+        Scheme::verify(s.kp.vk, {s.pub[0] + ZooFr::one()}, s.proof));
+    EXPECT_FALSE(Scheme::verify(s.kp.vk, {ZooFr::zero()}, s.proof));
+    EXPECT_FALSE(Scheme::verify(s.kp.vk, {-s.pub[0]}, s.proof));
+}
+
+TEST(ZooNegative, PoseidonPlonkWrongDigestRejected)
+{
+    using Scheme = snark::Plonk<ZooCurve>;
+    const auto& s = ZooPoseidonState::get();
+    snark::PlonkFromR1cs<ZooFr> lowered(s.cs);
+    Rng rng(0x5a4e4550u);
+    const auto kp = Scheme::setup(lowered.builder, rng);
+    const auto pub = lowered.publicInputs(s.z);
+    const auto proof =
+        Scheme::prove(kp.pk, lowered.assign(s.z), pub, rng);
+    ASSERT_TRUE(Scheme::verify(kp.vk, pub, proof));
+    EXPECT_FALSE(
+        Scheme::verify(kp.vk, {pub[0] + ZooFr::one()}, proof));
+    EXPECT_FALSE(Scheme::verify(kp.vk, {ZooFr::zero()}, proof));
+}
+
+TEST(ZooNegative, Sha256FlippedMessageBitUnsatisfiable)
+{
+    using Circuit = r1cs::gadgets::Sha256Circuit<ZooFr>;
+    const auto* e = r1cs::zoo::find<ZooFr>("sha256");
+    auto builder = e->build(1);
+    const auto cs = builder.compile();
+    const r1cs::WitnessCalculator<ZooFr> calc(
+        builder.witnessProgram());
+
+    Rng rng(0x5a4e4553u);
+    std::vector<r1cs::Sha256::Block> blocks(1);
+    for (auto& word : blocks[0])
+        word = (r1cs::Sha256::u32)rng.next();
+    const auto pub = Circuit::publicInputs(blocks);
+    ASSERT_TRUE(
+        cs.isSatisfied(calc.compute(pub, Circuit::privateInputs(blocks))));
+
+    // One flipped bit anywhere in the message must contradict the
+    // pinned public digest.
+    auto tampered = blocks;
+    tampered[0][7] ^= 1u << 13;
+    EXPECT_FALSE(cs.isSatisfied(
+        calc.compute(pub, Circuit::privateInputs(tampered))));
+}
+
+TEST(ZooNegative, SchnorrTamperedWitnessUnsatisfiable)
+{
+    const auto* e = r1cs::zoo::find<ZooFr>("schnorr");
+    auto builder = e->build(1);
+    const auto cs = builder.compile();
+    const r1cs::WitnessCalculator<ZooFr> calc(
+        builder.witnessProgram());
+
+    Rng rng(0x5a4e4554u);
+    const auto w = e->sample(1, rng);
+    ASSERT_TRUE(cs.isSatisfied(calc.compute(w.pub, w.priv)));
+
+    // Perturbing any private input (signature material) must break
+    // satisfiability; same for the public statement.
+    auto badPriv = w.priv;
+    badPriv[0] += ZooFr::one();
+    EXPECT_FALSE(cs.isSatisfied(calc.compute(w.pub, badPriv)));
+
+    auto badPub = w.pub;
+    badPub[0] += ZooFr::one();
+    EXPECT_FALSE(cs.isSatisfied(calc.compute(badPub, w.priv)));
 }
 
 } // namespace

@@ -20,8 +20,12 @@
 #include <vector>
 
 #include "r1cs/circuits.h"
+#include "r1cs/witness.h"
+#include "r1cs/zoo.h"
 #include "snark/curve.h"
 #include "snark/groth16.h"
+#include "snark/plonk.h"
+#include "snark/plonk_from_r1cs.h"
 #include "snark/serialize.h"
 
 namespace zkp::golden {
@@ -71,6 +75,118 @@ generate()
     snark::ByteWriter w;
     w.putField(y);
     v.pub = w.bytes();
+    return v;
+}
+
+/// Frozen parameters for the circuit-zoo vectors (bn254 only; the
+/// cross-curve byte coverage comes from the exponentiation vectors
+/// above). One Poseidon and one SHA-256 compression proof per scheme.
+inline constexpr u64 kZooSampleSeed = 0x676f6c64656e3033ULL;
+inline constexpr u64 kZooSetupSeed = 0x676f6c64656e3034ULL;
+inline constexpr u64 kZooProveSeed = 0x676f6c64656e3035ULL;
+
+/** One frozen zoo statement: circuit name and scale. */
+struct ZooCase
+{
+    const char* circuit;
+    std::size_t scale;
+};
+
+inline constexpr ZooCase kZooCases[] = {{"poseidon", 1}, {"sha256", 1}};
+
+/** Length-prefixed public-input encoding shared by both schemes. */
+template <typename Fr>
+std::vector<std::uint8_t>
+encodePublics(const std::vector<Fr>& pub)
+{
+    snark::ByteWriter w;
+    w.putU64((u64)pub.size());
+    for (const auto& x : pub)
+        w.putField(x);
+    return w.bytes();
+}
+
+/** Inverse of encodePublics(); empty on malformed input. */
+template <typename Fr>
+std::optional<std::vector<Fr>>
+decodePublics(const std::vector<std::uint8_t>& bytes)
+{
+    snark::ByteReader r(bytes);
+    u64 n = 0;
+    if (!r.getU64(n) || n > r.remaining())
+        return std::nullopt;
+    std::vector<Fr> pub((std::size_t)n);
+    for (auto& x : pub)
+        if (!r.getField(x))
+            return std::nullopt;
+    if (!r.atEnd())
+        return std::nullopt;
+    return pub;
+}
+
+/** Deterministic Groth16 vectors for one zoo case on @p Curve. */
+template <typename Curve>
+Vectors
+generateZooGroth16(const ZooCase& c)
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Groth16<Curve>;
+
+    const auto* entry = r1cs::zoo::find<Fr>(c.circuit);
+    auto builder = entry->build(c.scale);
+    const auto cs = builder.compile();
+    Rng sampleRng(kZooSampleSeed);
+    const auto w = entry->sample(c.scale, sampleRng);
+    const auto z =
+        r1cs::WitnessCalculator<Fr>(builder.witnessProgram())
+            .compute(w.pub, w.priv);
+
+    Rng setupRng(kZooSetupSeed);
+    const auto kp = Scheme::setup(cs, setupRng);
+    Rng proveRng(kZooProveSeed);
+    const auto proof = Scheme::prove(kp.pk, cs, z, proveRng);
+
+    Vectors v;
+    v.vk = snark::serializeVerifyingKey<Curve>(kp.vk);
+    v.proof = snark::serializeProof<Curve>(proof);
+    v.pub = encodePublics(w.pub);
+    return v;
+}
+
+/**
+ * Deterministic PlonK vectors for one zoo case on @p Curve, through
+ * the generic R1CS lowering. Generation rebuilds the SRS (minutes for
+ * SHA-256's ~114k gates), but verifying the pinned vectors needs only
+ * the serialized VK — that asymmetry is why the checked-in PlonK
+ * SHA-256 vector is the cheap permanent CI coverage for that path.
+ */
+template <typename Curve>
+Vectors
+generateZooPlonk(const ZooCase& c)
+{
+    using Fr = typename Curve::Fr;
+    using Scheme = snark::Plonk<Curve>;
+
+    const auto* entry = r1cs::zoo::find<Fr>(c.circuit);
+    auto builder = entry->build(c.scale);
+    const auto cs = builder.compile();
+    Rng sampleRng(kZooSampleSeed);
+    const auto w = entry->sample(c.scale, sampleRng);
+    const auto z =
+        r1cs::WitnessCalculator<Fr>(builder.witnessProgram())
+            .compute(w.pub, w.priv);
+
+    snark::PlonkFromR1cs<Fr> lowered(cs);
+    Rng setupRng(kZooSetupSeed);
+    const auto kp = Scheme::setup(lowered.builder, setupRng);
+    Rng proveRng(kZooProveSeed);
+    const auto proof = Scheme::prove(kp.pk, lowered.assign(z),
+                                     lowered.publicInputs(z), proveRng);
+
+    Vectors v;
+    v.vk = snark::serializePlonkVerifyingKey<Curve>(kp.vk);
+    v.proof = snark::serializePlonkProof<Curve>(proof);
+    v.pub = encodePublics(lowered.publicInputs(z));
     return v;
 }
 
