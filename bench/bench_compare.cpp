@@ -7,26 +7,40 @@
  * rename and the repo accumulates a perf trajectory.
  *
  * Run: ./build/bench/bench_compare [baseline.json]
- *          [--threshold <pct>] [--out <path>] [--update]
- *          [--against <results.json>]
+ *          [--threshold <pct>] [--mem-threshold <pct>] [--out <path>]
+ *          [--update] [--against <results.json>] [--require-all]
  *
- *   --threshold  allowed slowdown in percent (default 10; also
- *                ZKP_BENCH_THRESHOLD)
- *   --out        where to write the fresh results
- *                (default <baseline>.new.json)
- *   --update     overwrite the baseline itself with the fresh
- *                results after a passing run
- *   --against    compare the baseline to an already-written results
- *                file instead of rerunning the kernel set. Accepts
- *                any document with the BENCH_kernels.json "results"
- *                entry schema — including BENCH_serve.json from
- *                bench_serve — so two serving runs can be diffed
- *                without re-measuring.
+ *   --threshold      allowed slowdown in percent (default 10; also
+ *                    ZKP_BENCH_THRESHOLD)
+ *   --mem-threshold  allowed growth in percent for the memory fields
+ *                    (peak_rss_bytes, alloc_bytes); independent of
+ *                    the time gate because footprint noise differs
+ *                    from timing noise (default 25; also
+ *                    ZKP_BENCH_MEM_THRESHOLD). Gated only when both
+ *                    sides carry a nonzero measurement, so pre-mem
+ *                    baselines keep passing.
+ *   --out            where to write the fresh results
+ *                    (default <baseline>.new.json)
+ *   --update         overwrite the baseline itself with the fresh
+ *                    results after a passing run
+ *   --against        compare the baseline to an already-written
+ *                    results file instead of rerunning the kernel
+ *                    set. Accepts any document with the
+ *                    BENCH_kernels.json "results" entry schema —
+ *                    including BENCH_serve.json from bench_serve — so
+ *                    two serving runs can be diffed without
+ *                    re-measuring.
+ *   --require-all    baseline entries missing from the current run
+ *                    fail the gate instead of being ignored. CI uses
+ *                    this so a kernel silently dropped from the set
+ *                    (a renamed entry, a crashed measurement) cannot
+ *                    masquerade as a pass.
  *
  * Comparison uses min-of-repeats seconds (noise-robust); entries are
- * matched by (name, n, threads). Entries present on only one side are
- * reported but never fail the gate, so adding or retiring kernels
- * does not break CI. Exit code: 0 pass, 1 regression, 2 usage/I-O.
+ * matched by (name, n, threads). Without --require-all, entries
+ * present on only one side are reported but never fail the gate, so
+ * adding or retiring kernels does not break local runs. Exit code:
+ * 0 pass, 1 regression/missing, 2 usage/I-O.
  */
 
 #include "kernels_common.h"
@@ -40,11 +54,17 @@ main(int argc, char** argv)
     std::string against_path;
     double threshold_pct =
         (double)bench::envLong("ZKP_BENCH_THRESHOLD", 10);
+    double mem_threshold_pct =
+        (double)bench::envLong("ZKP_BENCH_MEM_THRESHOLD", 25);
     bool update = false;
+    bool require_all = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
             threshold_pct = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--mem-threshold") == 0 &&
+                   i + 1 < argc) {
+            mem_threshold_pct = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else if (std::strcmp(argv[i], "--against") == 0 &&
@@ -52,6 +72,8 @@ main(int argc, char** argv)
             against_path = argv[++i];
         } else if (std::strcmp(argv[i], "--update") == 0) {
             update = true;
+        } else if (std::strcmp(argv[i], "--require-all") == 0) {
+            require_all = true;
         } else if (positional == 0) {
             baseline_path = argv[i];
             ++positional;
@@ -110,7 +132,34 @@ main(int argc, char** argv)
     TextTable table;
     table.setHeader({"kernel", "n", "threads", "baseline s",
                      "current s", "delta", "verdict"});
+    TextTable memTable;
+    memTable.setHeader({"kernel", "metric", "baseline", "current",
+                        "delta", "verdict"});
     unsigned regressions = 0, improvements = 0, matched = 0;
+    unsigned missing = 0, memRegressions = 0, memMatched = 0;
+
+    // Gate one memory field of one matched kernel pair. Only pairs
+    // where both sides measured (nonzero) participate, so baselines
+    // written before the mem fields existed — or on machines without
+    // /proc — neither fail nor silently anchor a zero baseline.
+    auto gateMem = [&](const bench::KernelEntry& b, std::uint64_t base,
+                       std::uint64_t cur, const char* metric) {
+        if (base == 0 || cur == 0)
+            return;
+        ++memMatched;
+        const double delta_pct =
+            100.0 * ((double)cur - (double)base) / (double)base;
+        const bool regressed = delta_pct > mem_threshold_pct;
+        if (regressed)
+            ++memRegressions;
+        char delta_buf[32];
+        std::snprintf(delta_buf, sizeof(delta_buf), "%+.1f%%",
+                      delta_pct);
+        memTable.addRow({b.name, metric, std::to_string(base),
+                         std::to_string(cur), delta_buf,
+                         regressed ? "REGRESSED" : "ok"});
+    };
+
     for (const auto& b : baseline) {
         const bench::KernelEntry* cur = nullptr;
         for (const auto& f : fresh)
@@ -118,13 +167,18 @@ main(int argc, char** argv)
                 f.threads == b.threads)
                 cur = &f;
         if (!cur) {
+            ++missing;
             table.addRow({b.name, std::to_string(b.n),
                           std::to_string(b.threads),
                           fmtF(b.secondsMin, 6), "-", "-",
-                          "missing (ignored)"});
+                          require_all ? "MISSING"
+                                      : "missing (ignored)"});
             continue;
         }
         ++matched;
+        gateMem(b, b.peakRssBytes, cur->peakRssBytes,
+                "peak_rss_bytes");
+        gateMem(b, b.allocBytes, cur->allocBytes, "alloc_bytes");
         const double delta_pct =
             b.secondsMin > 0
                 ? 100.0 * (cur->secondsMin - b.secondsMin) /
@@ -161,6 +215,9 @@ main(int argc, char** argv)
     }
     bench::printTable("bench_compare: baseline vs current (min "
                       "seconds)", table);
+    if (memMatched > 0)
+        bench::printTable("bench_compare: memory footprint gate "
+                          "(bytes)", memTable);
 
     if (against_path.empty()) {
         std::vector<std::pair<std::string, std::string>> notes;
@@ -174,10 +231,21 @@ main(int argc, char** argv)
                         out_path.c_str());
     }
 
-    if (regressions > 0) {
-        std::printf("\nFAIL: %u of %u matched kernels regressed "
-                    "beyond %.1f%%\n",
-                    regressions, matched, threshold_pct);
+    if (regressions > 0 || memRegressions > 0 ||
+        (require_all && missing > 0)) {
+        if (regressions > 0)
+            std::printf("\nFAIL: %u of %u matched kernels regressed "
+                        "beyond %.1f%%\n",
+                        regressions, matched, threshold_pct);
+        if (memRegressions > 0)
+            std::printf("\nFAIL: %u of %u memory measurements grew "
+                        "beyond %.1f%%\n",
+                        memRegressions, memMatched,
+                        mem_threshold_pct);
+        if (require_all && missing > 0)
+            std::printf("\nFAIL: %u baseline entries missing from "
+                        "the current run (--require-all)\n",
+                        missing);
         return 1;
     }
     if (update) {
@@ -190,7 +258,9 @@ main(int argc, char** argv)
                          baseline_path.c_str());
     }
     std::printf("\nPASS: %u kernels within %.1f%% of baseline "
-                "(%u improved)\n",
-                matched, threshold_pct, improvements);
+                "(%u improved); %u memory measurements within "
+                "%.1f%%\n",
+                matched, threshold_pct, improvements, memMatched,
+                mem_threshold_pct);
     return 0;
 }

@@ -14,6 +14,7 @@
 #define ZKP_BENCH_KERNELS_COMMON_H
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,11 +27,21 @@
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "ec/msm.h"
+#include "obs/memprof.h"
 #include "poly/domain.h"
 
 namespace zkp::bench {
 
-/** One timed kernel: identity plus mean/min-of-repeats seconds. */
+/**
+ * One timed kernel: identity plus mean/min-of-repeats seconds and the
+ * memory footprint fields the mem gate compares (docs/PERFORMANCE.md).
+ * peakRssBytes is the process high-water mark (VmHWM) after the
+ * kernel ran — monotonic, so it reads as "footprint ceiling once this
+ * point of the canonical kernel sequence is reached". allocBytes is
+ * the mean per-repeat bytes allocated on the timing thread, nonzero
+ * only under ZKP_MEMPROF=1 (parallelFor worker allocations are not
+ * attributed — same caveat as the serve lanes).
+ */
 struct KernelEntry
 {
     std::string name;
@@ -39,6 +50,8 @@ struct KernelEntry
     unsigned repeats = 1;
     double secondsMean = 0;
     double secondsMin = 0;
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t allocBytes = 0;
 };
 
 inline double
@@ -60,6 +73,9 @@ timeKernel(const std::string& name, std::size_t n, std::size_t threads,
     e.n = n;
     e.threads = threads;
     e.repeats = repeats();
+    const bool mem = obs::memprof::tracking();
+    const std::uint64_t alloc0 =
+        mem ? obs::memprof::threadStats().allocBytes : 0;
     double sum = 0, best = 0;
     for (unsigned r = 0; r < e.repeats; ++r) {
         const double t0 = kernelNow();
@@ -71,6 +87,11 @@ timeKernel(const std::string& name, std::size_t n, std::size_t threads,
     }
     e.secondsMean = sum / e.repeats;
     e.secondsMin = best;
+    e.peakRssBytes = obs::memprof::peakRssBytes();
+    if (mem)
+        e.allocBytes = (obs::memprof::threadStats().allocBytes -
+                        alloc0) /
+                       e.repeats;
     std::printf("  %-28s n=%-8zu threads=%zu  %.6fs (min %.6fs)\n",
                 e.name.c_str(), e.n, e.threads, e.secondsMean,
                 e.secondsMin);
@@ -206,15 +227,26 @@ kernelEntriesJson(
     json += "},\n  \"results\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto& e = entries[i];
-        char buf[256];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
                       "    {\"name\": \"%s\", \"n\": %zu, "
                       "\"threads\": %zu, \"repeats\": %u, "
-                      "\"seconds_mean\": %.6f, \"seconds_min\": %.6f}%s\n",
+                      "\"seconds_mean\": %.6f, \"seconds_min\": %.6f",
                       e.name.c_str(), e.n, e.threads, e.repeats,
-                      e.secondsMean, e.secondsMin,
-                      i + 1 < entries.size() ? "," : "");
+                      e.secondsMean, e.secondsMin);
         json += buf;
+        // Memory fields are emitted only when measured so baselines
+        // from machines without /proc (or pre-mem baselines) stay
+        // byte-identical to the old schema.
+        if (e.peakRssBytes || e.allocBytes) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"peak_rss_bytes\": %llu, "
+                          "\"alloc_bytes\": %llu",
+                          (unsigned long long)e.peakRssBytes,
+                          (unsigned long long)e.allocBytes);
+            json += buf;
+        }
+        json += i + 1 < entries.size() ? "},\n" : "}\n";
     }
     json += "  ]\n}\n";
     return json;
@@ -286,6 +318,12 @@ parseKernelBaseline(const std::string& text)
         e.repeats = (unsigned)std::atoi(field("repeats").c_str());
         e.secondsMean = std::atof(field("seconds_mean").c_str());
         e.secondsMin = std::atof(field("seconds_min").c_str());
+        // Absent in pre-mem baselines: parse to 0, which the mem gate
+        // treats as "no data" rather than a regression from zero.
+        e.peakRssBytes = (std::uint64_t)std::strtoull(
+            field("peak_rss_bytes").c_str(), nullptr, 10);
+        e.allocBytes = (std::uint64_t)std::strtoull(
+            field("alloc_bytes").c_str(), nullptr, 10);
         if (!e.name.empty())
             out.push_back(std::move(e));
         pos = close + 1;

@@ -275,6 +275,20 @@ main(int argc, char** argv)
     cfg.proveThreads = prove_threads;
     serve::ProofService service(cfg);
 
+    // Install the shutdown handlers BEFORE registration and prewarm:
+    // a supervisor's SIGTERM during a minutes-long key prewarm must
+    // still reach the drain-time telemetry flush at the bottom
+    // instead of the default terminate action (which would lose the
+    // final metrics window of a --metrics-file run).
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    // A client that disconnects before its (slow) prove response is
+    // written must not kill the daemon. writeAll already sends with
+    // MSG_NOSIGNAL; this covers any other write to a dead peer.
+    std::signal(SIGPIPE, SIG_IGN);
+
     char circuit_name[32];
     std::snprintf(circuit_name, sizeof(circuit_name), "exp%zu",
                   log2_constraints);
@@ -307,42 +321,39 @@ main(int argc, char** argv)
             service.config().proveThreads));
         zoo_ids.push_back(std::move(id));
     }
-    if (prewarm) {
+    if (prewarm && !gStop.load()) {
         std::printf("zkperfd: prewarming keys for %s (2^%zu "
                     "constraints)...\n",
                     circuit_name, log2_constraints);
         service.prewarm(circuit_name);
         for (const std::string& id : zoo_ids) {
+            if (gStop.load())
+                break; // signal mid-prewarm: fall through to drain
             std::printf("zkperfd: prewarming keys for %s...\n",
                         id.c_str());
             service.prewarm(id);
         }
     }
 
-    const int listen_fd = serve::wire::listenUnix(socket_path);
-    if (listen_fd < 0) {
-        std::fprintf(stderr, "zkperfd: cannot listen on %s: %s\n",
-                     socket_path.c_str(), std::strerror(errno));
-        return 1;
+    int listen_fd = -1;
+    bool listening = false;
+    if (!gStop.load()) {
+        listen_fd = serve::wire::listenUnix(socket_path);
+        if (listen_fd < 0) {
+            std::fprintf(stderr, "zkperfd: cannot listen on %s: %s\n",
+                         socket_path.c_str(), std::strerror(errno));
+            return 1;
+        }
+        listening = true;
+        gListenFd.store(listen_fd);
+        std::printf("zkperfd: serving %s on %s (workers=%zu "
+                    "queue=%zu prove-threads=%zu)\n",
+                    circuit_name, socket_path.c_str(),
+                    service.config().workers,
+                    service.config().queueCapacity,
+                    service.config().proveThreads);
+        std::fflush(stdout);
     }
-    gListenFd.store(listen_fd);
-
-    struct sigaction sa{};
-    sa.sa_handler = onSignal;
-    ::sigaction(SIGINT, &sa, nullptr);
-    ::sigaction(SIGTERM, &sa, nullptr);
-    // A client that disconnects before its (slow) prove response is
-    // written must not kill the daemon. writeAll already sends with
-    // MSG_NOSIGNAL; this covers any other write to a dead peer.
-    std::signal(SIGPIPE, SIG_IGN);
-
-    std::printf("zkperfd: serving %s on %s (workers=%zu queue=%zu "
-                "prove-threads=%zu)\n",
-                circuit_name, socket_path.c_str(),
-                service.config().workers,
-                service.config().queueCapacity,
-                service.config().proveThreads);
-    std::fflush(stdout);
 
     // Periodic metrics snapshots. Sleeps in small slices so a drain
     // signal is honored within ~100 ms instead of a full interval.
@@ -382,7 +393,7 @@ main(int argc, char** argv)
             }
         }
     };
-    while (!gStop.load()) {
+    while (listening && !gStop.load()) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR && !gStop.load())
@@ -402,7 +413,8 @@ main(int argc, char** argv)
 
     std::printf("zkperfd: draining...\n");
     std::fflush(stdout);
-    ::close(listen_fd);
+    if (listen_fd >= 0)
+        ::close(listen_fd);
     // Nudge connections still blocked in read; their threads exit on
     // the resulting EOF. In-flight requests still complete. Finished
     // connections keep their fd open until joined below, so this
@@ -416,7 +428,8 @@ main(int argc, char** argv)
     }
     conns.clear();
     service.drain();
-    ::unlink(socket_path.c_str());
+    if (listening)
+        ::unlink(socket_path.c_str());
     if (metrics_thread.joinable())
         metrics_thread.join();
 

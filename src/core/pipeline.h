@@ -144,6 +144,11 @@ class StageRunner
         const bool hw_on = obs::pmu::enabled() &&
                            (obs::pmu::drainWorkerDeltas(),
                             obs::pmu::readThread(hw_before));
+        // Memory capture brackets exactly the measured region: RSS
+        // and peak-RSS deltas always, allocator counters and span
+        // sites when ZKP_MEMPROF=1.
+        const obs::memprof::Snapshot mem_before =
+            obs::memprof::snapshot();
         Timer timer;
         {
             sim::ScopedTrace trace(std::move(sinks), sample_mask);
@@ -156,6 +161,7 @@ class StageRunner
         StageRun out;
         out.seconds = seconds;
         out.counters = countersDelta(before, sim::counters());
+        out.mem = obs::memprof::stageDelta(mem_before);
         if (hw_on) {
             obs::pmu::Sample hw_after;
             if (obs::pmu::readThread(hw_after)) {
@@ -195,16 +201,19 @@ class StageRunner
         rep.counters = counterPairs(run.counters);
         rep.hwAvailable = run.hw.available;
         rep.hw = obs::pmu::statPairs(run.hw);
+        rep.mem = run.mem;
         if (obs::tracingEnabled()) {
             for (const obs::SpanStat& after : obs::spanAggregates()) {
                 obs::u64 prev_count = 0, prev_ns = 0;
                 obs::u64 prev_cyc = 0, prev_ins = 0;
+                obs::u64 prev_alloc = 0;
                 for (const obs::SpanStat& b : spans_before) {
                     if (b.name == after.name) {
                         prev_count = b.count;
                         prev_ns = b.totalNs;
                         prev_cyc = b.totalCycles;
                         prev_ins = b.totalInstructions;
+                        prev_alloc = b.totalAllocBytes;
                         break;
                     }
                 }
@@ -217,6 +226,7 @@ class StageRunner
                     k.hwCycles = after.totalCycles - prev_cyc;
                     k.hwInstructions =
                         after.totalInstructions - prev_ins;
+                    k.allocBytes = after.totalAllocBytes - prev_alloc;
                     rep.topSpans.push_back(std::move(k));
                 }
             }
@@ -253,6 +263,8 @@ class StageRunner
           case Stage::Setup: {
             Rng rng(seed_ + 1);
             keys_ = Scheme::setup(*cs_, rng, threads);
+            keysTracked_.set("snark.proving_key",
+                             keys_->pk.footprintBytes());
             break;
           }
           case Stage::Witness:
@@ -280,6 +292,9 @@ class StageRunner
     std::optional<r1cs::R1cs<Fr>> cs_;
     std::optional<r1cs::WitnessCalculator<Fr>> calc_;
     std::optional<typename Scheme::Keypair> keys_;
+    /// CRS footprint account ("snark.proving_key"), reconciled
+    /// against allocator live bytes in profile_pipeline --mem.
+    obs::memprof::TrackedBytes keysTracked_;
     std::optional<std::vector<Fr>> z_;
     std::optional<typename Scheme::Proof> proof_;
     bool verifyOk_ = false;

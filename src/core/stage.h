@@ -10,6 +10,7 @@
 #include <array>
 #include <string>
 
+#include "obs/memprof.h"
 #include "obs/pmu.h"
 #include "sim/counters.h"
 
@@ -63,6 +64,9 @@ struct StageRun
     /// Measured hardware counters (all threads merged); hw.available
     /// is false when the machine denies perf_event access.
     obs::pmu::HwStats hw;
+    /// Memory accounting: RSS/peak-RSS deltas always, allocator
+    /// counters when ZKP_MEMPROF=1 (mem.tracked marks validity).
+    obs::memprof::StageMem mem;
 };
 
 } // namespace zkp::core

@@ -40,6 +40,7 @@
 #include "common/uint.h"
 #include "ec/curve.h"
 #include "ff/fp.h"
+#include "obs/memprof.h"
 
 namespace zkp::ec {
 
@@ -68,6 +69,9 @@ class BatchAffineAdder
         busy_.assign(buckets, 0);
         batch_.clear();
         carry_.clear();
+        tracked_.set("msm.batch_affine",
+                     buckets * (sizeof(Affine) + 1) +
+                         cap_ * (sizeof(Pending) + 2 * sizeof(Field)));
     }
 
     /**
@@ -203,6 +207,8 @@ class BatchAffineAdder
     std::vector<Pending> batch_, carry_, carried_;
     std::vector<std::uint32_t> app_idx_;
     std::vector<Field> den_, num_, t_;
+    /// Scratch footprint account ("msm.batch_affine").
+    obs::memprof::TrackedBytes tracked_;
 };
 
 } // namespace zkp::ec

@@ -66,6 +66,7 @@ class FixedBaseTable
         sim::countAlloc(table_.size() * sizeof(Affine));
         obs::gauge("fixed_base.table_bytes")
             .set((double)footprintBytes());
+        tracked_.set("ec.fixed_base_table", footprintBytes());
     }
 
     /** base * k via table lookups (one mixed add per window). */
@@ -100,6 +101,8 @@ class FixedBaseTable
 
   private:
     std::vector<Affine> table_;
+    /// Footprint account ("ec.fixed_base_table").
+    obs::memprof::TrackedBytes tracked_;
 };
 
 } // namespace zkp::ec

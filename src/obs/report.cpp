@@ -55,7 +55,10 @@ runReportJson()
 
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value("zkperf-run-report/2");
+    // Schema /3: adds the per-stage "mem" object and the top-level
+    // "mem" availability block (consumers of /2 keep working: no
+    // field was removed or retyped).
+    w.key("schema").value("zkperf-run-report/3");
 
     w.key("stages").beginArray();
     for (const StageReport& r : snapshot) {
@@ -84,9 +87,34 @@ runReportJson()
                 w.key("hw_cycles").value(k.hwCycles);
                 w.key("hw_instructions").value(k.hwInstructions);
             }
+            if (k.allocBytes > 0)
+                w.key("alloc_bytes").value(k.allocBytes);
             w.endObject();
         }
         w.endArray();
+        w.key("mem").beginObject();
+        w.key("tracked").value(r.mem.tracked);
+        w.key("rss_bytes").value(r.mem.rssBytes);
+        w.key("rss_delta").value((double)r.mem.rssDelta);
+        w.key("peak_rss_bytes").value(r.mem.peakRssBytes);
+        w.key("peak_rss_delta").value(r.mem.peakRssDelta);
+        if (r.mem.tracked) {
+            w.key("alloc_bytes").value(r.mem.allocBytes);
+            w.key("alloc_count").value(r.mem.allocCount);
+            w.key("free_bytes").value(r.mem.freeBytes);
+            w.key("live_delta").value((double)r.mem.liveDelta);
+            w.key("tracked_bytes").value(r.mem.trackedBytes);
+            w.key("top_sites").beginArray();
+            for (const auto& site : r.mem.topSites) {
+                w.beginObject();
+                w.key("span").value(site.name);
+                w.key("alloc_bytes").value(site.allocBytes);
+                w.key("alloc_count").value(site.allocCount);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
         w.endObject();
     }
     w.endArray();
@@ -99,6 +127,16 @@ runReportJson()
         w.key("reason").value(pmu::unavailableReason().empty()
                                   ? "disabled via ZKP_PMU=0"
                                   : pmu::unavailableReason());
+    w.endObject();
+
+    // Allocation-profiler availability: per-stage alloc_* fields are
+    // only present when mem.enabled here is true.
+    w.key("mem").beginObject();
+    w.key("enabled").value(memprof::tracking());
+    if (!memprof::tracking())
+        w.key("reason").value(memprof::available()
+                                  ? "disabled (set ZKP_MEMPROF=1)"
+                                  : memprof::unavailableReason());
     w.endObject();
 
     // Registry snapshot: cumulative, not per stage — the per-stage

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memprof.h"
+
 namespace zkp::obs {
 
 /** Per-kernel time attribution entry (from span aggregates). */
@@ -35,6 +37,8 @@ struct KernelStat
     /// Summed per-span hardware deltas (ZKP_PMU_SPANS=1 only).
     std::uint64_t hwCycles = 0;
     std::uint64_t hwInstructions = 0;
+    /// Summed per-span allocation bytes (ZKP_MEMPROF_SPANS=1 only).
+    std::uint64_t allocBytes = 0;
 };
 
 /** One instrumented stage execution. */
@@ -53,6 +57,10 @@ struct StageReport
     std::vector<std::pair<std::string, double>> hw;
     /// Spans recorded during this run, heaviest first (tracing only).
     std::vector<KernelStat> topSpans;
+    /// Memory accounting for this run: RSS fields are always
+    /// captured; allocator fields (alloc_*, top sites) need
+    /// ZKP_MEMPROF=1 (mem.tracked marks them valid).
+    memprof::StageMem mem;
 };
 
 /** Append one record to the process-wide report. Thread-safe. */

@@ -249,6 +249,8 @@ spanAggregates()
                 s.totalInstructions += ev.pmuInstructions;
                 s.totalLlcLoadMisses += ev.pmuLlcLoadMisses;
             }
+            if (ev.hasMem)
+                s.totalAllocBytes += ev.memAllocBytes;
         }
     });
     std::vector<SpanStat> out;
@@ -306,7 +308,7 @@ traceJson()
         w.key("dur").value((double)ev.durNs / 1e3);
         w.key("pid").value((u64)1);
         w.key("tid").value((u64)ev.tid);
-        if (ev.argKey || ev.hasPmu) {
+        if (ev.argKey || ev.hasPmu || ev.hasMem) {
             w.key("args").beginObject();
             if (ev.argKey)
                 w.key(ev.argKey).value(ev.argVal);
@@ -315,6 +317,8 @@ traceJson()
                 w.key("hw_instructions").value(ev.pmuInstructions);
                 w.key("hw_llc_load_misses").value(ev.pmuLlcLoadMisses);
             }
+            if (ev.hasMem)
+                w.key("mem_alloc_bytes").value(ev.memAllocBytes);
             w.endObject();
         }
         w.endObject();

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/memprof.h"
 #include "obs/pmu.h"
 
 namespace zkp::obs {
@@ -65,6 +66,11 @@ struct SpanEvent
     u64 pmuCycles = 0;
     u64 pmuInstructions = 0;
     u64 pmuLlcLoadMisses = 0;
+    /// Bytes allocated on the recording thread while the span was
+    /// open, sampled when ZKP_MEMPROF_SPANS=1 under ZKP_MEMPROF=1
+    /// (hasMem marks validity).
+    bool hasMem = false;
+    u64 memAllocBytes = 0;
 };
 
 /** Aggregate of all spans sharing one name. */
@@ -77,6 +83,9 @@ struct SpanStat
     u64 totalCycles = 0;
     u64 totalInstructions = 0;
     u64 totalLlcLoadMisses = 0;
+    /// Summed per-span allocation deltas (zero unless
+    /// ZKP_MEMPROF_SPANS=1).
+    u64 totalAllocBytes = 0;
 };
 
 namespace detail {
@@ -172,6 +181,17 @@ class SpanScope
     SpanScope(const char* name, const char* arg_key, u64 arg_val)
         : name_(name), argKey_(arg_key), argVal_(arg_val)
     {
+        // Site attribution runs whenever the allocation profiler is
+        // on, independent of whether spans are being recorded: the
+        // memprof site table keys on the innermost span name.
+        if (memprof::tracking()) {
+            memSite_ = true;
+            memprof::pushSite(name_);
+            if (memprof::spanAnnotationEnabled()) {
+                sampleMem_ = true;
+                memStartBytes_ = memprof::threadStats().allocBytes;
+            }
+        }
         active_ = tracingEnabled();
         if (!active_)
             return;
@@ -183,8 +203,11 @@ class SpanScope
 
     ~SpanScope()
     {
-        if (!active_)
+        if (!active_) {
+            if (memSite_)
+                memprof::popSite();
             return;
+        }
         const u64 end = detail::nowNs();
         detail::exitSpan();
         SpanEvent ev;
@@ -207,6 +230,13 @@ class SpanScope
                     (u64)d.get(pmu::Event::LlcLoadMisses);
             }
         }
+        if (sampleMem_) {
+            ev.hasMem = true;
+            ev.memAllocBytes =
+                memprof::threadStats().allocBytes - memStartBytes_;
+        }
+        if (memSite_)
+            memprof::popSite();
         detail::record(ev);
     }
 
@@ -221,6 +251,9 @@ class SpanScope
     u32 depth_ = 0;
     bool active_ = false;
     bool samplePmu_ = false;
+    bool memSite_ = false;
+    bool sampleMem_ = false;
+    u64 memStartBytes_ = 0;
     pmu::Sample pmuStart_;
 };
 

@@ -249,6 +249,9 @@ class Domain
         /// lets the stage multiply go through ff::mulBatch.
         std::vector<Fr> stagedFwd;
         std::vector<Fr> stagedInv;
+        /// Footprint account ("ntt.twiddles"); withdrawn when the
+        /// last Domain sharing this cache dies.
+        obs::memprof::TrackedBytes tracked;
     };
 
     const TwiddleCache&
@@ -261,6 +264,8 @@ class Domain
             cache_->stagedFwd.resize(size_);
             cache_->stagedInv.resize(size_);
             sim::countAlloc(6 * half * sizeof(Fr));
+            cache_->tracked.set("ntt.twiddles",
+                                6 * half * sizeof(Fr));
             auto fill = [&](std::vector<Fr>& out, const Fr& base) {
                 parallelFor(out.size(), threads,
                             [&](std::size_t, std::size_t b,

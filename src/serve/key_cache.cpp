@@ -3,10 +3,30 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace zkp::serve {
+
+namespace {
+
+/// Mirror every resident-bytes change into the memprof owner account
+/// so serve footprint reconciles in trackedSnapshot().
+void
+accountBytes(std::int64_t delta)
+{
+    obs::memprof::trackedAdd("serve.key_cache", delta);
+}
+
+} // namespace
+
+KeyCache::~KeyCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bytes_)
+        accountBytes(-(std::int64_t)bytes_);
+}
 
 KeyCache::Artifact
 KeyCache::getOrBuild(const std::string& key, const Builder& build)
@@ -78,6 +98,7 @@ KeyCache::getOrBuild(const std::string& key, const Builder& build)
         it->second.ready = true;
         it->second.bytes = built.bytes;
         bytes_ += built.bytes;
+        accountBytes((std::int64_t)built.bytes);
         ++builds_; // under mu_, where stats() reads it
         const std::uint64_t us =
             (std::uint64_t)std::chrono::duration_cast<
@@ -111,6 +132,7 @@ KeyCache::evictLocked(const std::string& keep)
         if (victim == entries_.end())
             break; // only the protected / in-flight entries remain
         bytes_ -= victim->second.bytes;
+        accountBytes(-(std::int64_t)victim->second.bytes);
         entries_.erase(victim);
         ++evictions_;
         evicted.add();
@@ -131,6 +153,7 @@ KeyCache::clear()
     for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->second.ready) {
             bytes_ -= it->second.bytes;
+            accountBytes(-(std::int64_t)it->second.bytes);
             it = entries_.erase(it);
         } else {
             ++it; // a build in flight keeps its entry

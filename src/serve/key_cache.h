@@ -64,6 +64,9 @@ class KeyCache
         : capacityBytes_(capacity_bytes)
     {}
 
+    /** Withdraws the cache's "serve.key_cache" footprint account. */
+    ~KeyCache();
+
     /**
      * Return the artifact for @p key, building it with @p build if
      * absent. Concurrent calls for the same cold key run @p build

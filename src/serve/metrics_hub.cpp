@@ -44,6 +44,7 @@ MetricsHub::snapshotLanes() const
         s.e2eUs = lane->e2eUs.snapshot();
         s.deadlineSlackUs = lane->deadlineSlackUs.snapshot();
         s.verifyBatch = lane->verifyBatch.snapshot();
+        s.allocBytes = lane->allocBytes.snapshot();
         s.completed = lane->completed.value();
         s.errors = lane->errors.value();
         s.shed = lane->shed.value();
@@ -104,6 +105,15 @@ statsJson(const ServiceStatsSnapshot& snap)
     w.key("build_micros").value(snap.cache.buildMicros);
     w.endObject();
 
+    // Added within schema /2 (additive fields only, never removed):
+    // process footprint at scrape time for fleet cache sizing.
+    w.key("mem").beginObject();
+    w.key("memprof_enabled").value(snap.memprofEnabled);
+    w.key("rss_bytes").value(snap.rssBytes);
+    w.key("peak_rss_bytes").value(snap.peakRssBytes);
+    w.key("tracked_bytes").value(snap.trackedBytes);
+    w.endObject();
+
     w.key("lanes").beginArray();
     for (const auto& lane : snap.lanes) {
         w.beginObject();
@@ -122,6 +132,7 @@ statsJson(const ServiceStatsSnapshot& snap)
         writeDist(w, "e2e_us", lane.e2eUs);
         writeDist(w, "deadline_slack_us", lane.deadlineSlackUs);
         writeDist(w, "verify_batch", lane.verifyBatch);
+        writeDist(w, "alloc_bytes", lane.allocBytes);
         w.endObject();
     }
     w.endArray();

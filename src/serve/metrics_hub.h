@@ -59,6 +59,11 @@ class MetricsHub
         obs::Histogram e2eUs;           ///< arrive → replied
         obs::Histogram deadlineSlackUs; ///< deadline − replied (≥ 0)
         obs::Histogram verifyBatch;     ///< verifyBatch group sizes
+        /// Transient bytes allocated on the executing worker thread
+        /// per request (ZKP_MEMPROF=1 only; empty otherwise).
+        /// Allocations made by parallelFor workers the request fans
+        /// out to are not attributed here.
+        obs::Histogram allocBytes;
         obs::Counter completed;         ///< settled Status::Ok
         obs::Counter errors;            ///< executed but not Ok
         obs::Counter shed;              ///< rejected QueueFull
@@ -73,7 +78,8 @@ class MetricsHub
         Priority priority = Priority::Interactive;
         std::string circuit;
         obs::Histogram::Snapshot queueWaitUs, keyWaitUs, execUs,
-            serializeUs, e2eUs, deadlineSlackUs, verifyBatch;
+            serializeUs, e2eUs, deadlineSlackUs, verifyBatch,
+            allocBytes;
         std::uint64_t completed = 0, errors = 0, shed = 0,
                       deadlineMiss = 0, canceled = 0;
     };
@@ -115,6 +121,14 @@ struct ServiceStatsSnapshot
     std::size_t workers = 0;
     double uptimeSeconds = 0;
     KeyCache::Stats cache;
+    /// Process footprint at scrape time (memprof RSS readers, always
+    /// captured) plus allocator availability.
+    bool memprofEnabled = false;
+    std::uint64_t rssBytes = 0;
+    std::uint64_t peakRssBytes = 0;
+    /// Sum of the memprof tracked-owner accounts (key cache, CRS
+    /// keys, twiddles, ...).
+    std::uint64_t trackedBytes = 0;
     std::vector<MetricsHub::LaneSnapshot> lanes;
 };
 

@@ -64,6 +64,10 @@ struct Job
     std::vector<std::uint8_t> privateInputs;
     /// Verify only: serialized proof (framed or legacy).
     std::vector<std::uint8_t> proofBytes;
+    /// Transient bytes allocated while executing this request on the
+    /// worker thread (ZKP_MEMPROF=1 only; 0 otherwise). Batch verify
+    /// splits the group delta evenly across members.
+    std::uint64_t allocBytes = 0;
     std::promise<Response> promise;
 };
 

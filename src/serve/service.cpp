@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -274,6 +275,12 @@ ProofService::executeProve(Job& job)
 
     Response r;
     const CircuitHost* host = findHost(job.circuit);
+    // Worker-thread allocation delta for this request; parallelFor
+    // workers the prove fans out to are not attributed (documented
+    // in OBSERVABILITY.md §5).
+    const bool mem = obs::memprof::tracking();
+    const std::uint64_t allocStart =
+        mem ? obs::memprof::threadStats().allocBytes : 0;
     try {
         KeyCache::Artifact artifact = cache_.getOrBuild(
             host->name + "@" + host->curve, host->build);
@@ -286,6 +293,9 @@ ProofService::executeProve(Job& job)
             job.tl.keyReady = Clock::now(); // key build failed
         r.status = Status::InternalError;
     }
+    if (mem)
+        job.allocBytes =
+            obs::memprof::threadStats().allocBytes - allocStart;
     job.tl.executed = Clock::now();
     completions.add();
     finishAndReply(job, std::move(r));
@@ -320,6 +330,9 @@ ProofService::executeVerifyGroup(
     // stamped each member's `dequeued` before this point, so the
     // per-request monotonic order still holds.
     Timeline::Clock::time_point keyReady{};
+    const bool mem = obs::memprof::tracking();
+    const std::uint64_t allocStart =
+        mem ? obs::memprof::threadStats().allocBytes : 0;
     try {
         KeyCache::Artifact artifact = cache_.getOrBuild(
             host->name + "@" + host->curve, host->build);
@@ -332,12 +345,18 @@ ProofService::executeVerifyGroup(
             item.status = Status::InternalError;
     }
     const Clock::time_point executed = Clock::now();
+    const std::uint64_t allocPer =
+        mem && !live.empty()
+            ? (obs::memprof::threadStats().allocBytes - allocStart) /
+                  live.size()
+            : 0;
     batchSizes.record(items.size());
 
     for (std::size_t i = 0; i < live.size(); ++i) {
         Job& j = *live[i];
         j.tl.keyReady = keyReady;
         j.tl.executed = executed;
+        j.allocBytes = allocPer;
         Response r;
         r.status = items[i].status;
         r.valid = items[i].valid;
@@ -395,6 +414,8 @@ ProofService::finishAndReply(Job& job, Response&& r)
     }
     if (job.kind == Job::Kind::Verify)
         lane.verifyBatch.record(r.batchSize);
+    if (job.allocBytes)
+        lane.allocBytes.record(job.allocBytes);
     if (r.status == Status::Ok)
         lane.completed.add();
     else
@@ -486,6 +507,10 @@ ProofService::snapshotStats() const
                           Timeline::Clock::now() - started_)
                           .count();
     s.cache = cache_.stats();
+    s.memprofEnabled = obs::memprof::tracking();
+    s.rssBytes = obs::memprof::rssBytes();
+    s.peakRssBytes = obs::memprof::peakRssBytes();
+    s.trackedBytes = obs::memprof::trackedTotalBytes();
     s.lanes = hub_.snapshotLanes();
     return s;
 }
