@@ -1,15 +1,29 @@
 /**
  * @file
- * E11 — proving-scheme comparison (paper §IV-A): snarkjs supports
+ * E11/E13 — proving-scheme comparison (paper §IV-A): snarkjs supports
  * Groth16 and PlonK, and the paper justifies choosing Groth16 partly
  * because "the proving time of PlonK is twice as slow compared to
  * Groth16". This bench measures both provers of this library on the
- * same exponentiation workload.
+ * same exponentiation workload, then extends the comparison to the
+ * transparent STARK backend (src/stark/) for the three-way
+ * prove/verify/proof-size table: the STARK trades a trusted setup
+ * (none at all) and a hash-based prover for larger proofs and a
+ * non-constant verifier — the axis the paper's scheme-selection
+ * discussion does not cover.
+ *
+ * The two pipelines do not share a statement (R1CS exponentiation vs
+ * AIR hash chain), so the three-way table aligns on work size n:
+ * n constraints for the SNARKs, an n-step MiMC trace for the STARK —
+ * one algebraic hash-like operation per row on both sides.
  */
 
 #include "bench_util.h"
 #include "core/pipeline.h"
 #include "snark/plonk.h"
+#include "snark/serialize.h"
+#include "stark/air.h"
+#include "stark/serialize.h"
+#include "stark/stark.h"
 
 namespace zkp::bench {
 namespace {
@@ -71,6 +85,94 @@ runCurve()
                table);
 }
 
+/**
+ * Three-way comparison on BN254 vs the Goldilocks STARK. Setup time
+ * is part of the row because it is the transparent scheme's whole
+ * argument: the SNARK columns pay a per-circuit trusted setup the
+ * STARK column simply does not have.
+ */
+void
+runThreeWay()
+{
+    using Curve = snark::Bn254;
+    using Fr = Curve::Fr;
+    using G = snark::Groth16<Curve>;
+    using P = snark::Plonk<Curve>;
+
+    TextTable table;
+    table.setHeader({"n", "scheme", "setup", "prove", "verify",
+                     "proof bytes"});
+
+    for (std::size_t n : sweepSizes()) {
+        Rng rng(2024);
+        const std::string size = "2^" + std::to_string(log2Of(n));
+
+        {
+            r1cs::ExponentiationCircuit<Fr> circ(n);
+            auto cs = circ.builder.compile();
+            r1cs::WitnessCalculator<Fr> calc(
+                circ.builder.witnessProgram());
+            Timer ts;
+            auto keys = G::setup(cs, rng);
+            const double setup = ts.lap();
+            Fr x = Fr::random(rng);
+            Fr y = circ.evaluate(x);
+            auto z = calc.compute({y}, {x});
+            Timer t;
+            auto proof = G::prove(keys.pk, cs, z, rng);
+            const double prove = t.lap();
+            const bool ok = G::verify(keys.vk, {y}, proof);
+            const double verify = t.seconds();
+            if (!ok)
+                std::printf("!! groth16 failed at n=%zu\n", n);
+            table.addRow({size, "groth16/bn254", fmtSeconds(setup),
+                          fmtSeconds(prove), fmtSeconds(verify),
+                          std::to_string(
+                              snark::serializeProof<Curve>(proof)
+                                  .size())});
+        }
+        {
+            snark::PlonkExponentiation<Fr> circ(n);
+            Timer ts;
+            auto keys = P::setup(circ.builder, rng);
+            const double setup = ts.lap();
+            Fr x = Fr::random(rng);
+            Fr y = x.pow(BigInt<1>((u64)n));
+            auto values = circ.assign(x);
+            Timer t;
+            auto proof = P::prove(keys.pk, values, {y}, rng);
+            const double prove = t.lap();
+            const bool ok = P::verify(keys.vk, {y}, proof);
+            const double verify = t.seconds();
+            if (!ok)
+                std::printf("!! plonk failed at n=%zu\n", n);
+            table.addRow(
+                {size, "plonk/bn254", fmtSeconds(setup),
+                 fmtSeconds(prove), fmtSeconds(verify),
+                 std::to_string(
+                     snark::serializePlonkProof<Curve>(proof)
+                         .size())});
+        }
+        {
+            const stark::MimcAir air(n, stark::Gl::fromU64(7));
+            const stark::StarkParams params{};
+            Timer t;
+            auto proof = stark::prove(air, params, 1);
+            const double prove = t.lap();
+            const bool ok = stark::verify(air, params, proof);
+            const double verify = t.seconds();
+            if (!ok)
+                std::printf("!! stark failed at n=%zu\n", n);
+            table.addRow({size, "stark/gl64", "none (transparent)",
+                          fmtSeconds(prove), fmtSeconds(verify),
+                          std::to_string(
+                              stark::proofByteSize(proof))});
+        }
+    }
+    printTable("Three-way: Groth16 vs PlonK vs transparent STARK",
+               table);
+}
+
 } // namespace
 } // namespace zkp::bench
 
@@ -78,8 +180,10 @@ int
 main()
 {
     std::printf("bench_plonk_vs_groth16: the paper's scheme-selection "
-                "datum (PlonK proving ~2x Groth16)\n");
+                "datum (PlonK proving ~2x Groth16), plus the "
+                "transparent STARK third way\n");
     zkp::bench::runCurve<zkp::snark::Bn254>();
     zkp::bench::runCurve<zkp::snark::Bls381>();
+    zkp::bench::runThreeWay();
     return 0;
 }

@@ -5,7 +5,8 @@
  * protocol of serve/protocol.h.
  *
  * Run: ./build/examples/zkperfd [--socket <path>] [--log2 <k>]
- *          [--circuit <zoo>[:scale]] [--workers <n>] [--queue <n>]
+ *          [--circuit <zoo>[:scale]] [--stark <air>[:steps]]
+ *          [--workers <n>] [--queue <n>]
  *          [--prove-threads <n>] [--no-prewarm]
  *          [--metrics-interval <sec>] [--metrics-file <path>]
  *
@@ -16,6 +17,13 @@
  *                    BN254 under the wire id "<zoo>:<scale>" (scale
  *                    defaults to the catalog's default). Repeatable;
  *                    see `bench_circuits --list` for names.
+ *   --stark          registers a transparent STARK circuit ("fib" or
+ *                    "mimc", trace length defaults to 1024) under the
+ *                    wire id "stark-<air>:<steps>". STARK hosts are
+ *                    setup-free: they carry no key-cache entry, are
+ *                    skipped by prewarm, and serve their first
+ *                    request with zero cold-start (the stats/v2
+ *                    "keyless_serves" counter tracks them).
  *   --workers        service worker threads (ZKP_SERVE_THREADS)
  *   --queue          bounded queue capacity (ZKP_SERVE_QUEUE)
  *   --prove-threads  parallelFor width per prove (default: all cores)
@@ -58,6 +66,7 @@
 #include "serve/circuit_host.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/stark_host.h"
 
 namespace {
 
@@ -80,7 +89,8 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--socket <path>] [--log2 <k>]\n"
-        "          [--circuit <zoo>[:scale]] [--workers <n>]\n"
+        "          [--circuit <zoo>[:scale]] [--stark <air>[:steps]]\n"
+        "          [--workers <n>]\n"
         "          [--queue <n>] [--prove-threads <n>] [--no-prewarm]\n"
         "          [--metrics-interval <sec>] [--metrics-file <path>]\n",
         argv0);
@@ -226,6 +236,7 @@ main(int argc, char** argv)
     std::string socket_path = "/tmp/zkperfd.sock";
     std::size_t log2_constraints = 12;
     std::vector<std::string> circuit_specs;
+    std::vector<std::string> stark_specs;
     std::size_t workers = 0, queue = 0, prove_threads = 0;
     bool prewarm = true;
     double metrics_interval = 0;
@@ -247,6 +258,8 @@ main(int argc, char** argv)
             log2_constraints = (std::size_t)std::atoi(v);
         } else if (const char* v = value("--circuit")) {
             circuit_specs.emplace_back(v);
+        } else if (const char* v = value("--stark")) {
+            stark_specs.emplace_back(v);
         } else if (const char* v = value("--workers")) {
             workers = (std::size_t)std::atoi(v);
         } else if (const char* v = value("--queue")) {
@@ -320,6 +333,43 @@ main(int argc, char** argv)
             id, zoo_name, scale, 2024,
             service.config().proveThreads));
         zoo_ids.push_back(std::move(id));
+    }
+    // Transparent STARK circuits: "<air>[:steps]" -> wire id
+    // "stark-<air>:<steps>". Never prewarmed — there is no key.
+    for (const std::string& spec : stark_specs) {
+        std::string air_name = spec;
+        std::size_t steps = 0;
+        if (auto colon = spec.find(':'); colon != std::string::npos) {
+            air_name = spec.substr(0, colon);
+            steps = (std::size_t)std::atol(spec.c_str() + colon + 1);
+        }
+        if (steps == 0)
+            steps = 1024;
+        if (steps < 16 || (steps & (steps - 1)) != 0) {
+            std::fprintf(stderr,
+                         "zkperfd: --stark steps must be a power of "
+                         "two >= 16 (got %zu)\n",
+                         steps);
+            return usage(argv[0]);
+        }
+        const std::string id =
+            "stark-" + air_name + ":" + std::to_string(steps);
+        if (air_name == "fib") {
+            service.registerCircuit(
+                serve::makeStarkFibHost(id, steps));
+        } else if (air_name == "mimc") {
+            service.registerCircuit(
+                serve::makeStarkMimcHost(id, steps));
+        } else {
+            std::fprintf(stderr,
+                         "zkperfd: unknown STARK air \"%s\" "
+                         "(fib, mimc)\n",
+                         air_name.c_str());
+            return usage(argv[0]);
+        }
+        std::printf("zkperfd: registered %s (setup-free, no key "
+                    "cache entry)\n",
+                    id.c_str());
     }
     if (prewarm && !gStop.load()) {
         std::printf("zkperfd: prewarming keys for %s (2^%zu "

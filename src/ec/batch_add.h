@@ -110,6 +110,24 @@ class BatchAffineAdder
     /** The bucket array (valid after flush()). */
     const std::vector<Affine>& buckets() const { return buckets_; }
 
+    /**
+     * Hint that @p bucket is about to be read-modified by add(). The
+     * digit stream visits buckets in data-dependent (effectively
+     * random) order, so the hardware stride prefetcher never covers
+     * the bucket array; the scheduling loop issues this a few digits
+     * ahead instead (see msmWindowSum and docs/PERFORMANCE.md,
+     * "MSM bucket prefetch"). Low temporal locality (hint 1): a
+     * bucket is typically touched once per flush window.
+     */
+    void
+    prefetch(std::size_t bucket) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&buckets_[bucket], 1, 1);
+        __builtin_prefetch(&busy_[bucket], 1, 1);
+#endif
+    }
+
   private:
     struct Pending
     {

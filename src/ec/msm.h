@@ -179,9 +179,26 @@ msmWindowSum(const Affine* points, const ScalarRepr* scalars,
     const long half = (long)(1L << (c - 1));
     acc.reset(std::size_t(1) << (c - 1));
 
+    // Bucket-line prefetch distance: the digit read for i + k is a
+    // couple of limb ops, cheap enough to do twice, and k = 8 digits
+    // of batch-affine scheduling (~6 field muls each) comfortably
+    // covers an LLC-miss latency without thrashing L1. Measured
+    // neutral-to-slightly-positive on bench_kernels msm_pippenger
+    // (docs/PERFORMANCE.md, "MSM bucket prefetch").
+    constexpr std::size_t kPrefetchAhead = 8;
+
     for (std::size_t i = 0; i < n; ++i) {
         sim::count(sim::PrimOp::MsmWindow);
         sim::traceLoad(&scalars[i], sizeof(ScalarRepr));
+
+        if (i + kPrefetchAhead < n) {
+            const long dp =
+                (long)biased[i + kPrefetchAhead].bits(
+                    (std::size_t)w * c, c) -
+                half;
+            if (dp != 0)
+                acc.prefetch((std::size_t)(dp > 0 ? dp : -dp) - 1);
+        }
 
         // Limb-level digit read: one shift/mask touching at most two
         // limbs, then recentering by the window bias.

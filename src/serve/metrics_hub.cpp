@@ -103,6 +103,9 @@ statsJson(const ServiceStatsSnapshot& snap)
     w.key("entries").value((obs::u64)snap.cache.entries);
     w.key("bytes").value((obs::u64)snap.cache.bytes);
     w.key("build_micros").value(snap.cache.buildMicros);
+    // Additive within schema /2: transparent-scheme executions that
+    // bypassed the cache (not misses — no build was ever needed).
+    w.key("keyless_serves").value(snap.keylessServes);
     w.endObject();
 
     // Added within schema /2 (additive fields only, never removed):

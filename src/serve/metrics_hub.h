@@ -115,6 +115,11 @@ struct ServiceStatsSnapshot
     std::uint64_t deadlineExceeded = 0;
     std::uint64_t canceled = 0;
     std::uint64_t invalid = 0;
+    /// Requests served without any key-cache interaction because the
+    /// scheme is transparent (CircuitHost::needsKey == false). Kept
+    /// separate from cache.misses: a miss triggers a build, a keyless
+    /// serve never touches the cache at all.
+    std::uint64_t keylessServes = 0;
     std::size_t queueDepth = 0;
     std::size_t queueCapacity = 0;
     std::size_t inFlight = 0;

@@ -92,6 +92,8 @@ ProofService::prewarm(const std::string& circuit)
     const CircuitHost* host = findHost(circuit);
     if (!host)
         throw std::invalid_argument("unknown circuit: " + circuit);
+    if (!host->needsKey)
+        return; // transparent scheme: nothing to build or cache
     (void)cache_.getOrBuild(host->name + "@" + host->curve,
                             host->build);
 }
@@ -282,8 +284,17 @@ ProofService::executeProve(Job& job)
     const std::uint64_t allocStart =
         mem ? obs::memprof::threadStats().allocBytes : 0;
     try {
-        KeyCache::Artifact artifact = cache_.getOrBuild(
-            host->name + "@" + host->curve, host->build);
+        // Transparent schemes skip the cache entirely: keyReady
+        // collapses onto dequeued-side time and the host gets a null
+        // artifact, so key-wait histograms read as ~0 rather than as
+        // perpetual misses.
+        KeyCache::Artifact artifact;
+        if (host->needsKey) {
+            artifact = cache_.getOrBuild(
+                host->name + "@" + host->curve, host->build);
+        } else {
+            keylessServes_.fetch_add(1, std::memory_order_relaxed);
+        }
         job.tl.keyReady = Clock::now();
         r.status = host->prove(artifact.get(), job.publicInputs,
                                job.privateInputs, cfg_.proveThreads,
@@ -334,8 +345,13 @@ ProofService::executeVerifyGroup(
     const std::uint64_t allocStart =
         mem ? obs::memprof::threadStats().allocBytes : 0;
     try {
-        KeyCache::Artifact artifact = cache_.getOrBuild(
-            host->name + "@" + host->curve, host->build);
+        KeyCache::Artifact artifact;
+        if (host->needsKey) {
+            artifact = cache_.getOrBuild(
+                host->name + "@" + host->curve, host->build);
+        } else {
+            keylessServes_.fetch_add(1, std::memory_order_relaxed);
+        }
         keyReady = Clock::now();
         host->verify(artifact.get(), items);
     } catch (...) {
@@ -478,6 +494,8 @@ ProofService::stats() const
         deadlineExceeded_.load(std::memory_order_relaxed);
     s.canceled = canceled_.load(std::memory_order_relaxed);
     s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.keylessServes =
+        keylessServes_.load(std::memory_order_relaxed);
     s.queueDepth = queue_.depth();
     s.workers = workers_.size();
     s.cache = cache_.stats();
@@ -496,6 +514,8 @@ ProofService::snapshotStats() const
         deadlineExceeded_.load(std::memory_order_relaxed);
     s.canceled = canceled_.load(std::memory_order_relaxed);
     s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.keylessServes =
+        keylessServes_.load(std::memory_order_relaxed);
     s.queueDepth = queue_.depth();
     s.queueCapacity = queue_.capacity();
     {

@@ -87,6 +87,15 @@ struct CircuitHost
     /// Curve tag, part of the key-cache key ("circuit@curve").
     std::string curve;
     std::size_t constraints = 0;
+    /**
+     * False for transparent schemes (STARK): there is no setup
+     * artifact, so requests bypass the key cache entirely — no entry
+     * is created, `build` is never invoked, and prove/verify receive
+     * a null artifact pointer. Keyless executions are counted
+     * separately (Stats::keylessServes) so a scrape can tell "scheme
+     * needs no key" apart from a cache miss.
+     */
+    bool needsKey = true;
     /// Compile + setup; runs once per cache residency (singleflight).
     KeyCache::Builder build;
     /// Parse inputs, compute the witness, prove, serialize the proof.
@@ -156,6 +165,9 @@ class ProofService
         std::uint64_t deadlineExceeded = 0;
         std::uint64_t canceled = 0;
         std::uint64_t invalid = 0;
+        /// Executions that bypassed the key cache because the host's
+        /// scheme is transparent (needsKey == false). Not a miss.
+        std::uint64_t keylessServes = 0;
         std::size_t queueDepth = 0;
         std::size_t workers = 0;
         KeyCache::Stats cache;
@@ -266,6 +278,7 @@ class ProofService
     std::atomic<std::uint64_t> deadlineExceeded_{0};
     std::atomic<std::uint64_t> canceled_{0};
     std::atomic<std::uint64_t> invalid_{0};
+    std::atomic<std::uint64_t> keylessServes_{0};
 };
 
 /** Read a size_t environment knob with a fallback. */

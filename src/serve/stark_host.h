@@ -1,0 +1,174 @@
+/**
+ * @file
+ * CircuitHost adapters for the transparent STARK backend
+ * (src/stark/): setup-free serving.
+ *
+ * Unlike the Groth16/PLONK zoo hosts, a STARK circuit has no compiled
+ * R1CS, no toxic waste and no proving key — there is nothing to build
+ * once and share, so these hosts set CircuitHost::needsKey = false
+ * and the service routes their requests around the KeyCache entirely
+ * (no entry, no miss, no singleflight; the keyless_serves stat counts
+ * them). Cold-start for a STARK circuit is therefore zero: the first
+ * request pays only the prove itself, which is the serving-side
+ * argument for transparency the three-way bench quantifies.
+ *
+ * Wire format: public inputs are concatenated 8-byte little-endian
+ * canonical Goldilocks words in Air::publicInputs() order — the full
+ * statement including the claimed output (fib: a0, b0, result; mimc:
+ * input, output). Private inputs are always empty (the trace is
+ * recomputed from the statement). Proof bytes are
+ * stark::serializeProof output. Trace length is fixed at host
+ * registration, like a zoo entry's scale.
+ */
+
+#ifndef ZKP_SERVE_STARK_HOST_H
+#define ZKP_SERVE_STARK_HOST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+#include "snark/serialize.h"
+#include "stark/air.h"
+#include "stark/serialize.h"
+#include "stark/stark.h"
+
+namespace zkp::serve {
+
+namespace detail {
+
+/** Decode exactly @p expected canonical Goldilocks words. */
+inline bool
+decodeGl(const std::vector<std::uint8_t>& bytes, std::size_t expected,
+         std::vector<stark::Gl>& out)
+{
+    if (bytes.size() != expected * 8)
+        return false;
+    snark::ByteReader r(bytes);
+    out.resize(expected);
+    for (auto& v : out)
+        if (!r.getField(v))
+            return false;
+    return r.atEnd();
+}
+
+} // namespace detail
+
+/** Encode Goldilocks words in the 8-byte wire format. */
+inline std::vector<std::uint8_t>
+encodeGl(const std::vector<stark::Gl>& values)
+{
+    snark::ByteWriter w;
+    for (const auto& v : values)
+        w.putField(v);
+    return w.bytes();
+}
+
+/**
+ * Shared host skeleton: @p makeAir builds the AIR instance from the
+ * leading wire words; the claimed tail of the statement is checked
+ * against the instance the AIR derives. A mismatched claim is a false
+ * statement: prove rejects it (InvalidRequest, same contract as an
+ * unsatisfied zoo witness) and verify settles it as valid = false
+ * without touching the proof.
+ */
+template <typename MakeAir>
+CircuitHost
+makeStarkHostImpl(std::string name, std::size_t steps,
+                  std::size_t free_inputs, stark::StarkParams params,
+                  MakeAir makeAir)
+{
+    CircuitHost host;
+    host.name = std::move(name);
+    host.curve = "gl64"; // field tag; no curve, no pairing
+    host.constraints = steps;
+    host.needsKey = false; // transparent: bypasses the key cache
+
+    host.prove = [makeAir, free_inputs, params](
+                     const void*,
+                     const std::vector<std::uint8_t>& public_in,
+                     const std::vector<std::uint8_t>& private_in,
+                     std::size_t threads,
+                     std::vector<std::uint8_t>& proof_out) {
+        std::vector<stark::Gl> pub;
+        if (!private_in.empty())
+            return Status::InvalidRequest;
+        // The claimed output may be omitted on prove; the server
+        // derives it from the recurrence either way.
+        if (!detail::decodeGl(public_in, free_inputs, pub) &&
+            !detail::decodeGl(public_in, free_inputs + 1, pub))
+            return Status::InvalidRequest;
+        const auto air = makeAir(pub);
+        // A claimed output that contradicts the recurrence is a false
+        // statement; no proof of it exists.
+        if (pub.size() > free_inputs &&
+            air->publicInputs().back() != pub.back())
+            return Status::InvalidRequest;
+        const stark::StarkProof proof = stark::prove(
+            *air, params, threads == 0 ? 1 : threads);
+        proof_out = stark::serializeProof(proof);
+        return Status::Ok;
+    };
+
+    host.verify = [makeAir, free_inputs, params](
+                      const void*, std::vector<VerifyItem>& items) {
+        for (auto& item : items) {
+            std::vector<stark::Gl> pub;
+            if (!detail::decodeGl(*item.publicInputs,
+                                  free_inputs + 1, pub)) {
+                item.status = Status::InvalidRequest;
+                continue;
+            }
+            auto proof = stark::deserializeProof(*item.proof);
+            if (!proof) {
+                item.status = Status::InvalidRequest;
+                continue;
+            }
+            const auto air = makeAir(pub);
+            item.status = Status::Ok;
+            // False statement: settled invalid without running the
+            // verifier (the proof cannot attest to it either way).
+            item.valid = air->publicInputs().back() == pub.back() &&
+                         stark::verify(*air, params, *proof);
+        }
+    };
+
+    return host;
+}
+
+/**
+ * Fibonacci STARK host. Statement words: a0, b0[, result]. The
+ * result may be omitted on prove (the server derives it); verify
+ * always takes the full 3-word statement.
+ */
+inline CircuitHost
+makeStarkFibHost(std::string name, std::size_t steps,
+                 stark::StarkParams params = {})
+{
+    return makeStarkHostImpl(
+        std::move(name), steps, 2, params,
+        [steps](const std::vector<stark::Gl>& pub) {
+            return std::make_unique<stark::FibonacciAir>(
+                steps, pub[0], pub[1]);
+        });
+}
+
+/**
+ * MiMC hash-chain STARK host. Statement words: input[, output].
+ */
+inline CircuitHost
+makeStarkMimcHost(std::string name, std::size_t steps,
+                  stark::StarkParams params = {})
+{
+    return makeStarkHostImpl(
+        std::move(name), steps, 1, params,
+        [steps](const std::vector<stark::Gl>& pub) {
+            return std::make_unique<stark::MimcAir>(steps, pub[0]);
+        });
+}
+
+} // namespace zkp::serve
+
+#endif // ZKP_SERVE_STARK_HOST_H

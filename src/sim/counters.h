@@ -43,6 +43,7 @@ enum class PrimOp : unsigned
     NttButterfly,  ///< butterfly loop overhead (field ops counted apart)
     MsmWindow,     ///< Pippenger scalar-window extraction + bucket index
     HashAbsorb,    ///< sponge/Merkle bookkeeping per absorbed element
+    HashCompress,  ///< one SHA-256 compression (64 rounds + schedule)
     NumOps
 };
 
@@ -111,6 +112,13 @@ signatureFor(PrimOp op, unsigned limbs)
         return {7, 4, 6, 3, 1, 4};
       case PrimOp::HashAbsorb:
         return {4, 3, 8, 4, 2, 3};
+      case PrimOp::HashCompress:
+        // SHA-256 compression: 48 schedule words (~11 ALU ops each)
+        // plus 64 rounds (~26 ALU ops each) of rotate/xor/add on a
+        // register-resident state — pure-compute, zero wide
+        // multiplies, which is exactly the opcode-mix contrast the
+        // STARK prover exhibits against Montgomery-mul SNARK stages.
+        return {2192, 66, 560, 336, 80, 64};
       default:
         return {0, 0, 0, 0, 0, 0};
     }

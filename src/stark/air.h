@@ -1,0 +1,278 @@
+/**
+ * @file
+ * AIR: algebraic intermediate representation of a computation as an
+ * execution-trace table plus polynomial constraints.
+ *
+ * Where the SNARK pipeline flattens a computation into R1CS rows, a
+ * STARK keeps it as a trace: `steps` rows of `columns` registers, one
+ * row per machine step. Correctness becomes
+ *
+ *  - transition constraints: low-degree polynomials in (current row,
+ *    next row, periodic values) that vanish on every consecutive row
+ *    pair except the last, and
+ *  - boundary constraints: fixed (row, column) cells pinned to values
+ *    derived from the public inputs.
+ *
+ * Periodic columns carry round constants that repeat with a
+ * power-of-two period (the MiMC schedule): as polynomials they are
+ * functions of x^(steps/period), so the verifier evaluates them at a
+ * query point in O(period) instead of O(steps) — what keeps the
+ * verifier succinct while still letting constraints reference a
+ * schedule.
+ *
+ * Two concrete AIRs ship: a two-register Fibonacci (the degree-1
+ * smoke AIR every STARK tutorial starts from, and the CI round-trip
+ * circuit) and a MiMC hash chain (degree-3, mirroring the zoo's
+ * MiMC permutation family on the SNARK side, so the three-way bench
+ * compares the schemes on the same kind of workload).
+ */
+
+#ifndef ZKP_STARK_AIR_H
+#define ZKP_STARK_AIR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stark/field.h"
+
+namespace zkp::stark {
+
+/** One pinned trace cell: column @p column at @p row equals value. */
+struct Boundary
+{
+    std::size_t row = 0;
+    std::size_t column = 0;
+    Gl value;
+};
+
+/**
+ * Abstract AIR instance: shape, constraints, and the concrete trace
+ * for one statement (public inputs are part of the instance).
+ */
+class Air
+{
+  public:
+    virtual ~Air() = default;
+
+    /** Stable identifier ("fib", "mimc") used in wire formats. */
+    virtual std::string name() const = 0;
+    virtual std::size_t columns() const = 0;
+    /** Trace length; must be a power of two >= 8. */
+    virtual std::size_t steps() const = 0;
+
+    virtual std::size_t transitionCount() const = 0;
+    /**
+     * Algebraic degree of transition constraint @p j in the trace and
+     * periodic values (degree-1 variables). Bounds the composition
+     * degree; an understated value breaks soundness, an overstated
+     * one only wastes adjustment headroom.
+     */
+    virtual std::size_t transitionDegree(std::size_t j) const = 0;
+
+    /**
+     * Evaluate every transition constraint at one row pair.
+     *
+     * @param cur      current row (columns() values)
+     * @param next     next row
+     * @param periodic current values of the periodic columns
+     * @param out      transitionCount() results, all zero on a valid
+     *                 trace row
+     */
+    virtual void evalTransition(const Gl* cur, const Gl* next,
+                                const Gl* periodic,
+                                Gl* out) const = 0;
+
+    /** Periodic columns; each size must be a power of two dividing
+     *  steps(). Empty by default. */
+    virtual std::vector<std::vector<Gl>>
+    periodicColumns() const
+    {
+        return {};
+    }
+
+    /** Boundary constraints derived from the public inputs. */
+    virtual std::vector<Boundary> boundaries() const = 0;
+
+    /** Public inputs in transcript order. */
+    virtual std::vector<Gl> publicInputs() const = 0;
+
+    /** Row-major execution trace, steps() x columns(). */
+    virtual std::vector<Gl> buildTrace() const = 0;
+};
+
+/**
+ * Fibonacci AIR: registers (a, b), step (a, b) -> (b, a + b).
+ *
+ * Statement: starting from public (a0, b0), register b after
+ * steps - 1 transitions equals the public `result`.
+ */
+class FibonacciAir final : public Air
+{
+  public:
+    FibonacciAir(std::size_t steps, Gl a0, Gl b0)
+        : steps_(steps), a0_(a0), b0_(b0)
+    {
+        assert(steps >= 8 && (steps & (steps - 1)) == 0);
+        Gl a = a0, b = b0;
+        for (std::size_t i = 1; i < steps_; ++i) {
+            const Gl t = a + b;
+            a = b;
+            b = t;
+        }
+        result_ = b;
+    }
+
+    std::string name() const override { return "fib"; }
+    std::size_t columns() const override { return 2; }
+    std::size_t steps() const override { return steps_; }
+    std::size_t transitionCount() const override { return 2; }
+    std::size_t transitionDegree(std::size_t) const override
+    {
+        return 1;
+    }
+
+    void
+    evalTransition(const Gl* cur, const Gl* next, const Gl*,
+                   Gl* out) const override
+    {
+        out[0] = next[0] - cur[1];
+        out[1] = next[1] - cur[0] - cur[1];
+    }
+
+    std::vector<Boundary>
+    boundaries() const override
+    {
+        return {{0, 0, a0_}, {0, 1, b0_}, {steps_ - 1, 1, result_}};
+    }
+
+    std::vector<Gl>
+    publicInputs() const override
+    {
+        return {a0_, b0_, result_};
+    }
+
+    std::vector<Gl>
+    buildTrace() const override
+    {
+        std::vector<Gl> t(steps_ * 2);
+        t[0] = a0_;
+        t[1] = b0_;
+        for (std::size_t i = 1; i < steps_; ++i) {
+            t[2 * i] = t[2 * i - 1];
+            t[2 * i + 1] = t[2 * i - 2] + t[2 * i - 1];
+        }
+        return t;
+    }
+
+    Gl result() const { return result_; }
+
+  private:
+    std::size_t steps_;
+    Gl a0_, b0_, result_;
+};
+
+/**
+ * MiMC hash-chain AIR: one register, step s -> (s + rc_i)^3 with a
+ * round-constant schedule of period kPeriod carried as a periodic
+ * column. Degree-3 transitions make this the AIR that exercises the
+ * composition degree adjustment (the Fibonacci quotients are
+ * constant), and it mirrors the zoo's MiMC permutation family.
+ *
+ * Statement: public (input, output) with output the register after
+ * steps - 1 rounds.
+ */
+class MimcAir final : public Air
+{
+  public:
+    static constexpr std::size_t kPeriod = 64;
+    /// Seed for the shared, fixed round-constant schedule.
+    static constexpr u64 kConstantSeed = 0x6d696d63ULL; // "mimc"
+
+    MimcAir(std::size_t steps, Gl input)
+        : steps_(steps), input_(input)
+    {
+        assert(steps >= 8 && (steps & (steps - 1)) == 0);
+        const auto rc = roundConstants(period());
+        Gl s = input;
+        for (std::size_t i = 1; i < steps_; ++i) {
+            const Gl t = s + rc[(i - 1) % rc.size()];
+            s = t.squared() * t;
+        }
+        output_ = s;
+    }
+
+    std::string name() const override { return "mimc"; }
+    std::size_t columns() const override { return 1; }
+    std::size_t steps() const override { return steps_; }
+    std::size_t transitionCount() const override { return 1; }
+    std::size_t transitionDegree(std::size_t) const override
+    {
+        return 3;
+    }
+
+    void
+    evalTransition(const Gl* cur, const Gl* next, const Gl* periodic,
+                   Gl* out) const override
+    {
+        const Gl t = cur[0] + periodic[0];
+        out[0] = t.squared() * t - next[0];
+    }
+
+    std::vector<std::vector<Gl>>
+    periodicColumns() const override
+    {
+        return {roundConstants(period())};
+    }
+
+    std::vector<Boundary>
+    boundaries() const override
+    {
+        return {{0, 0, input_}, {steps_ - 1, 0, output_}};
+    }
+
+    std::vector<Gl>
+    publicInputs() const override
+    {
+        return {input_, output_};
+    }
+
+    std::vector<Gl>
+    buildTrace() const override
+    {
+        const auto rc = roundConstants(period());
+        std::vector<Gl> t(steps_);
+        t[0] = input_;
+        for (std::size_t i = 1; i < steps_; ++i) {
+            const Gl u = t[i - 1] + rc[(i - 1) % rc.size()];
+            t[i] = u.squared() * u;
+        }
+        return t;
+    }
+
+    Gl output() const { return output_; }
+
+    /** The fixed schedule, truncated to the column period. */
+    static std::vector<Gl>
+    roundConstants(std::size_t period)
+    {
+        Rng rng(kConstantSeed);
+        std::vector<Gl> rc(period);
+        for (auto& c : rc)
+            c = Gl::random(rng);
+        return rc;
+    }
+
+  private:
+    /// Period must divide steps; tiny traces shrink the schedule.
+    std::size_t period() const { return std::min(kPeriod, steps_); }
+
+    std::size_t steps_;
+    Gl input_, output_;
+};
+
+} // namespace zkp::stark
+
+#endif // ZKP_STARK_AIR_H

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The Goldilocks prime field F_p with p = 2^64 - 2^32 + 1.
+ *
+ * STARKs trade the pairing-friendly 254-bit scalar fields for a field
+ * that fits one machine word: a multiply is a single 64x64->128
+ * widening multiply plus a branchless reduction, roughly 20x cheaper
+ * than a 4-limb Montgomery CIOS. The reduction exploits the shape of
+ * p: with EPSILON = 2^32 - 1 it holds that 2^64 === EPSILON (mod p)
+ * and 2^96 === -1 (mod p), so a 128-bit product hi:lo folds as
+ *
+ *   lo + (hi_lo * EPSILON) - hi_hi   (mod p)
+ *
+ * where hi = hi_hi * 2^32 + hi_lo. Both the borrow of the subtraction
+ * and the carry of the addition are corrected by +/- EPSILON, never by
+ * a loop, so the sequence is constant-time and branch-predictable.
+ *
+ * The class mirrors the ff::Fp member surface (Repr/N/kModulus,
+ * fromU64/fromBigInt/toBigInt, pow/inverse/legendre/squared, the
+ * sim::count instrumentation per primitive) exactly so the generic
+ * machinery written against Fp — poly::Domain NTTs, ff::mulBatch /
+ * ff::batchInverse, the golden-vector helpers — works on Goldilocks
+ * unmodified. Values are kept in canonical (non-Montgomery) form;
+ * with a one-word modulus Montgomery representation buys nothing.
+ *
+ * Two-adicity is 32 (p - 1 = 2^32 * (2^32 - 1)), far above every
+ * trace length in the sweep, which is what makes the field usable for
+ * LDE blowups of power-of-two traces in the first place.
+ */
+
+#ifndef ZKP_STARK_FIELD_H
+#define ZKP_STARK_FIELD_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/uint.h"
+#include "sim/counters.h"
+
+namespace zkp::stark {
+
+/** Goldilocks field element, canonical value in [0, p). */
+class Gl
+{
+  public:
+    static constexpr std::size_t N = 1;
+    using Repr = BigInt<1>;
+
+    static constexpr u64 kP = 0xFFFFFFFF00000001ULL;
+    /// 2^32 - 1; both what 2^64 reduces to and the carry/borrow fixup.
+    static constexpr u64 kEpsilon = 0xFFFFFFFFULL;
+    static constexpr Repr kModulus{kP};
+    /// p - 1 = 2^32 * (2^32 - 1): 32 squarings reach any odd part.
+    static constexpr std::size_t kTwoAdicity = 32;
+
+    constexpr Gl() = default;
+
+    static constexpr Gl zero() { return Gl(); }
+    static constexpr Gl one() { return fromCanonical(1); }
+
+    /** Wrap a value already known to be < p. */
+    static constexpr Gl
+    fromCanonical(u64 x)
+    {
+        Gl r;
+        r.v_ = x;
+        return r;
+    }
+
+    /** Reduce an arbitrary 64-bit value. */
+    static constexpr Gl
+    fromU64(u64 x)
+    {
+        return fromCanonical(x >= kP ? x - kP : x);
+    }
+
+    static constexpr Gl fromBigInt(const Repr& x)
+    {
+        return fromU64(x.limbs[0]);
+    }
+
+    static Gl fromHex(std::string_view s)
+    {
+        return fromBigInt(Repr::fromHex(s));
+    }
+
+    /** Uniform random element by rejection sampling. */
+    static Gl
+    random(Rng& rng)
+    {
+        for (;;) {
+            const u64 x = rng.next();
+            if (x < kP)
+                return fromCanonical(x);
+        }
+    }
+
+    constexpr u64 value() const { return v_; }
+    constexpr Repr toBigInt() const { return Repr(v_); }
+    std::string toHex() const { return toBigInt().toHex(); }
+
+    constexpr bool isZero() const { return v_ == 0; }
+    constexpr bool operator==(const Gl& o) const { return v_ == o.v_; }
+    constexpr bool operator!=(const Gl& o) const { return v_ != o.v_; }
+
+    Gl
+    operator+(const Gl& o) const
+    {
+        sim::count(sim::PrimOp::FieldAdd, N);
+        u64 s = v_ + o.v_;
+        // Overflow past 2^64 means the true sum is s + 2^64; adding
+        // EPSILON (=== 2^64 mod p) folds it back. The fixup itself
+        // cannot re-overflow: both addends were < p.
+        if (s < v_)
+            s += kEpsilon;
+        if (s >= kP)
+            s -= kP;
+        return fromCanonical(s);
+    }
+
+    Gl
+    operator-(const Gl& o) const
+    {
+        sim::count(sim::PrimOp::FieldAdd, N);
+        u64 d = v_ - o.v_;
+        if (v_ < o.v_)
+            d -= kEpsilon; // borrow: subtract 2^64 === EPSILON
+        return fromCanonical(d >= kP ? d - kP : d);
+    }
+
+    Gl
+    operator-() const
+    {
+        sim::count(sim::PrimOp::FieldAdd, N);
+        return fromCanonical(v_ == 0 ? 0 : kP - v_);
+    }
+
+    Gl
+    operator*(const Gl& o) const
+    {
+        sim::count(sim::PrimOp::FieldMul, N);
+        return fromCanonical(reduce128((u128)v_ * o.v_));
+    }
+
+    Gl& operator+=(const Gl& o) { return *this = *this + o; }
+    Gl& operator-=(const Gl& o) { return *this = *this - o; }
+    Gl& operator*=(const Gl& o) { return *this = *this * o; }
+
+    Gl squared() const { return *this * *this; }
+
+    Gl
+    doubled() const
+    {
+        return *this + *this;
+    }
+
+    /** Square-and-multiply exponentiation (any limb count). */
+    template <std::size_t M>
+    Gl
+    pow(const BigInt<M>& e) const
+    {
+        Gl result = one();
+        for (std::size_t i = e.bitLength(); i-- > 0;) {
+            result = result.squared();
+            if (e.bit(i))
+                result *= *this;
+        }
+        return result;
+    }
+
+    Gl pow(u64 e) const { return pow(BigInt<1>(e)); }
+
+    /**
+     * Multiplicative inverse via Fermat: x^(p-2). With a one-word
+     * modulus the 72-multiply chain beats maintaining the four-track
+     * EEA state Fp uses.
+     *
+     * @pre !isZero()
+     */
+    Gl
+    inverse() const
+    {
+        assert(!isZero() && "inverse of zero");
+        return pow(kP - 2);
+    }
+
+    /** Euler's criterion: 1, -1, or 0 for zero. */
+    int
+    legendre() const
+    {
+        if (isZero())
+            return 0;
+        const Gl r = pow((kP - 1) / 2);
+        return r == one() ? 1 : -1;
+    }
+
+    /**
+     * Elementwise product without per-element dispatch overhead; the
+     * hook ff::mulBatch keys on. One count() covers the whole strip
+     * so the sim cost model sees n one-limb multiplies, not n calls.
+     */
+    static void
+    mulBatch(Gl* out, const Gl* a, const Gl* b, std::size_t n)
+    {
+        sim::count(sim::PrimOp::FieldMul, N, n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i].v_ = reduce128((u128)a[i].v_ * b[i].v_);
+    }
+
+  private:
+    /**
+     * Branchless-shape reduction of a 128-bit value into [0, p).
+     * Splitting hi = hi_hi * 2^32 + hi_lo:
+     *   x === lo - hi_hi + hi_lo * EPSILON  (mod p)
+     * since 2^96 === -1 and 2^64 === EPSILON. The two conditional
+     * fixups compile to cmov/adc on x86-64 — no data-dependent loop.
+     */
+    static constexpr u64
+    reduce128(u128 x)
+    {
+        const u64 lo = (u64)x;
+        const u64 hi = (u64)(x >> 64);
+        const u64 hi_hi = hi >> 32;
+        const u64 hi_lo = hi & kEpsilon;
+
+        u64 t0 = lo - hi_hi;
+        if (lo < hi_hi)
+            t0 -= kEpsilon; // borrow of 2^64 === EPSILON
+        const u64 t1 = hi_lo * kEpsilon; // < 2^64, no overflow
+        u64 r = t0 + t1;
+        if (r < t1)
+            r += kEpsilon; // carry of 2^64 === EPSILON
+        if (r >= kP)
+            r -= kP;
+        return r;
+    }
+
+    u64 v_ = 0;
+};
+
+} // namespace zkp::stark
+
+#endif // ZKP_STARK_FIELD_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SHA-256 digests over Goldilocks data: the commitment hash of the
+ * STARK backend.
+ *
+ * Reuses the repo's native SHA-256 (r1cs::Sha256 — the reference
+ * implementation the SHA circuit gadget is checked against) rather
+ * than introducing a second hash implementation. Two fixed-shape
+ * entry points cover everything the Merkle tree and the Fiat-Shamir
+ * channel need:
+ *
+ *  - hashRow: a trace/FRI-layer row of field elements -> digest
+ *    (leaf hashing; length-prefixed FIPS padding via Sha256::pad)
+ *  - hashPair: two digests -> digest (interior node; exactly one
+ *    compression, since 2 x 32 bytes fills one 512-bit block — the
+ *    padding block is deliberately omitted on this fixed-width path,
+ *    a standard Merkle-node construction)
+ *
+ * Every compression reports PrimOp::HashCompress to the sim layer, so
+ * the opcode-mix/MPKI analyses see the hash-dominated instruction
+ * profile that distinguishes the STARK prover from the Montgomery-
+ * multiply-dominated SNARK stages (EXPERIMENTS.md §E14).
+ */
+
+#ifndef ZKP_STARK_HASH_H
+#define ZKP_STARK_HASH_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "r1cs/gadgets/sha256.h"
+#include "sim/counters.h"
+#include "sim/memtrace.h"
+#include "stark/field.h"
+
+namespace zkp::stark {
+
+/** A 32-byte SHA-256 digest. */
+using Digest = std::array<std::uint8_t, 32>;
+
+namespace detail {
+
+inline r1cs::Sha256::State
+compressCounted(const r1cs::Sha256::State& s,
+                const r1cs::Sha256::Block& b)
+{
+    sim::count(sim::PrimOp::HashCompress, 1);
+    return r1cs::Sha256::compress(s, b);
+}
+
+inline Digest
+stateToDigest(const r1cs::Sha256::State& s)
+{
+    Digest out;
+    for (std::size_t i = 0; i < 8; ++i) {
+        out[4 * i] = (std::uint8_t)(s[i] >> 24);
+        out[4 * i + 1] = (std::uint8_t)(s[i] >> 16);
+        out[4 * i + 2] = (std::uint8_t)(s[i] >> 8);
+        out[4 * i + 3] = (std::uint8_t)s[i];
+    }
+    return out;
+}
+
+} // namespace detail
+
+/** Full (padded) SHA-256 of a byte string, compression-counted. */
+inline Digest
+hashBytes(const std::uint8_t* data, std::size_t n)
+{
+    std::vector<std::uint8_t> msg(data, data + n);
+    r1cs::Sha256::State s = r1cs::Sha256::kIv;
+    for (const auto& blk : r1cs::Sha256::pad(msg))
+        s = detail::compressCounted(s, blk);
+    return detail::stateToDigest(s);
+}
+
+/**
+ * Hash one row of field elements (little-endian 8-byte words).
+ * Per-element absorb bookkeeping is counted apart from the
+ * compressions, mirroring the sponge instrumentation convention.
+ */
+inline Digest
+hashRow(const Gl* row, std::size_t width)
+{
+    sim::count(sim::PrimOp::HashAbsorb, 1, width);
+    sim::traceLoad(row, 8 * width);
+    std::vector<std::uint8_t> bytes(8 * width);
+    for (std::size_t i = 0; i < width; ++i) {
+        const u64 v = row[i].value();
+        for (std::size_t b = 0; b < 8; ++b)
+            bytes[8 * i + b] = (std::uint8_t)(v >> (8 * b));
+    }
+    return hashBytes(bytes.data(), bytes.size());
+}
+
+/** One-compression interior-node hash of two child digests. */
+inline Digest
+hashPair(const Digest& left, const Digest& right)
+{
+    sim::traceLoad(&left, sizeof(left));
+    sim::traceLoad(&right, sizeof(right));
+    r1cs::Sha256::Block blk;
+    auto word = [](const Digest& d, std::size_t i) {
+        return ((std::uint32_t)d[4 * i] << 24) |
+               ((std::uint32_t)d[4 * i + 1] << 16) |
+               ((std::uint32_t)d[4 * i + 2] << 8) |
+               (std::uint32_t)d[4 * i + 3];
+    };
+    for (std::size_t i = 0; i < 8; ++i) {
+        blk[i] = word(left, i);
+        blk[8 + i] = word(right, i);
+    }
+    return detail::stateToDigest(
+        detail::compressCounted(r1cs::Sha256::kIv, blk));
+}
+
+/** Lowercase hex rendering (test diagnostics, golden vectors). */
+inline std::string
+digestHex(const Digest& d)
+{
+    static const char* k = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (std::uint8_t b : d) {
+        out.push_back(k[b >> 4]);
+        out.push_back(k[b & 0xf]);
+    }
+    return out;
+}
+
+} // namespace zkp::stark
+
+#endif // ZKP_STARK_HASH_H

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hardened binary (de)serialization of STARK proofs.
+ *
+ * Same discipline as snark/serialize.h: a magic/version header, every
+ * field element canonical little-endian and rejected when >= p, every
+ * length field bounds-checked against both a hard cap and the bytes
+ * actually remaining BEFORE any allocation sizes from it, and the
+ * reader must land exactly at the end of the buffer (trailing bytes
+ * are an error — a truncated or padded proof never parses). The
+ * reader reuses snark::ByteWriter/ByteReader so the validation
+ * primitives stay in one place; Gl satisfies the same
+ * Repr/kModulus/fromBigInt surface the generic getField checks.
+ *
+ * Layout (all integers LE):
+ *   magic "STK1" | u64 steps | u64 columns
+ *   traceRoot (32)
+ *   u32 friRootCount | roots (32 each)
+ *   u32 remainderCount | Gl (8 each)
+ *   u64 powNonce
+ *   u32 queryCount
+ *     per query: u32 traceOpenings
+ *       per opening: u32 rowLen | Gl row | u32 pathLen | digests
+ *     u32 layerOpenings
+ *       per opening: Gl v0 | Gl v1 | u32 pathLen | digests (x2)
+ */
+
+#ifndef ZKP_STARK_SERIALIZE_H
+#define ZKP_STARK_SERIALIZE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "snark/serialize.h"
+#include "stark/stark.h"
+
+namespace zkp::stark {
+
+using snark::ByteReader;
+using snark::ByteWriter;
+
+/// Structural caps: far above any real proof, far below anything
+/// that could be used to drive a pathological allocation.
+inline constexpr std::size_t kMaxFriRoots = 64;
+inline constexpr std::size_t kMaxRemainder = 256;
+inline constexpr std::size_t kMaxQueries = 1024;
+inline constexpr std::size_t kMaxRowWidth = 1024;
+inline constexpr std::size_t kMaxPathLen = 64;
+inline constexpr u64 kProofMagic = 0x31304b5453ULL; // "STK01"
+
+namespace detail {
+
+inline void
+putDigest(ByteWriter& w, const Digest& d)
+{
+    for (std::uint8_t b : d)
+        w.putU8(b);
+}
+
+inline bool
+getDigest(ByteReader& r, Digest& d)
+{
+    for (auto& b : d)
+        if (!r.getU8(b))
+            return false;
+    return true;
+}
+
+/**
+ * Read a u32 count that must not exceed @p cap and for which at
+ * least @p min_bytes_each bytes per element must still be present —
+ * the length/remaining cross-check that keeps a forged count from
+ * sizing an allocation.
+ */
+inline bool
+getCount(ByteReader& r, std::size_t cap, std::size_t min_bytes_each,
+         std::size_t& out)
+{
+    u64 v = 0;
+    std::uint8_t b;
+    for (int i = 0; i < 4; ++i) {
+        if (!r.getU8(b))
+            return false;
+        v |= (u64)b << (8 * i);
+    }
+    if (v > cap || v * min_bytes_each > r.remaining())
+        return false;
+    out = (std::size_t)v;
+    return true;
+}
+
+inline void
+putCount(ByteWriter& w, std::size_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        w.putU8((std::uint8_t)(v >> (8 * i)));
+}
+
+inline void
+putPath(ByteWriter& w, const MerklePath& p)
+{
+    putCount(w, p.siblings.size());
+    for (const Digest& d : p.siblings)
+        putDigest(w, d);
+}
+
+inline bool
+getPath(ByteReader& r, MerklePath& p)
+{
+    std::size_t len = 0;
+    if (!getCount(r, kMaxPathLen, sizeof(Digest), len))
+        return false;
+    p.siblings.resize(len);
+    for (auto& d : p.siblings)
+        if (!getDigest(r, d))
+            return false;
+    return true;
+}
+
+} // namespace detail
+
+inline std::vector<std::uint8_t>
+serializeProof(const StarkProof& proof)
+{
+    ByteWriter w;
+    w.putU64(kProofMagic);
+    w.putU64(proof.steps);
+    w.putU64(proof.columns);
+    detail::putDigest(w, proof.traceRoot);
+    detail::putCount(w, proof.friRoots.size());
+    for (const Digest& d : proof.friRoots)
+        detail::putDigest(w, d);
+    detail::putCount(w, proof.remainder.size());
+    for (const Gl& c : proof.remainder)
+        w.putField(c);
+    w.putU64(proof.powNonce);
+    detail::putCount(w, proof.queries.size());
+    for (const StarkQuery& q : proof.queries) {
+        detail::putCount(w, q.trace.size());
+        for (const TraceOpening& t : q.trace) {
+            detail::putCount(w, t.row.size());
+            for (const Gl& v : t.row)
+                w.putField(v);
+            detail::putPath(w, t.path);
+        }
+        detail::putCount(w, q.layers.size());
+        for (const LayerOpening& l : q.layers) {
+            w.putField(l.v0);
+            w.putField(l.v1);
+            detail::putPath(w, l.p0);
+            detail::putPath(w, l.p1);
+        }
+    }
+    return w.bytes();
+}
+
+/**
+ * Parse a proof; nullopt on any structural violation (bad magic,
+ * truncation, oversize counts, non-canonical field bytes, trailing
+ * bytes). Semantic checks against the AIR happen in verify().
+ */
+inline std::optional<StarkProof>
+deserializeProof(const std::vector<std::uint8_t>& bytes)
+{
+    ByteReader r(bytes);
+    StarkProof p;
+    u64 magic = 0;
+    if (!r.getU64(magic) || magic != kProofMagic)
+        return std::nullopt;
+    if (!r.getU64(p.steps) || !r.getU64(p.columns))
+        return std::nullopt;
+    if (!detail::getDigest(r, p.traceRoot))
+        return std::nullopt;
+
+    std::size_t count = 0;
+    if (!detail::getCount(r, kMaxFriRoots, sizeof(Digest), count))
+        return std::nullopt;
+    p.friRoots.resize(count);
+    for (auto& d : p.friRoots)
+        if (!detail::getDigest(r, d))
+            return std::nullopt;
+
+    if (!detail::getCount(r, kMaxRemainder, 8, count))
+        return std::nullopt;
+    p.remainder.resize(count);
+    for (auto& c : p.remainder)
+        if (!r.getField(c))
+            return std::nullopt;
+
+    if (!r.getU64(p.powNonce))
+        return std::nullopt;
+
+    if (!detail::getCount(r, kMaxQueries, 8, count))
+        return std::nullopt;
+    p.queries.resize(count);
+    for (auto& q : p.queries) {
+        std::size_t openings = 0;
+        if (!detail::getCount(r, 8, 8, openings))
+            return std::nullopt;
+        q.trace.resize(openings);
+        for (auto& t : q.trace) {
+            std::size_t width = 0;
+            if (!detail::getCount(r, kMaxRowWidth, 8, width))
+                return std::nullopt;
+            t.row.resize(width);
+            for (auto& v : t.row)
+                if (!r.getField(v))
+                    return std::nullopt;
+            if (!detail::getPath(r, t.path))
+                return std::nullopt;
+        }
+        std::size_t layerCount = 0;
+        if (!detail::getCount(r, kMaxFriRoots, 16, layerCount))
+            return std::nullopt;
+        q.layers.resize(layerCount);
+        for (auto& l : q.layers) {
+            if (!r.getField(l.v0) || !r.getField(l.v1))
+                return std::nullopt;
+            if (!detail::getPath(r, l.p0) ||
+                !detail::getPath(r, l.p1))
+                return std::nullopt;
+        }
+    }
+    if (!r.atEnd())
+        return std::nullopt;
+    return p;
+}
+
+/** Serialized size without materializing the bytes twice. */
+inline std::size_t
+proofByteSize(const StarkProof& proof)
+{
+    return serializeProof(proof).size();
+}
+
+} // namespace zkp::stark
+
+#endif // ZKP_STARK_SERIALIZE_H

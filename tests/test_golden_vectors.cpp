@@ -181,5 +181,64 @@ TEST(GoldenZooVectors, FreshPlonkPoseidonGenerationMatchesCheckedInBytes)
         << "PlonK publics drifted";
 }
 
+// --- STARK vectors (transparent: proof + publics, no VK) -------------
+//
+// Byte pinning works because the STARK prover is fully deterministic
+// (no prover randomness); these vectors freeze the Goldilocks LE
+// encoding, the Merkle/FRI layout, the Fiat-Shamir schedule and the
+// proof framing in one shot.
+
+/** Rebuild the frozen AIR instance the STARK vectors commit to. */
+std::unique_ptr<stark::Air>
+starkGoldenAir(const std::string& airName)
+{
+    if (airName == "fib")
+        return std::make_unique<stark::FibonacciAir>(
+            golden::kStarkSteps,
+            stark::Gl::fromU64(golden::kStarkFibA0),
+            stark::Gl::fromU64(golden::kStarkFibB0));
+    return std::make_unique<stark::MimcAir>(
+        golden::kStarkSteps,
+        stark::Gl::fromU64(golden::kStarkMimcInput));
+}
+
+TEST(GoldenStarkVectors, CheckedInVectorsVerify)
+{
+    for (const char* airName : {"fib", "mimc"}) {
+        const std::string base =
+            std::string("stark_") + airName + "_";
+        const auto proofBytes = loadHexFile(base + "proof.hex");
+        ASSERT_FALSE(proofBytes.empty()) << base;
+        const auto proof = stark::deserializeProof(proofBytes);
+        ASSERT_TRUE(proof.has_value()) << base;
+
+        // The publics file must decode and match the statement the
+        // frozen AIR derives — then the proof must verify against it.
+        const auto pub = golden::decodePublics<stark::Gl>(
+            loadHexFile(base + "pub.hex"));
+        ASSERT_TRUE(pub.has_value()) << base;
+        const auto air = starkGoldenAir(airName);
+        EXPECT_EQ(*pub, air->publicInputs()) << base;
+        EXPECT_TRUE(stark::verify(*air, golden::starkGoldenParams(),
+                                  *proof))
+            << base;
+    }
+}
+
+TEST(GoldenStarkVectors, FreshGenerationMatchesCheckedInBytes)
+{
+    for (const char* airName : {"fib", "mimc"}) {
+        const std::string base =
+            std::string("stark_") + airName + "_";
+        const auto fresh = golden::generateStark(airName);
+        EXPECT_EQ(fresh.proof, loadHexFile(base + "proof.hex"))
+            << base
+            << "proof drifted; regenerate via gen_golden_vectors "
+               "if intentional";
+        EXPECT_EQ(fresh.pub, loadHexFile(base + "pub.hex"))
+            << base << "publics drifted";
+    }
+}
+
 } // namespace
 } // namespace zkp

@@ -20,6 +20,7 @@
 #include "serve/circuit_host.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/stark_host.h"
 
 namespace zkp::serve {
 namespace {
@@ -639,6 +640,98 @@ TEST(Telemetry, ShedAndDeadlineLandInLaneCounters)
     EXPECT_EQ(snap.lanes[0].shed, 1u);
     EXPECT_EQ(snap.lanes[0].completed, 2u);
     EXPECT_EQ(snap.rejectedQueueFull, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Setup-free STARK serving (no key-cache entry)
+// ---------------------------------------------------------------------
+
+TEST(StarkServing, ProveVerifyBypassesKeyCache)
+{
+    ProofService service(testConfig(2, 16));
+    service.registerCircuit(makeStarkFibHost("stark-fib:64", 64));
+
+    // Statement: a0 = 1, b0 = 1; derive the honest result.
+    const stark::FibonacciAir air(64, stark::Gl::fromU64(1),
+                                  stark::Gl::fromU64(1));
+    const auto pub2 =
+        encodeGl({stark::Gl::fromU64(1), stark::Gl::fromU64(1)});
+    const auto pub3 = encodeGl(air.publicInputs());
+
+    // prewarm is a no-op for a keyless host, not an error.
+    service.prewarm("stark-fib:64");
+
+    Response proved =
+        service.submitProve("stark-fib:64", pub2, {}).result.get();
+    ASSERT_EQ(proved.status, Status::Ok);
+    ASSERT_FALSE(proved.proof.empty());
+
+    Response verified =
+        service.submitVerify("stark-fib:64", pub3, proved.proof)
+            .result.get();
+    ASSERT_EQ(verified.status, Status::Ok);
+    EXPECT_TRUE(verified.valid);
+
+    // Wrong claimed result: settled invalid, not an error.
+    auto wrongPub = air.publicInputs();
+    wrongPub.back() = wrongPub.back() + stark::Gl::one();
+    Response wrong = service
+                         .submitVerify("stark-fib:64",
+                                       encodeGl(wrongPub),
+                                       proved.proof)
+                         .result.get();
+    ASSERT_EQ(wrong.status, Status::Ok);
+    EXPECT_FALSE(wrong.valid);
+
+    // The cache was never touched: no entries, no misses, no builds —
+    // every execution shows up as a keyless serve instead.
+    const ProofService::Stats s = service.stats();
+    EXPECT_EQ(s.cache.entries, 0u);
+    EXPECT_EQ(s.cache.misses, 0u);
+    EXPECT_EQ(s.cache.builds, 0u);
+    EXPECT_EQ(s.keylessServes, 3u);
+
+    const std::string json = service.statsJson();
+    EXPECT_NE(json.find("\"keyless_serves\":3"), std::string::npos)
+        << json.substr(0, 400);
+}
+
+TEST(StarkServing, MimcHostAndMalformedInputs)
+{
+    ProofService service(testConfig(1, 8));
+    service.registerCircuit(makeStarkMimcHost("stark-mimc:64", 64));
+
+    const stark::MimcAir air(64, stark::Gl::fromU64(9));
+    const auto pub = encodeGl(air.publicInputs());
+
+    Response proved =
+        service.submitProve("stark-mimc:64", pub, {}).result.get();
+    ASSERT_EQ(proved.status, Status::Ok);
+
+    Response verified =
+        service.submitVerify("stark-mimc:64", pub, proved.proof)
+            .result.get();
+    ASSERT_EQ(verified.status, Status::Ok);
+    EXPECT_TRUE(verified.valid);
+
+    // A non-empty private input is a protocol violation (the trace is
+    // recomputed from the statement).
+    EXPECT_EQ(service.submitProve("stark-mimc:64", pub, {0x01})
+                  .result.get()
+                  .status,
+              Status::InvalidRequest);
+
+    // Truncated statement and garbage proof bytes.
+    std::vector<std::uint8_t> shortPub(pub.begin(), pub.end() - 1);
+    EXPECT_EQ(service.submitProve("stark-mimc:64", shortPub, {})
+                  .result.get()
+                  .status,
+              Status::InvalidRequest);
+    std::vector<std::uint8_t> junk(16, 0xee);
+    EXPECT_EQ(service.submitVerify("stark-mimc:64", pub, junk)
+                  .result.get()
+                  .status,
+              Status::InvalidRequest);
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #define ZKP_TESTS_VECTORS_GOLDEN_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@
 #include "snark/plonk.h"
 #include "snark/plonk_from_r1cs.h"
 #include "snark/serialize.h"
+#include "stark/air.h"
+#include "stark/serialize.h"
+#include "stark/stark.h"
 
 namespace zkp::golden {
 
@@ -187,6 +191,65 @@ generateZooPlonk(const ZooCase& c)
     v.vk = snark::serializePlonkVerifyingKey<Curve>(kp.vk);
     v.proof = snark::serializePlonkProof<Curve>(proof);
     v.pub = encodePublics(lowered.publicInputs(z));
+    return v;
+}
+
+// --- STARK vectors ---------------------------------------------------
+//
+// The transparent scheme has no VK to pin; the vectors are the proof
+// bytes and the public-input encoding. Pinning is possible at all
+// because the prover is deterministic (Fiat-Shamir, no prover
+// randomness, thread-count-independent output — Stark.ProofIsDeterministic
+// pins that), so any drift in the Goldilocks encoding, the Merkle
+// layout, the transcript schedule or the proof framing shows up as a
+// byte diff.
+
+/// Frozen STARK statement shape: small traces and a reduced query/
+/// grind count keep the checked-in files a few KB while still
+/// exercising every proof component (multiple committed FRI layers
+/// need steps > 64 at blowup 8 — 64 steps gives folds = 3, i.e. two
+/// committed layers and a remainder).
+inline constexpr std::size_t kStarkSteps = 64;
+inline constexpr std::size_t kStarkQueries = 10;
+inline constexpr unsigned kStarkGrindBits = 4;
+inline constexpr u64 kStarkFibA0 = 1;
+inline constexpr u64 kStarkFibB0 = 1;
+inline constexpr u64 kStarkMimcInput = 7;
+
+inline stark::StarkParams
+starkGoldenParams()
+{
+    stark::StarkParams p;
+    p.queries = kStarkQueries;
+    p.grindBits = kStarkGrindBits;
+    return p;
+}
+
+/** One frozen STARK instance's byte vectors (no VK — transparent). */
+struct StarkVectors
+{
+    std::vector<std::uint8_t> proof, pub;
+};
+
+/** Deterministically generate the STARK vectors for @p airName
+ *  ("fib" or "mimc"). */
+inline StarkVectors
+generateStark(const std::string& airName)
+{
+    std::unique_ptr<stark::Air> air;
+    if (airName == "fib")
+        air = std::make_unique<stark::FibonacciAir>(
+            kStarkSteps, stark::Gl::fromU64(kStarkFibA0),
+            stark::Gl::fromU64(kStarkFibB0));
+    else
+        air = std::make_unique<stark::MimcAir>(
+            kStarkSteps, stark::Gl::fromU64(kStarkMimcInput));
+
+    const auto proof = stark::prove(*air, starkGoldenParams(), 1);
+
+    StarkVectors v;
+    v.proof = stark::serializeProof(proof);
+    v.pub = encodePublics(air->publicInputs());
     return v;
 }
 
